@@ -1,0 +1,95 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each benchmark drives the corresponding experiment runner
+// (internal/exp), prints the paper-style table once, and reports the
+// experiment's wall time; the tables themselves carry the modeled times
+// the paper reports (see EXPERIMENTS.md for paper-vs-measured).
+//
+//	go test -bench=. -benchmem            # everything, scaled workloads
+//	go test -bench=BenchmarkTable7 -full  # full k sweep (slow)
+package pimmine_test
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+
+	"pimmine/internal/exp"
+)
+
+var fullFlag = flag.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
+
+// benchSuite builds one shared suite per bench binary run; datasets are
+// cached inside, so successive benchmarks reuse them.
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+)
+
+func benchSuite() *exp.Suite {
+	suiteOnce.Do(func() {
+		suite = exp.NewSuite()
+		suite.ScaleN = 1500
+		suite.Queries = 3
+		suite.Full = *fullFlag
+	})
+	return suite
+}
+
+// printed dedupes table output across -benchtime iterations.
+var printed sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	s := benchSuite()
+	runner, ok := exp.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		tbl, err := runner(s)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if _, dup := printed.LoadOrStore(id, true); !dup {
+			fmt.Printf("\n%s\n", tbl.String())
+		}
+	}
+}
+
+// ---- §VI static tables ----
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+
+// ---- §IV profiling figures ----
+
+func BenchmarkFig5(b *testing.B) { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// ---- §VI-C kNN classification ----
+
+func BenchmarkFig13Dataset(b *testing.B)   { runExperiment(b, "fig13a") }
+func BenchmarkFig13Algorithm(b *testing.B) { runExperiment(b, "fig13b") }
+func BenchmarkFig13K(b *testing.B)         { runExperiment(b, "fig13c") }
+func BenchmarkFig13Distance(b *testing.B)  { runExperiment(b, "fig13d") }
+func BenchmarkFig14(b *testing.B)          { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)          { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)          { runExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B)          { runExperiment(b, "fig17") }
+
+// ---- §VI-D k-means clustering ----
+
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "table7") }
+func BenchmarkFig18(b *testing.B)  { runExperiment(b, "fig18") }
+
+// ---- Extension tasks (beyond the paper's evaluation) ----
+
+func BenchmarkExtOutlier(b *testing.B) { runExperiment(b, "ext-outlier") }
+func BenchmarkExtMotif(b *testing.B)   { runExperiment(b, "ext-motif") }
+func BenchmarkExtJoin(b *testing.B)    { runExperiment(b, "ext-join") }
+func BenchmarkExtApprox(b *testing.B)  { runExperiment(b, "ext-approx") }
+func BenchmarkExtScale(b *testing.B)   { runExperiment(b, "ext-scale") }
+func BenchmarkExtDBSCAN(b *testing.B)  { runExperiment(b, "ext-dbscan") }

@@ -1,0 +1,69 @@
+// Command pimbench regenerates the paper's tables and figures: it runs
+// the experiment harness (internal/exp) and prints paper-style rows.
+//
+// Usage:
+//
+//	pimbench [-scale N] [-queries Q] [-seed S] [-full] [ids...]
+//
+// With no ids, every registered experiment runs. Available ids:
+// table1 table5 table6 table7 fig5 fig6 fig7 fig13a-fig13d fig14-fig18.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pimmine/internal/exp"
+)
+
+func main() {
+	scale := flag.Int("scale", 2000, "generated rows per dataset (full-scale N still drives Theorem 4)")
+	queries := flag.Int("queries", 5, "query batch size for kNN experiments")
+	seed := flag.Int64("seed", 1, "generation seed")
+	full := flag.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
+	format := flag.String("format", "text", "output format: text|markdown|csv")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.IDs(), "\n"))
+		return
+	}
+
+	suite := exp.NewSuite()
+	suite.ScaleN = *scale
+	suite.Queries = *queries
+	suite.Seed = *seed
+	suite.Full = *full
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	for _, id := range ids {
+		runner, ok := exp.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "pimbench: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tbl, err := runner(suite)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pimbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		out, err := tbl.Render(*format)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(2)
+		}
+		fmt.Print(out)
+		if *format == "text" {
+			fmt.Printf("(wall clock %.1fs)\n", time.Since(start).Seconds())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pimmine"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSV(t *testing.T) {
+	path := writeTemp(t, "1.5,2.5,3\n# comment\n\n4,5,6\n")
+	m, err := loadCSV(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 2 || m.D != 3 || m.Row(1)[2] != 6 {
+		t.Fatalf("loaded %dx%d, row1=%v", m.N, m.D, m.Row(1))
+	}
+}
+
+func TestLoadCSVDropLabel(t *testing.T) {
+	path := writeTemp(t, "1,2,7\n3,4,9\n")
+	m, err := loadCSV(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.D != 2 {
+		t.Fatalf("label column not dropped: d=%d", m.D)
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
+		t.Fatal("missing file must error")
+	}
+	if _, err := loadCSV(writeTemp(t, "1,notanumber\n"), false); err == nil {
+		t.Fatal("bad float must error")
+	}
+	if _, err := loadCSV(writeTemp(t, "1,2\n3\n"), false); err == nil {
+		t.Fatal("ragged rows must error")
+	}
+	if _, err := loadCSV(writeTemp(t, "# only comments\n"), false); err == nil {
+		t.Fatal("empty data must error")
+	}
+}
+
+func TestNormalizeSharedTransform(t *testing.T) {
+	a := &pimmine.Matrix{N: 1, D: 2, Data: []float64{0, 10}}
+	b := &pimmine.Matrix{N: 1, D: 2, Data: []float64{5, 20}}
+	normalize(a, b)
+	// Global range is [0,20]; 5 → 0.25, 20 → clamped 1.
+	if a.Data[0] != 0 || a.Data[1] != 0.5 {
+		t.Fatalf("a = %v", a.Data)
+	}
+	if b.Data[0] != 0.25 || b.Data[1] != 1 {
+		t.Fatalf("b = %v", b.Data)
+	}
+	for _, m := range []*pimmine.Matrix{a, b} {
+		for _, v := range m.Data {
+			if v < 0 || v > 1 {
+				t.Fatalf("value %v outside [0,1]", v)
+			}
+		}
+	}
+	// Constant data must not divide by zero.
+	c := &pimmine.Matrix{N: 1, D: 2, Data: []float64{3, 3}}
+	normalize(c)
+}
+
+func TestRunSearchEndToEnd(t *testing.T) {
+	data := writeTemp(t, "0,0,0\n1,1,1\n0.1,0.1,0.1\n0.9,0.9,0.9\n")
+	query := filepath.Join(t.TempDir(), "q.csv")
+	if err := os.WriteFile(query, []byte("0.05,0.05,0.05\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSearch([]string{"-data", data, "-query", query, "-k", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSearch([]string{"-data", data}); err == nil {
+		t.Fatal("missing -query must error")
+	}
+}
+
+func TestRunClusterEndToEnd(t *testing.T) {
+	rows := ""
+	for i := 0; i < 40; i++ {
+		if i%2 == 0 {
+			rows += "0.1,0.1,0.1,0.1\n"
+		} else {
+			rows += "0.9,0.9,0.9,0.9\n"
+		}
+	}
+	data := writeTemp(t, rows)
+	if err := runCluster([]string{"-data", data, "-k", "2", "-algo", "Standard"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCluster([]string{"-data", data, "-k", "2", "-algo", "nope"}); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+}

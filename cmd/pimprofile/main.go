@@ -1,0 +1,138 @@
+// Command pimprofile profiles one mining algorithm on one dataset in the
+// style of §IV: per-function and per-hardware-component breakdown plus the
+// Eq. 2 PIM-oracle estimate.
+//
+// Usage:
+//
+//	pimprofile -task knn  -dataset MSD      -algo FNN    [-k 10]
+//	pimprofile -task kmeans -dataset NUS-WIDE -algo Yinyang [-k 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/knn"
+	"pimmine/internal/profile"
+)
+
+func main() {
+	task := flag.String("task", "knn", "knn or kmeans")
+	dsName := flag.String("dataset", "MSD", "Table 6 dataset name")
+	algo := flag.String("algo", "FNN", "knn: Standard|OST|SM|FNN; kmeans: Standard|Elkan|Drake|Yinyang")
+	k := flag.Int("k", 0, "neighbors (knn, default 10) or clusters (kmeans, default 64)")
+	n := flag.Int("n", 2000, "generated dataset rows")
+	queries := flag.Int("queries", 5, "query batch (knn)")
+	iters := flag.Int("iters", 5, "max iterations (kmeans)")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	prof, err := dataset.ByName(*dsName)
+	if err != nil {
+		fatal(err)
+	}
+	rows := *n
+	if prof.D >= 2048 {
+		rows = *n / 4
+	}
+	ds := dataset.Generate(prof, rows, *seed)
+	cfg := arch.Default()
+	meter := arch.NewMeter()
+
+	switch *task {
+	case "knn":
+		kk := *k
+		if kk == 0 {
+			kk = 10
+		}
+		var s knn.Searcher
+		switch *algo {
+		case "Standard":
+			s = knn.NewStandard(ds.X)
+		case "OST":
+			s, err = knn.NewOST(ds.X, ds.X.D/2)
+		case "SM":
+			s, err = knn.NewSM(ds.X, pickSegs(ds.X.D))
+		case "FNN":
+			s, err = knn.NewFNN(ds.X)
+		default:
+			fatal(fmt.Errorf("unknown knn algorithm %q", *algo))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		qs := ds.Queries(*queries, *seed+100)
+		for qi := 0; qi < qs.N; qi++ {
+			s.Search(qs.Row(qi), kk, meter)
+		}
+	case "kmeans":
+		kk := *k
+		if kk == 0 {
+			kk = 64
+		}
+		var a kmeans.Algorithm
+		switch *algo {
+		case "Standard":
+			a = kmeans.NewLloyd(ds.X)
+		case "Elkan":
+			a = kmeans.NewElkan(ds.X)
+		case "Drake":
+			a = kmeans.NewDrake(ds.X)
+		case "Yinyang":
+			a = kmeans.NewYinyang(ds.X)
+		default:
+			fatal(fmt.Errorf("unknown kmeans algorithm %q", *algo))
+		}
+		initial, err := kmeans.InitCenters(ds.X, kk, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		a.Run(initial, *iters, meter)
+	default:
+		fatal(fmt.Errorf("unknown task %q", *task))
+	}
+
+	r := profile.New(*algo, cfg, meter)
+	fmt.Print(r.String())
+	fmt.Printf("bottleneck: %s (PIM-aware: %v)\n", r.Bottleneck(), profile.PIMAware(r.Bottleneck()))
+	fmt.Printf("PIM-oracle (Eq. 2): %.3f ms (potential %.1fx)\n",
+		r.PIMOracleAuto()/1e6, r.Total.Total()/maxF(r.PIMOracleAuto(), 1))
+}
+
+// pickSegs returns a divisor of d near d/16 for the SM baseline.
+func pickSegs(d int) int {
+	best, gap := 1, float64(d)
+	for c := 1; c <= d; c++ {
+		if d%c != 0 {
+			continue
+		}
+		g := abs(float64(c) - float64(d)/16)
+		if g < gap {
+			best, gap = c, g
+		}
+	}
+	return best
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pimprofile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Image search over binary codes: the Fig 14 workload as an application.
+//
+// Hashes GIST-like descriptors to 512-bit SimHash codes, classifies
+// held-out queries by majority vote among their k nearest codes under
+// Hamming distance, and compares the conventional XOR+popcount scan with
+// the PIM scan (Table 4's HD decomposition — exact, no refinement).
+//
+//	go run ./examples/imagesearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimmine"
+)
+
+const (
+	nImages = 3000
+	bits    = 512
+	k       = 15
+)
+
+func main() {
+	prof, err := pimmine.DatasetByName("GIST")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, nImages, 7)
+	codes := pimmine.SimHash(ds.X, bits, 8)
+	fmt.Printf("indexed %d images as %d-bit SimHash codes (%d clusters)\n",
+		len(codes), bits, prof.Clusters)
+
+	// Hold-out queries from the same mixture, with ground-truth labels
+	// taken from their nearest dataset member's cluster.
+	queriesX := ds.Queries(50, 9)
+	qCodes := pimmine.SimHash(queriesX, bits, 8)
+
+	eng, err := pimmine.NewEngine(pimmine.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Capacity is checked against the paper's 10M-code workload.
+	pimScan, err := pimmine.NewHDPIM(eng, codes, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hostScan := pimmine.NewHDExact(codes)
+
+	mHost, mPIM := pimmine.NewMeter(), pimmine.NewMeter()
+	agree, correct := 0, 0
+	for qi, qc := range qCodes {
+		want := hostScan.Search(qc, k, mHost)
+		got := pimScan.Search(qc, k, mPIM)
+		if want[0].Index == got[0].Index && want[k-1].Dist == got[k-1].Dist {
+			agree++
+		}
+		// Majority label among the k nearest codes.
+		votes := map[int]int{}
+		for _, nb := range got {
+			votes[ds.Labels[nb.Index]]++
+		}
+		best, bestV := -1, -1
+		for l, v := range votes {
+			if v > bestV || (v == bestV && l < best) {
+				best, bestV = l, v
+			}
+		}
+		// Ground truth: the label of the query's exact nearest descriptor.
+		nn := pimmine.NewExactKNN(ds.X).Search(queriesX.Row(qi), 1, pimmine.NewMeter())
+		if best == ds.Labels[nn[0].Index] {
+			correct++
+		}
+	}
+	fmt.Printf("PIM scan agreement with host scan: %d/%d queries\n", agree, len(qCodes))
+	fmt.Printf("kNN classification accuracy via %d-bit codes: %d/%d\n", bits, correct, len(qCodes))
+
+	cfg := pimmine.DefaultConfig()
+	_, tHost := cfg.TimeMeter(mHost)
+	_, tPIM := cfg.TimeMeter(mPIM)
+	fmt.Printf("modeled scan time: host %.3f ms/query, PIM %.3f ms/query → %.1fx\n",
+		tHost.Total()/1e6/float64(len(qCodes)),
+		tPIM.Total()/1e6/float64(len(qCodes)),
+		tHost.Total()/tPIM.Total())
+}

@@ -1,0 +1,65 @@
+// Execution-plan optimization walk-through (§V-D, Figs 12, 15 and 16).
+//
+// Shows how the framework decides which bounds to keep once the PIM-aware
+// bound joins the candidate set: it measures each bound's pruning ratio
+// and transfer cost on a pilot, evaluates Eq. 13 over the 2^L candidate
+// plans, and compares the default replacement plan (FNN-PIM) with the
+// optimized plan (FNN-PIM-optimize).
+//
+//	go run ./examples/planopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimmine"
+)
+
+func main() {
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 2000, 11)
+	pilot := ds.Queries(5, 12)
+
+	fw, err := pimmine.NewFramework(pimmine.DefaultConfig(), pimmine.DefaultAlpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := fw.AccelerateKNN(ds.X, pimmine.KNNOptions{
+		CapacityN: prof.FullN,
+		K:         10,
+		Pilot:     pilot,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("candidate bounds (measured on the pilot):")
+	for _, b := range acc.Plan.Bounds {
+		fmt.Printf("  kept   %-16s transfer=%3d operands/object  prune=%5.1f%%  pim=%v\n",
+			b.Name, b.TransferDims, 100*b.PruneRatio, b.PIM)
+	}
+	fmt.Printf("chosen plan: %s (Eq. 13 cost %.1f M operand-transfers at full N=%d)\n",
+		acc.Plan, acc.Plan.Cost/1e6, prof.FullN)
+
+	// Compare the default plan (PIM bound + retained original bounds)
+	// with the optimized plan on fresh queries.
+	queries := ds.Queries(10, 13)
+	cfg := pimmine.DefaultConfig()
+	run := func(s pimmine.KNNSearcher) float64 {
+		m := pimmine.NewMeter()
+		for qi := 0; qi < queries.N; qi++ {
+			s.Search(queries.Row(qi), 10, m)
+		}
+		_, t := cfg.TimeMeter(m)
+		return t.Total() / 1e6 / float64(queries.N)
+	}
+	base := run(acc.Baseline)
+	def := run(acc.PIM)
+	opt := run(acc.Optimized)
+	fmt.Printf("modeled ms/query: FNN=%.3f  FNN-PIM=%.3f  FNN-PIM-optimize=%.3f\n", base, def, opt)
+	fmt.Printf("plan optimization gain over default PIM plan: %.2fx\n", def/opt)
+}

@@ -1,0 +1,70 @@
+// Quickstart: accelerate kNN classification with the PIM framework.
+//
+// Builds an MSD-like dataset, runs the full §III-B pipeline (profile →
+// Theorem 4 sizing → PIM-aware bound → plan optimization), verifies the
+// accelerated searcher returns exactly the linear scan's neighbors, and
+// reports the modeled speedup.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pimmine"
+)
+
+func main() {
+	// 1. Data: a scaled-down synthetic MSD (d=420); Theorem 4 decisions
+	// still use the full-scale cardinality.
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 2000, 42)
+	queries := ds.Queries(10, 43)
+	fmt.Printf("dataset: %s-like, %d×%d (full-scale N=%d)\n", prof.Name, ds.X.N, ds.X.D, prof.FullN)
+
+	// 2. The framework: Table 5 hardware, α=10⁶.
+	fw, err := pimmine.NewFramework(pimmine.DefaultConfig(), pimmine.DefaultAlpha)
+	if err != nil {
+		log.Fatal(err)
+	}
+	acc, err := fw.AccelerateKNN(ds.X, pimmine.KNNOptions{
+		CapacityN: prof.FullN,
+		K:         10,
+		Pilot:     queries,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bottleneck: %s\n", acc.BaselineProfile.Bottleneck())
+	fmt.Printf("Theorem 4 compressed dimensionality: s=%d\n", acc.S)
+	fmt.Printf("optimized execution plan: %s\n", acc.Plan)
+
+	// 3. Search and verify exactness against the plain linear scan.
+	exact := pimmine.NewExactKNN(ds.X)
+	mExact, mPIM := pimmine.NewMeter(), pimmine.NewMeter()
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		want := exact.Search(q, 10, mExact)
+		got := acc.Optimized.Search(q, 10, mPIM)
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				log.Fatalf("accuracy violated at query %d position %d: %v != %v",
+					qi, i, got[i], want[i])
+			}
+		}
+	}
+	fmt.Println("exactness: all queries return the linear scan's neighbors ✓")
+
+	// 4. Modeled performance under the Table 5 architecture.
+	cfg := pimmine.DefaultConfig()
+	_, tExact := cfg.TimeMeter(mExact)
+	_, tPIM := cfg.TimeMeter(mPIM)
+	fmt.Printf("modeled time: Standard %.3f ms/query, FNN-PIM-optimize %.3f ms/query → %.1fx speedup\n",
+		tExact.Total()/1e6/float64(queries.N),
+		tPIM.Total()/1e6/float64(queries.N),
+		tExact.Total()/tPIM.Total())
+}

@@ -1,0 +1,3 @@
+module pimmine
+
+go 1.22

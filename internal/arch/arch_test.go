@@ -1,0 +1,166 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	for _, mutate := range []func(*Config){
+		func(c *Config) { c.CPUFreqGHz = 0 },
+		func(c *Config) { c.IPC = -1 },
+		func(c *Config) { c.CacheLineBytes = 0 },
+		func(c *Config) { c.MissLatencyNs = 0 },
+		func(c *Config) { c.PrefetchEff = 1 },
+		func(c *Config) { c.OperandBits = 0 },
+		func(c *Config) { c.PIMArrayBytes = 0 },
+		func(c *Config) { c.InternalBusGBs = 0 },
+		func(c *Config) { c.Crossbar.M = 0 },
+	} {
+		cfg := Default()
+		mutate(&cfg)
+		if cfg.Validate() == nil {
+			t.Errorf("Validate accepted bad config %+v", cfg)
+		}
+	}
+}
+
+func TestTable5Defaults(t *testing.T) {
+	cfg := Default()
+	if cfg.CPUFreqGHz != 2.10 {
+		t.Errorf("CPU freq = %v, Table 5 has 2.10 GHz", cfg.CPUFreqGHz)
+	}
+	if cfg.PIMArrayBytes != 2<<30 {
+		t.Errorf("PIM array = %d, Table 5 has 2GB", cfg.PIMArrayBytes)
+	}
+	if cfg.MemArrayBytes != 14<<30 {
+		t.Errorf("memory array = %d, Table 5 has 14GB", cfg.MemArrayBytes)
+	}
+	if cfg.BufferArrayBytes != 16<<20 {
+		t.Errorf("buffer array = %d, Table 5 has 16MB", cfg.BufferArrayBytes)
+	}
+	if cfg.InternalBusGBs != 50 {
+		t.Errorf("bus = %v, Table 5 has 50GB/s", cfg.InternalBusGBs)
+	}
+	if cfg.Crossbar.M != 256 || cfg.Crossbar.CellBits != 2 {
+		t.Errorf("crossbar = %+v, Table 5 has 256×256 2-bit", cfg.Crossbar)
+	}
+	if cfg.Crossbar.ReadLatencyNs != 29.31 || cfg.Crossbar.WriteLatencyNs != 50.88 {
+		t.Errorf("latencies = %v/%v, Table 5 has 29.31/50.88", cfg.Crossbar.ReadLatencyNs, cfg.Crossbar.WriteLatencyNs)
+	}
+}
+
+func TestMeterBasics(t *testing.T) {
+	m := NewMeter()
+	m.C("ED").Ops = 10
+	m.C("LBFNN").SeqBytes = 100
+	m.C("ED").Calls = 2
+	if got := m.Get("ED"); got.Ops != 10 || got.Calls != 2 {
+		t.Fatalf("Get(ED) = %+v", got)
+	}
+	if got := m.Get("missing"); got != (Counters{}) {
+		t.Fatalf("Get(missing) = %+v, want zero", got)
+	}
+	names := m.Functions()
+	if len(names) != 2 || names[0] != "ED" || names[1] != "LBFNN" {
+		t.Fatalf("Functions = %v (must be sorted)", names)
+	}
+	tot := m.Total()
+	if tot.Ops != 10 || tot.SeqBytes != 100 {
+		t.Fatalf("Total = %+v", tot)
+	}
+	other := NewMeter()
+	other.C("ED").Ops = 5
+	m.Merge(other)
+	if m.Get("ED").Ops != 15 {
+		t.Fatal("Merge must accumulate")
+	}
+	m.Reset()
+	if len(m.Functions()) != 0 {
+		t.Fatal("Reset must clear")
+	}
+}
+
+func TestTimeComponents(t *testing.T) {
+	cfg := Default()
+	ct := Counters{
+		Ops:         1000,
+		ALUOps:      10,
+		Branches:    100,
+		SeqBytes:    6400,
+		RandBytes:   640,
+		PIMCycles:   16,
+		PIMBufBytes: 5000,
+		PIMWriteNs:  123,
+	}
+	b := cfg.Time(ct)
+	wantTc := 1000.0 / (2.10 * 2.0)
+	if math.Abs(b.Tc-wantTc) > 1e-9 {
+		t.Errorf("Tc = %v, want %v", b.Tc, wantTc)
+	}
+	wantCache := 6400.0/64*(1-0.5)*80 + 640.0/64*80
+	if math.Abs(b.Tcache-wantCache) > 1e-9 {
+		t.Errorf("Tcache = %v, want %v", b.Tcache, wantCache)
+	}
+	if b.TALU != 10*cfg.ALUStallNs {
+		t.Errorf("TALU = %v", b.TALU)
+	}
+	wantPIM := 16*29.31 + 5000.0/50 + 123
+	if math.Abs(b.TPIM-wantPIM) > 1e-9 {
+		t.Errorf("TPIM = %v, want %v", b.TPIM, wantPIM)
+	}
+	if math.Abs(b.Total()-(b.Host()+b.TPIM)) > 1e-9 {
+		t.Error("Total must be Host+TPIM (the paper sums Quartz and NVSim)")
+	}
+}
+
+// Calibration (DESIGN.md §6): on a plain sequential ED scan — the shape of
+// the Fig 5 workloads — Tcache must account for 62–83% of host time.
+func TestTcacheCalibrationBand(t *testing.T) {
+	cfg := Default()
+	// Per scanned element: 3 ops, 4 bytes sequential, ~1/64 branch.
+	n := int64(1_000_000)
+	ct := Counters{Ops: 3 * n, SeqBytes: 4 * n, Branches: n / 16}
+	b := cfg.Time(ct)
+	frac := b.Tcache / b.Host()
+	if frac < 0.62 || frac > 0.83 {
+		t.Fatalf("Tcache fraction = %.1f%%, outside the paper's 62–83%% band", frac*100)
+	}
+}
+
+func TestBreakdownAddString(t *testing.T) {
+	a := Breakdown{Tc: 1, Tcache: 2, TALU: 3, TBr: 4, TFe: 5, TPIM: 6}
+	b := a.Add(a)
+	if b.Tc != 2 || b.TPIM != 12 {
+		t.Fatalf("Add = %+v", b)
+	}
+	if s := a.String(); s == "" {
+		t.Fatal("String must format something")
+	}
+}
+
+func TestTimeMeter(t *testing.T) {
+	cfg := Default()
+	m := NewMeter()
+	m.C("ED").Ops = 100
+	m.C("Other").Ops = 50
+	per, total := cfg.TimeMeter(m)
+	if len(per) != 2 {
+		t.Fatalf("per-function map has %d entries", len(per))
+	}
+	if math.Abs(total.Tc-(per["ED"].Tc+per["Other"].Tc)) > 1e-9 {
+		t.Fatal("total must sum the per-function breakdowns")
+	}
+}
+
+func TestOperandBytes(t *testing.T) {
+	if got := Default().OperandBytes(); got != 4 {
+		t.Fatalf("OperandBytes = %d, want 4", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package arch models the two hardware platforms of Table 5 of the paper:
+// the conventional architecture (Xeon E5-2620 + DRAM) and the
+// ReRAM-PIM-based architecture (same host, ReRAM main memory with a 2 GB
+// PIM array, 16 MB eDRAM buffer array and a 50 GB/s internal bus).
+//
+// The paper measures its baselines on real hardware and models the PIM
+// side with NVSim + Quartz. We have neither the testbed nor those
+// simulators, so both sides are driven by one analytic model: algorithms
+// record their activity (arithmetic ops, memory traffic, branches, PIM
+// cycles, buffer traffic) into Meters, and Config.Time converts counters
+// into modeled time using Eq. 1's five host components
+// (Tc, Tcache, TALU, TBr, TFe) plus a PIM component. Following §VI-A, the
+// total time of a PIM-optimized algorithm is the *sum* of the host time
+// (Quartz's role) and the PIM time (NVSim's role).
+//
+// The host constants are calibrated so that Tcache accounts for 62–83% of
+// the Fig 5 workloads' time, matching the paper's profiling; see
+// DESIGN.md §6.
+package arch
+
+import (
+	"fmt"
+
+	"pimmine/internal/crossbar"
+)
+
+// Config holds every hardware parameter of the model. The zero value is
+// unusable; start from Default.
+type Config struct {
+	// ---- Host processor (Table 5: Broadwell 2.10 GHz Intel Xeon E5-2620).
+
+	// CPUFreqGHz is the core clock.
+	CPUFreqGHz float64
+	// IPC is the effective scalar instructions per cycle sustained on
+	// this workload class.
+	IPC float64
+	// CacheLineBytes is the transfer granularity between DRAM and caches.
+	CacheLineBytes int
+	// MissLatencyNs is the full stall of an unhidden last-level miss.
+	MissLatencyNs float64
+	// PrefetchEff is the fraction of sequential-scan miss latency hidden
+	// by hardware prefetchers (0 = none, 1 = all hidden).
+	PrefetchEff float64
+	// ALUStallNs is the added stall of one long-latency ALU op (div/sqrt).
+	ALUStallNs float64
+	// BranchMissRate is the fraction of recorded data-dependent branches
+	// that mispredict.
+	BranchMissRate float64
+	// BranchMissPenaltyNs is the pipeline refill cost per misprediction.
+	BranchMissPenaltyNs float64
+	// FrontEndFrac models TFe as a fixed fraction of Tc.
+	FrontEndFrac float64
+	// OperandBits is the modeled width of one data operand (the paper
+	// keeps 32-bit integers/floats end to end).
+	OperandBits int
+
+	// ---- ReRAM-based memory (Table 5).
+
+	// MemArrayBytes is the conventional-storage portion of ReRAM memory.
+	MemArrayBytes int64
+	// BufferArrayBytes is the eDRAM buffer that decouples PIM from the CPU.
+	BufferArrayBytes int64
+	// PIMArrayBytes is the crossbar storage available for PIM operands.
+	PIMArrayBytes int64
+	// InternalBusGBs is the in-memory bus bandwidth (GB/s) used when PIM
+	// results move into the buffer array.
+	InternalBusGBs float64
+	// Crossbar is the per-tile geometry (256×256 2-bit cells by default).
+	Crossbar crossbar.Spec
+}
+
+// Default returns the paper's Table 5 configuration with host constants
+// calibrated per DESIGN.md §6.
+func Default() Config {
+	return Config{
+		CPUFreqGHz:          2.10,
+		IPC:                 2.0,
+		CacheLineBytes:      64,
+		MissLatencyNs:       80,
+		PrefetchEff:         0.5,
+		ALUStallNs:          8,
+		BranchMissRate:      0.05,
+		BranchMissPenaltyNs: 7,
+		FrontEndFrac:        0.20,
+		OperandBits:         32,
+
+		MemArrayBytes:    14 << 30,
+		BufferArrayBytes: 16 << 20,
+		PIMArrayBytes:    2 << 30,
+		InternalBusGBs:   50,
+		Crossbar: crossbar.Spec{
+			M:              256,
+			CellBits:       2,
+			DACBits:        2,
+			ReadLatencyNs:  29.31,
+			WriteLatencyNs: 50.88,
+		},
+	}
+}
+
+// Validate checks the configuration for usability.
+func (c Config) Validate() error {
+	switch {
+	case c.CPUFreqGHz <= 0 || c.IPC <= 0:
+		return fmt.Errorf("arch: non-positive CPU rate (freq=%v, ipc=%v)", c.CPUFreqGHz, c.IPC)
+	case c.CacheLineBytes <= 0:
+		return fmt.Errorf("arch: non-positive cache line %d", c.CacheLineBytes)
+	case c.MissLatencyNs <= 0:
+		return fmt.Errorf("arch: non-positive miss latency %v", c.MissLatencyNs)
+	case c.PrefetchEff < 0 || c.PrefetchEff >= 1:
+		return fmt.Errorf("arch: prefetch efficiency %v outside [0,1)", c.PrefetchEff)
+	case c.OperandBits <= 0 || c.OperandBits > 64:
+		return fmt.Errorf("arch: operand width %d outside [1,64]", c.OperandBits)
+	case c.PIMArrayBytes <= 0 || c.InternalBusGBs <= 0:
+		return fmt.Errorf("arch: non-positive PIM array/bus (%d bytes, %v GB/s)", c.PIMArrayBytes, c.InternalBusGBs)
+	}
+	return c.Crossbar.Validate()
+}
+
+// NumCrossbars returns C, the number of crossbars the PIM array holds:
+// PIMArrayBytes·8 / (m²·h). With Table 5 defaults this is 131072, the
+// figure quoted in §VI-A.
+func (c Config) NumCrossbars() int {
+	bitsPerXbar := int64(c.Crossbar.M) * int64(c.Crossbar.M) * int64(c.Crossbar.CellBits)
+	return int(c.PIMArrayBytes * 8 / bitsPerXbar)
+}
+
+// OperandBytes returns the modeled size of one operand in bytes.
+func (c Config) OperandBytes() int64 { return int64(c.OperandBits) / 8 }

@@ -1,0 +1,83 @@
+package arch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEnergyComponents(t *testing.T) {
+	cfg := Default()
+	em := DefaultEnergy()
+	ct := Counters{
+		Ops:         1_000_000,
+		ALUOps:      1000,
+		SeqBytes:    4_000_000,
+		RandBytes:   64,
+		PIMCycles:   16,
+		PIMBufBytes: 8000,
+		PIMWriteNs:  50.88 * 10, // 10 row-writes
+	}
+	e := cfg.Energy(em, ct)
+	wantCPU := float64(1_001_000) * 20 * 1e-6
+	if math.Abs(e.CPU-wantCPU) > 1e-9 {
+		t.Errorf("CPU energy = %v µJ, want %v", e.CPU, wantCPU)
+	}
+	wantMem := float64(4_000_064) * 160 * 1e-6
+	if math.Abs(e.Memory-wantMem) > 1e-9 {
+		t.Errorf("memory energy = %v µJ, want %v", e.Memory, wantMem)
+	}
+	wantPIM := (16*400 + 8000*8) * 1e-6
+	if math.Abs(e.PIM-wantPIM) > 1e-9 {
+		t.Errorf("PIM energy = %v µJ, want %v", e.PIM, wantPIM)
+	}
+	wantProg := 10 * float64(256*2) * 0.1 * 1e-6
+	if math.Abs(e.Program-wantProg) > 1e-9 {
+		t.Errorf("program energy = %v µJ, want %v", e.Program, wantProg)
+	}
+	if math.Abs(e.Total()-(e.CPU+e.Memory+e.PIM+e.Program)) > 1e-12 {
+		t.Error("Total must sum components")
+	}
+}
+
+func TestEnergyAdd(t *testing.T) {
+	a := Energy{CPU: 1, Memory: 2, PIM: 3, Program: 4}
+	b := a.Add(a)
+	if b.CPU != 2 || b.Program != 8 {
+		t.Fatalf("Add = %+v", b)
+	}
+}
+
+// The energy story of the paper: moving d operands to the CPU costs far
+// more than the PIM-side work for the same logical distance computation.
+func TestEnergyPIMAdvantage(t *testing.T) {
+	cfg := Default()
+	em := DefaultEnergy()
+	n, d := int64(100_000), int64(420)
+	// Conventional: full vectors move to the CPU.
+	conv := cfg.Energy(em, Counters{Ops: 3 * n * d, SeqBytes: 4 * n * d})
+	// PIM: one batch pass + 3 operands per object for G.
+	pim := cfg.Energy(em, Counters{
+		Ops:         10 * n,
+		SeqBytes:    12 * n,
+		PIMCycles:   16,
+		PIMBufBytes: 8 * n,
+	})
+	if pim.Total() >= conv.Total()/5 {
+		t.Fatalf("PIM energy %v µJ not clearly below conventional %v µJ", pim.Total(), conv.Total())
+	}
+}
+
+func TestEnergyMeter(t *testing.T) {
+	cfg := Default()
+	em := DefaultEnergy()
+	m := NewMeter()
+	m.C("ED").Ops = 100
+	m.C("Other").SeqBytes = 64
+	per, total := cfg.EnergyMeter(em, m)
+	if len(per) != 2 {
+		t.Fatalf("per-function energies: %d entries", len(per))
+	}
+	if math.Abs(total.Total()-(per["ED"].Total()+per["Other"].Total())) > 1e-12 {
+		t.Fatal("total must sum per-function energies")
+	}
+}

@@ -1,0 +1,111 @@
+package arch
+
+import "sort"
+
+// Counters accumulates the modeled activity of one function (in the §IV-B
+// sense: ED, a bound function, bound maintenance, or "Other"). Algorithms
+// add aggregated per-scan totals, so recording is cheap.
+type Counters struct {
+	// Ops counts simple arithmetic/logic operations (add, sub, mul, cmp).
+	Ops int64
+	// ALUOps counts long-latency operations (division, sqrt).
+	ALUOps int64
+	// Branches counts data-dependent branches (bound checks, heap pushes).
+	Branches int64
+	// SeqBytes counts bytes streamed from memory in sequential scans.
+	SeqBytes int64
+	// RandBytes counts bytes fetched with random access (candidate
+	// refinement after filtering, center lookups).
+	RandBytes int64
+	// PIMCycles counts crossbar compute cycles on the critical path
+	// (parallel crossbars contribute one set of cycles per pass).
+	PIMCycles int64
+	// PIMBufBytes counts PIM results moved into the buffer array over the
+	// internal bus.
+	PIMBufBytes int64
+	// PIMWriteNs accumulates crossbar programming time (offline stage).
+	PIMWriteNs float64
+	// Calls counts invocations, for reporting.
+	Calls int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Ops += other.Ops
+	c.ALUOps += other.ALUOps
+	c.Branches += other.Branches
+	c.SeqBytes += other.SeqBytes
+	c.RandBytes += other.RandBytes
+	c.PIMCycles += other.PIMCycles
+	c.PIMBufBytes += other.PIMBufBytes
+	c.PIMWriteNs += other.PIMWriteNs
+	c.Calls += other.Calls
+}
+
+// Meter groups counters by function name, giving §IV-B's per-function
+// breakdown for free. Meters are not safe for concurrent use; every
+// algorithm run owns its meter.
+type Meter struct {
+	funcs map[string]*Counters
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter { return &Meter{funcs: make(map[string]*Counters)} }
+
+// C returns (creating if needed) the counters for the named function.
+func (m *Meter) C(name string) *Counters {
+	c, ok := m.funcs[name]
+	if !ok {
+		c = &Counters{}
+		m.funcs[name] = c
+	}
+	return c
+}
+
+// Functions returns the recorded function names, sorted for determinism.
+func (m *Meter) Functions() []string {
+	names := make([]string, 0, len(m.funcs))
+	for name := range m.funcs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the counters for name, or a zero value if never recorded.
+func (m *Meter) Get(name string) Counters {
+	if c, ok := m.funcs[name]; ok {
+		return *c
+	}
+	return Counters{}
+}
+
+// Total sums all functions' counters.
+func (m *Meter) Total() Counters {
+	var t Counters
+	for _, c := range m.funcs {
+		t.Add(*c)
+	}
+	return t
+}
+
+// Merge adds every function of other into m.
+func (m *Meter) Merge(other *Meter) {
+	for name, c := range other.funcs {
+		m.C(name).Add(*c)
+	}
+}
+
+// Reset drops all recorded activity.
+func (m *Meter) Reset() { m.funcs = make(map[string]*Counters) }
+
+// Conventional well-known function names shared across packages, so the
+// profiler and the plan optimizer can find them.
+const (
+	FuncED     = "ED"
+	FuncHD     = "HD"
+	FuncCS     = "CS"
+	FuncPCC    = "PCC"
+	FuncOther  = "Other"
+	FuncUpdate = "bound-update"
+)

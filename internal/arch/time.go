@@ -1,0 +1,77 @@
+package arch
+
+import "fmt"
+
+// Breakdown is Eq. 1's decomposition of modeled execution time, extended
+// with the PIM component. All values are nanoseconds.
+type Breakdown struct {
+	Tc     float64 // computation time
+	Tcache float64 // memory stall time (cache/TLB misses)
+	TALU   float64 // long-latency ALU stalls
+	TBr    float64 // branch misprediction stalls
+	TFe    float64 // front-end (fetch/decode) stalls
+	TPIM   float64 // in-memory compute + buffering (NVSim's portion)
+}
+
+// Host returns the host-side total Tc+Tcache+TALU+TBr+TFe.
+func (b Breakdown) Host() float64 { return b.Tc + b.Tcache + b.TALU + b.TBr + b.TFe }
+
+// Total returns host time plus PIM time — the paper sums the Quartz (host)
+// and NVSim (PIM) estimates (§VI-A).
+func (b Breakdown) Total() float64 { return b.Host() + b.TPIM }
+
+// Add returns the component-wise sum of two breakdowns.
+func (b Breakdown) Add(o Breakdown) Breakdown {
+	return Breakdown{
+		Tc:     b.Tc + o.Tc,
+		Tcache: b.Tcache + o.Tcache,
+		TALU:   b.TALU + o.TALU,
+		TBr:    b.TBr + o.TBr,
+		TFe:    b.TFe + o.TFe,
+		TPIM:   b.TPIM + o.TPIM,
+	}
+}
+
+// String formats the breakdown in ms for reports.
+func (b Breakdown) String() string {
+	return fmt.Sprintf("total=%.3fms (Tc=%.3f Tcache=%.3f TALU=%.3f TBr=%.3f TFe=%.3f TPIM=%.3f)",
+		b.Total()/1e6, b.Tc/1e6, b.Tcache/1e6, b.TALU/1e6, b.TBr/1e6, b.TFe/1e6, b.TPIM/1e6)
+}
+
+// Time converts activity counters to modeled time under this hardware
+// configuration:
+//
+//	Tc     = Ops / (freq·IPC)
+//	Tcache = seqLines·(1−prefetchEff)·missLat + randLines·missLat
+//	TALU   = ALUOps·stall
+//	TBr    = Branches·missRate·penalty
+//	TFe    = frontEndFrac·Tc
+//	TPIM   = PIMCycles·readLat + PIMBufBytes/bus + PIMWriteNs
+func (c Config) Time(ct Counters) Breakdown {
+	opsPerNs := c.CPUFreqGHz * c.IPC
+	var b Breakdown
+	b.Tc = float64(ct.Ops) / opsPerNs
+	line := float64(c.CacheLineBytes)
+	b.Tcache = float64(ct.SeqBytes)/line*(1-c.PrefetchEff)*c.MissLatencyNs +
+		float64(ct.RandBytes)/line*c.MissLatencyNs
+	b.TALU = float64(ct.ALUOps) * c.ALUStallNs
+	b.TBr = float64(ct.Branches) * c.BranchMissRate * c.BranchMissPenaltyNs
+	b.TFe = c.FrontEndFrac * b.Tc
+	busBytesPerNs := c.InternalBusGBs // 1 GB/s == 1 byte/ns (decimal GB)
+	b.TPIM = float64(ct.PIMCycles)*c.Crossbar.ReadLatencyNs +
+		float64(ct.PIMBufBytes)/busBytesPerNs +
+		ct.PIMWriteNs
+	return b
+}
+
+// TimeMeter returns the per-function breakdowns and the overall total for
+// a whole meter.
+func (c Config) TimeMeter(m *Meter) (perFunc map[string]Breakdown, total Breakdown) {
+	perFunc = make(map[string]Breakdown, len(m.Functions()))
+	for _, name := range m.Functions() {
+		b := c.Time(m.Get(name))
+		perFunc[name] = b
+		total = total.Add(b)
+	}
+	return perFunc, total
+}

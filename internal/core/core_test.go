@@ -1,0 +1,120 @@
+package core
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/vec"
+)
+
+func testData(t *testing.T, n, d int) (*vec.Matrix, *vec.Matrix) {
+	t.Helper()
+	prof := dataset.Profile{Name: "t", FullN: n, D: d, Clusters: 8, Correlation: 0.85, Spread: 0.1}
+	ds := dataset.Generate(prof, n, 17)
+	return ds.X, ds.Queries(3, 18)
+}
+
+func TestDefaultFramework(t *testing.T) {
+	f, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Quant.Alpha != 1e6 {
+		t.Fatalf("alpha = %v, want 1e6", f.Quant.Alpha)
+	}
+}
+
+func TestNewRejectsBadInputs(t *testing.T) {
+	cfg := arch.Default()
+	cfg.CPUFreqGHz = 0
+	if _, err := New(cfg, 1e6, 0); err == nil {
+		t.Fatal("invalid config must be rejected")
+	}
+	if _, err := New(arch.Default(), 0.1, 0); err == nil {
+		t.Fatal("invalid alpha must be rejected")
+	}
+}
+
+func TestAccelerateKNNEndToEnd(t *testing.T) {
+	f, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, pilot := testData(t, 400, 128)
+	acc, err := f.AccelerateKNN(data, KNNOptions{Pilot: pilot, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.S <= 0 {
+		t.Fatalf("S = %d", acc.S)
+	}
+	if acc.BaselineProfile == nil || acc.OracleNs <= 0 {
+		t.Fatalf("profile missing or oracle %v", acc.OracleNs)
+	}
+	if acc.OracleNs >= acc.BaselineProfile.Total.Total() {
+		t.Fatal("oracle must be below baseline total")
+	}
+	if len(acc.Plan.Bounds) == 0 || !acc.Plan.Bounds[0].PIM {
+		t.Fatalf("plan %v must lead with the PIM bound", acc.Plan)
+	}
+	// All three variants agree with the exact scan on a fresh query.
+	q := pilot.Row(0)
+	want := acc.Baseline.Search(q, 10, arch.NewMeter())
+	for _, s := range []interface {
+		Search(qv []float64, k int, m *arch.Meter) []vec.Neighbor
+		Name() string
+	}{acc.PIM, acc.Optimized} {
+		got := s.Search(q, 10, arch.NewMeter())
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("%s: neighbor %d dist %v, want %v", s.Name(), i, got[i].Dist, want[i].Dist)
+			}
+		}
+	}
+}
+
+func TestAccelerateKNNNeedsPilot(t *testing.T) {
+	f, _ := Default()
+	data, _ := testData(t, 50, 16)
+	if _, err := f.AccelerateKNN(data, KNNOptions{}); err == nil {
+		t.Fatal("missing pilot must be rejected")
+	}
+}
+
+func TestAccelerateKMeansEndToEnd(t *testing.T) {
+	f, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := testData(t, 300, 32)
+	for _, v := range []KMeansVariant{VariantStandard, VariantElkan, VariantDrake, VariantYinyang} {
+		acc, err := f.AccelerateKMeans(data, v, KMeansOptions{K: 8, MaxIters: 15, Seed: 4})
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		initial, err := kmeans.InitCenters(data, 8, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := acc.Baseline.Run(initial, 15, arch.NewMeter())
+		got := acc.PIM.Run(initial, 15, arch.NewMeter())
+		for i := range ref.Assign {
+			if got.Assign[i] != ref.Assign[i] {
+				t.Fatalf("%s-PIM diverges from %s at point %d", v, v, i)
+			}
+		}
+		if acc.OracleNs <= 0 || acc.OracleNs >= acc.BaselineProfile.Total.Total() {
+			t.Fatalf("%s: oracle %v outside (0, total)", v, acc.OracleNs)
+		}
+	}
+}
+
+func TestAccelerateKMeansUnknownVariant(t *testing.T) {
+	f, _ := Default()
+	data, _ := testData(t, 50, 16)
+	if _, err := f.AccelerateKMeans(data, "nope", KMeansOptions{}); err == nil {
+		t.Fatal("unknown variant must be rejected")
+	}
+}

@@ -1,0 +1,128 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"pimmine/internal/vec"
+)
+
+func TestProfilesMatchTable6(t *testing.T) {
+	// Table 6's (N, d) pairs must be preserved exactly.
+	want := map[string][2]int{
+		"ImageNet": {2340173, 150},
+		"MSD":      {992272, 420},
+		"GIST":     {1000000, 960},
+		"Trevi":    {100000, 4096},
+		"Year":     {515345, 90},
+		"Notre":    {332668, 128},
+		"NUS-WIDE": {269648, 500},
+		"Enron":    {100000, 1369},
+	}
+	if len(Profiles) != len(want) {
+		t.Fatalf("%d profiles, want %d", len(Profiles), len(want))
+	}
+	for _, p := range Profiles {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("unexpected profile %q", p.Name)
+			continue
+		}
+		if p.FullN != w[0] || p.D != w[1] {
+			t.Errorf("%s: (N,d) = (%d,%d), Table 6 has (%d,%d)", p.Name, p.FullN, p.D, w[0], w[1])
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("MSD")
+	if err != nil || p.D != 420 {
+		t.Fatalf("ByName(MSD) = %+v, %v", p, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name must error")
+	}
+}
+
+func TestGenerateNormalizedAndDeterministic(t *testing.T) {
+	p, _ := ByName("Year")
+	ds1 := Generate(p, 200, 5)
+	ds2 := Generate(p, 200, 5)
+	if !vec.Equal(ds1.X.Data, ds2.X.Data, 0) {
+		t.Fatal("generation must be deterministic per seed")
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ds1.X.Data {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	if lo < 0 || hi > 1 {
+		t.Fatalf("values outside [0,1]: [%v, %v]", lo, hi)
+	}
+	if lo != 0 || hi != 1 {
+		t.Fatalf("min-max normalization must hit both ends, got [%v, %v]", lo, hi)
+	}
+	if len(ds1.Labels) != 200 {
+		t.Fatalf("labels = %d", len(ds1.Labels))
+	}
+	for _, l := range ds1.Labels {
+		if l < 0 || l >= p.Clusters {
+			t.Fatalf("label %d outside [0,%d)", l, p.Clusters)
+		}
+	}
+}
+
+func TestQueriesDifferFromData(t *testing.T) {
+	p, _ := ByName("Notre")
+	ds := Generate(p, 100, 5)
+	q := ds.Queries(10, 5)
+	if q.N != 10 || q.D != p.D {
+		t.Fatalf("queries shape %dx%d", q.N, q.D)
+	}
+	if vec.Equal(q.Row(0), ds.X.Row(0), 1e-12) {
+		t.Fatal("queries must not replicate dataset rows")
+	}
+}
+
+// The correlation knob must control segment-statistic informativeness:
+// high-correlation (MSD-like) data has much higher variance across
+// segment means than white-noise (GIST-like) data relative to its total
+// variance — this is what drives the pruning-power differences in §VI-C.
+func TestCorrelationControlsSegmentStructure(t *testing.T) {
+	segRatio := func(corr float64) float64 {
+		p := Profile{Name: "x", FullN: 1000, D: 256, Clusters: 4, Correlation: corr, Spread: 0.2}
+		ds := Generate(p, 100, 11)
+		var between, within float64
+		for i := 0; i < ds.X.N; i++ {
+			mu, sigma, err := vec.SegmentStats(ds.X.Row(i), 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			between += vec.Std(mu)
+			within += vec.Mean(sigma)
+		}
+		return between / within
+	}
+	smooth := segRatio(0.92)
+	noisy := segRatio(0.02)
+	if smooth <= 1.5*noisy {
+		t.Fatalf("correlated data's segment structure (%.3f) must dominate white noise's (%.3f)", smooth, noisy)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	p, _ := ByName("Trevi")
+	// 100000 × 4096 × 4B ≈ 1.56 GB (Table 6 lists 3.0GB for float64 /
+	// original storage; we model 32-bit operands).
+	if got := p.SizeBytes(); got != int64(100000)*4096*4 {
+		t.Fatalf("SizeBytes = %d", got)
+	}
+}
+
+func TestGeneratePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Generate(n<=0) must panic")
+		}
+	}()
+	Generate(Profiles[0], 0, 1)
+}

@@ -1,0 +1,172 @@
+// Package dbscan implements density-based clustering (Ester et al., KDD
+// 1996) — §II-C of the paper lists "partitioning/density-based
+// clustering" among the similarity-based mining tasks its framework
+// targets. DBSCAN's inner loop is the ε-range query, a pure similarity
+// computation, so the PIM variant prunes every candidate with LB_PIM-ED
+// (Theorem 1) before the exact distance — the same filter-and-refine
+// recipe as kNN, and like it, exact: host and PIM variants produce
+// identical clusterings (integration-tested).
+package dbscan
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+const operandBytes = 4
+
+// Label values in Result.Labels.
+const (
+	// Noise marks points in no cluster.
+	Noise = -1
+)
+
+// Result is one clustering run's outcome.
+type Result struct {
+	// Labels holds a cluster id ≥ 0 per point, or Noise.
+	Labels []int
+	// Clusters is the number of clusters found.
+	Clusters int
+	// CorePoints counts points with ≥ minPts ε-neighbors.
+	CorePoints int
+}
+
+// Clusterer runs DBSCAN over a dataset. With a non-nil PIM index it runs
+// the PIM-optimized range queries.
+type Clusterer struct {
+	Data *vec.Matrix
+
+	eng  *pim.Engine
+	ix   *pimbound.EDIndex
+	pay  *pim.Payload
+	dots []int64
+}
+
+// New builds the host-only clusterer.
+func New(data *vec.Matrix) *Clusterer { return &Clusterer{Data: data} }
+
+// NewPIM quantizes the dataset and programs it onto the array.
+func NewPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int) (*Clusterer, error) {
+	if !eng.Model().Fits(capacityN, data.D, 1) {
+		return nil, fmt.Errorf("dbscan: %d-dim floors for N=%d exceed PIM capacity", data.D, capacityN)
+	}
+	ix := pimbound.BuildED(data, q)
+	pay, err := eng.Program("dbscan/points", data.N, data.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return &Clusterer{Data: data, eng: eng, ix: ix, pay: pay}, nil
+}
+
+// Name reports which path the clusterer runs.
+func (c *Clusterer) Name() string {
+	if c.ix != nil {
+		return "DBSCAN-PIM"
+	}
+	return "DBSCAN"
+}
+
+// Run clusters with radius eps (true Euclidean) and density threshold
+// minPts (the point itself counts, per the original formulation).
+func (c *Clusterer) Run(eps float64, minPts int, meter *arch.Meter) (*Result, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("dbscan: eps must be positive, got %v", eps)
+	}
+	if minPts < 1 {
+		return nil, fmt.Errorf("dbscan: minPts must be >= 1, got %d", minPts)
+	}
+	n := c.Data.N
+	eps2 := eps * eps
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = Noise
+	}
+	visited := make([]bool, n)
+	res := &Result{Labels: labels}
+	var exact, consults int64
+
+	// rangeQuery returns the indices within eps of point i (including i).
+	neighbors := make([]int, 0, 64)
+	rangeQuery := func(i int) []int {
+		neighbors = neighbors[:0]
+		var qf pimbound.EDQuery
+		if c.ix != nil {
+			qf = c.ix.Query(c.Data.Row(i))
+			var err error
+			c.dots, err = c.eng.QueryAll(meter, "LBPIM-ED", c.pay, qf.Floor, c.dots)
+			if err != nil {
+				panic(fmt.Sprintf("dbscan: PIM pass: %v", err))
+			}
+		}
+		p := c.Data.Row(i)
+		for j := 0; j < n; j++ {
+			if c.ix != nil {
+				consults++
+				if c.ix.LB(j, qf, c.dots[j]) > eps2 {
+					continue
+				}
+			}
+			exact++
+			if measure.SqEuclidean(p, c.Data.Row(j)) <= eps2 {
+				neighbors = append(neighbors, j)
+			}
+		}
+		return neighbors
+	}
+
+	cluster := 0
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		seed := rangeQuery(i)
+		if len(seed) < minPts {
+			continue // noise (may be claimed as a border point later)
+		}
+		res.CorePoints++
+		labels[i] = cluster
+		// Expand the cluster over the density-connected region.
+		queue := append([]int(nil), seed...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == Noise {
+				labels[j] = cluster // border point
+			}
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			labels[j] = cluster
+			nb := rangeQuery(j)
+			if len(nb) >= minPts {
+				res.CorePoints++
+				queue = append(queue, nb...)
+			}
+		}
+		cluster++
+	}
+	res.Clusters = cluster
+
+	d := int64(c.Data.D)
+	ed := meter.C(arch.FuncED)
+	ed.Ops += exact * 3 * d
+	ed.SeqBytes += exact * d * operandBytes
+	ed.Branches += exact
+	ed.Calls += exact
+	if consults > 0 {
+		cc := meter.C("LBPIM-ED")
+		cc.Ops += consults * 8
+		cc.SeqBytes += consults * 2 * operandBytes
+		cc.Branches += consults
+		cc.Calls += consults
+	}
+	meter.C(arch.FuncOther).Ops += int64(n)
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package dbscan
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/eval"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// clusteredData returns tight, well-separated clusters plus ground-truth
+// labels and a few isolated noise points.
+func clusteredData(t *testing.T, n int) (*vec.Matrix, []int, []int) {
+	t.Helper()
+	prof := dataset.Profile{Name: "t", FullN: n, D: 16, Clusters: 4, Correlation: 0.7, Spread: 0.03}
+	ds := dataset.Generate(prof, n, 88)
+	noise := []int{n / 7, n / 3, n - 5}
+	for _, i := range noise {
+		row := ds.X.Row(i)
+		for j := range row {
+			if j%2 == 0 {
+				row[j] = 1
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+	return ds.X, ds.Labels, noise
+}
+
+func newPIMClusterer(t *testing.T, data *vec.Matrix) *Clusterer {
+	t.Helper()
+	eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quant.New(quant.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewPIM(eng, data, q, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDBSCANRecoversClustersAndNoise(t *testing.T) {
+	data, truth, noise := clusteredData(t, 400)
+	res, err := New(data).Run(0.25, 4, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 4 {
+		t.Fatalf("found %d clusters, want 4", res.Clusters)
+	}
+	for _, i := range noise {
+		if res.Labels[i] != Noise {
+			t.Errorf("planted noise point %d labeled %d", i, res.Labels[i])
+		}
+	}
+	// Agreement with generating labels (excluding planted noise).
+	var a, b []int
+	for i := range res.Labels {
+		if res.Labels[i] != Noise {
+			a = append(a, res.Labels[i])
+			b = append(b, truth[i])
+		}
+	}
+	ari, err := eval.AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.95 {
+		t.Fatalf("ARI vs generating labels = %.3f, want ≥ 0.95", ari)
+	}
+}
+
+func TestDBSCANPIMIdentical(t *testing.T) {
+	data, _, _ := clusteredData(t, 300)
+	mHost, mPIM := arch.NewMeter(), arch.NewMeter()
+	want, err := New(data).Run(0.25, 4, mHost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := newPIMClusterer(t, data).Run(0.25, 4, mPIM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Clusters != want.Clusters || got.CorePoints != want.CorePoints {
+		t.Fatalf("PIM summary %+v, host %+v", got, want)
+	}
+	for i := range want.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("labels diverge at point %d: %d vs %d", i, got.Labels[i], want.Labels[i])
+		}
+	}
+	if mPIM.Get(arch.FuncED).Calls >= mHost.Get(arch.FuncED).Calls {
+		t.Fatalf("PIM DBSCAN computed %d exact distances vs host %d — no pruning",
+			mPIM.Get(arch.FuncED).Calls, mHost.Get(arch.FuncED).Calls)
+	}
+}
+
+func TestDBSCANDegenerateParams(t *testing.T) {
+	data, _, _ := clusteredData(t, 60)
+	c := New(data)
+	if _, err := c.Run(0, 4, arch.NewMeter()); err == nil {
+		t.Fatal("eps=0 must be rejected")
+	}
+	if _, err := c.Run(0.2, 0, arch.NewMeter()); err == nil {
+		t.Fatal("minPts=0 must be rejected")
+	}
+	// Huge eps: one cluster, everything core.
+	res, err := c.Run(100, 1, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 || res.CorePoints != data.N {
+		t.Fatalf("huge eps: %+v", res)
+	}
+	// Tiny eps with high minPts: all noise.
+	res, err = c.Run(1e-9, 5, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 0 {
+		t.Fatalf("tiny eps found %d clusters", res.Clusters)
+	}
+}

@@ -1,0 +1,94 @@
+// Package eval provides result-quality metrics: recall@k for kNN answers
+// and the adjusted Rand index for clusterings. The paper's central claim
+// is that its PIM usage preserves exactness where naive in-PIM
+// approximation (GraphR-style fixed-point computation, §II-A) does not;
+// these metrics quantify that comparison (see the ext-approx experiment).
+package eval
+
+import (
+	"fmt"
+
+	"pimmine/internal/vec"
+)
+
+// RecallAtK returns |got ∩ truth| / |truth| over neighbor index sets.
+// Ties in the underlying distances mean different exact answers can be
+// equally correct, so callers should pass truth from the same
+// deterministic tie-breaking scan the library uses.
+func RecallAtK(got, truth []vec.Neighbor) (float64, error) {
+	if len(truth) == 0 {
+		return 0, fmt.Errorf("eval: empty ground truth")
+	}
+	set := make(map[int]bool, len(truth))
+	for _, n := range truth {
+		set[n.Index] = true
+	}
+	hit := 0
+	for _, n := range got {
+		if set[n.Index] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth)), nil
+}
+
+// MeanRecall averages RecallAtK over query batches.
+func MeanRecall(got, truth [][]vec.Neighbor) (float64, error) {
+	if len(got) != len(truth) {
+		return 0, fmt.Errorf("eval: %d result sets vs %d truth sets", len(got), len(truth))
+	}
+	if len(got) == 0 {
+		return 0, fmt.Errorf("eval: no queries")
+	}
+	var sum float64
+	for i := range got {
+		r, err := RecallAtK(got[i], truth[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += r
+	}
+	return sum / float64(len(got)), nil
+}
+
+// AdjustedRandIndex compares two clusterings of the same points: 1 for
+// identical partitions (up to label permutation), ~0 for independent
+// ones. Implements the standard Hubert–Arabie formulation.
+func AdjustedRandIndex(a, b []int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("eval: ARI needs equal lengths (%d vs %d)", len(a), len(b))
+	}
+	n := len(a)
+	if n == 0 {
+		return 0, fmt.Errorf("eval: ARI needs at least one point")
+	}
+	// Contingency table.
+	table := map[[2]int]int{}
+	rowSum := map[int]int{}
+	colSum := map[int]int{}
+	for i := 0; i < n; i++ {
+		table[[2]int{a[i], b[i]}]++
+		rowSum[a[i]]++
+		colSum[b[i]]++
+	}
+	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
+	var sumTable, sumRows, sumCols float64
+	for _, v := range table {
+		sumTable += choose2(v)
+	}
+	for _, v := range rowSum {
+		sumRows += choose2(v)
+	}
+	for _, v := range colSum {
+		sumCols += choose2(v)
+	}
+	total := choose2(n)
+	expected := sumRows * sumCols / total
+	maxIndex := (sumRows + sumCols) / 2
+	if maxIndex == expected {
+		// Degenerate partitions (e.g. all points in one cluster on both
+		// sides): identical by convention.
+		return 1, nil
+	}
+	return (sumTable - expected) / (maxIndex - expected), nil
+}

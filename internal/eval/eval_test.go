@@ -1,0 +1,89 @@
+package eval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/vec"
+)
+
+func nb(idx ...int) []vec.Neighbor {
+	out := make([]vec.Neighbor, len(idx))
+	for i, x := range idx {
+		out[i] = vec.Neighbor{Index: x}
+	}
+	return out
+}
+
+func TestRecallAtK(t *testing.T) {
+	r, err := RecallAtK(nb(1, 2, 3), nb(1, 2, 3))
+	if err != nil || r != 1 {
+		t.Fatalf("perfect recall = %v, %v", r, err)
+	}
+	r, _ = RecallAtK(nb(1, 9, 8), nb(1, 2, 3))
+	if math.Abs(r-1.0/3) > 1e-12 {
+		t.Fatalf("recall = %v, want 1/3", r)
+	}
+	if _, err := RecallAtK(nb(1), nil); err == nil {
+		t.Fatal("empty truth must be rejected")
+	}
+}
+
+func TestMeanRecall(t *testing.T) {
+	got := [][]vec.Neighbor{nb(1, 2), nb(3, 4)}
+	truth := [][]vec.Neighbor{nb(1, 2), nb(3, 9)}
+	r, err := MeanRecall(got, truth)
+	if err != nil || math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("mean recall = %v, %v", r, err)
+	}
+	if _, err := MeanRecall(got, truth[:1]); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+}
+
+func TestARIPerfectAndPermuted(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	r, err := AdjustedRandIndex(a, a)
+	if err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("ARI(a,a) = %v, %v", r, err)
+	}
+	// Label permutation must not matter.
+	b := []int{5, 5, 9, 9, 7, 7}
+	r, _ = AdjustedRandIndex(a, b)
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("ARI under permutation = %v", r)
+	}
+}
+
+func TestARIIndependentNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 2000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(5)
+		b[i] = rng.Intn(5)
+	}
+	r, err := AdjustedRandIndex(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r) > 0.05 {
+		t.Fatalf("ARI of independent clusterings = %v, want ≈0", r)
+	}
+}
+
+func TestARIDegenerate(t *testing.T) {
+	a := []int{1, 1, 1}
+	r, err := AdjustedRandIndex(a, a)
+	if err != nil || r != 1 {
+		t.Fatalf("single-cluster ARI = %v, %v", r, err)
+	}
+	if _, err := AdjustedRandIndex(a, []int{1}); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	if _, err := AdjustedRandIndex(nil, nil); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+}

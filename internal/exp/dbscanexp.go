@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dbscan"
+	"pimmine/internal/quant"
+)
+
+func init() {
+	register("ext-dbscan", ExtDBSCAN)
+}
+
+// ExtDBSCAN measures host vs PIM density-based clustering — §II-C names
+// density-based clustering among the framework's target tasks; DBSCAN's
+// ε-range queries are pure similarity computations, so LB_PIM-ED prunes
+// them exactly like the kNN filter.
+func ExtDBSCAN(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ext-dbscan",
+		Title:  "DBSCAN density clustering (minPts=4) — extension",
+		Header: []string{"Dataset", "eps", "clusters", "Host(ms)", "PIM(ms)", "Speedup"},
+	}
+	q, err := quant.New(s.Quant.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	for _, cfg := range []struct {
+		name string
+		eps  float64
+	}{{"Year", 0.45}, {"Notre", 0.5}} {
+		ds, err := s.Data(cfg.name)
+		if err != nil {
+			return nil, err
+		}
+		mHost := arch.NewMeter()
+		want, err := dbscan.New(ds.X).Run(cfg.eps, 4, mHost)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.engine()
+		if err != nil {
+			return nil, err
+		}
+		pimC, err := dbscan.NewPIM(eng, ds.X, q, ds.Profile.FullN)
+		if err != nil {
+			return nil, err
+		}
+		mPIM := arch.NewMeter()
+		got, err := pimC.Run(cfg.eps, 4, mPIM)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want.Labels {
+			if want.Labels[i] != got.Labels[i] {
+				return nil, fmt.Errorf("ext-dbscan: PIM clustering diverges on %s", cfg.name)
+			}
+		}
+		h, p := s.modeledMs(mHost), s.modeledMs(mPIM)
+		t.AddRow(cfg.name, fmt.Sprintf("%.2f", cfg.eps), fmt.Sprintf("%d", want.Clusters),
+			ms(h), ms(p), speedup(h, p))
+	}
+	t.Note("clusterings verified identical between host and PIM paths")
+	return t, nil
+}

@@ -1,0 +1,194 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/join"
+	"pimmine/internal/motif"
+	"pimmine/internal/outlier"
+	"pimmine/internal/quant"
+)
+
+func init() {
+	register("ext-outlier", ExtOutlier)
+	register("ext-motif", ExtMotif)
+	register("ext-join", ExtJoin)
+}
+
+// ExtOutlier measures host vs PIM top-n kNN-distance outlier detection —
+// an extension beyond the paper's evaluation covering the outlier task
+// its introduction names.
+func ExtOutlier(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ext-outlier",
+		Title:  "Distance-based outlier detection (top-5, k=10) — extension",
+		Header: []string{"Dataset", "Host(ms)", "PIM(ms)", "Speedup", "ExactDistances(host→PIM)"},
+	}
+	q, err := quant.New(s.Quant.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"Year", "NUS-WIDE"} {
+		ds, err := s.Data(name)
+		if err != nil {
+			return nil, err
+		}
+		host := outlier.NewDetector(ds.X)
+		mHost := arch.NewMeter()
+		want, err := host.TopN(5, 10, mHost)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.engine()
+		if err != nil {
+			return nil, err
+		}
+		pimDet, err := outlier.NewDetectorPIM(eng, ds.X, q, ds.Profile.FullN)
+		if err != nil {
+			return nil, err
+		}
+		mPIM := arch.NewMeter()
+		got, err := pimDet.TopN(5, 10, mPIM)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return nil, fmt.Errorf("ext-outlier: PIM result diverges on %s", name)
+			}
+		}
+		h, p := s.modeledMs(mHost), s.modeledMs(mPIM)
+		t.AddRow(name, ms(h), ms(p), speedup(h, p),
+			fmt.Sprintf("%d → %d", mHost.Get(arch.FuncED).Calls, mPIM.Get(arch.FuncED).Calls))
+	}
+	t.Note("results verified identical between host and PIM paths")
+	return t, nil
+}
+
+// ExtMotif measures host vs PIM motif and discord discovery on a planted
+// synthetic series.
+func ExtMotif(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ext-motif",
+		Title:  "Time-series motif & discord discovery (w=64) — extension",
+		Header: []string{"Task", "Host(ms)", "PIM(ms)", "Speedup"},
+	}
+	const n, w = 3000, 64
+	rng := rand.New(rand.NewSource(s.Seed))
+	series := make([]float64, n)
+	v := 0.0
+	for i := range series {
+		v += rng.NormFloat64()
+		series[i] = v
+	}
+	pattern := make([]float64, w)
+	for i := range pattern {
+		pattern[i] = 6 * math.Sin(float64(i)/4)
+	}
+	copy(series[500:], pattern)
+	for i, p := range pattern {
+		series[2200+i] = p + rng.NormFloat64()*0.01
+	}
+	windows, _, err := motif.Windows(series, w)
+	if err != nil {
+		return nil, err
+	}
+	q, err := quant.New(s.Quant.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	pimF, err := motif.NewFinderPIM(eng, windows, q, windows.N)
+	if err != nil {
+		return nil, err
+	}
+	hostF := motif.NewFinder(windows)
+
+	mh, mp := arch.NewMeter(), arch.NewMeter()
+	wantM, err := hostF.Top(mh)
+	if err != nil {
+		return nil, err
+	}
+	gotM, err := pimF.Top(mp)
+	if err != nil {
+		return nil, err
+	}
+	if wantM != gotM {
+		return nil, fmt.Errorf("ext-motif: PIM motif diverges")
+	}
+	h, p := s.modeledMs(mh), s.modeledMs(mp)
+	t.AddRow("motif", ms(h), ms(p), speedup(h, p))
+
+	mh, mp = arch.NewMeter(), arch.NewMeter()
+	wantD, err := hostF.Discord(mh)
+	if err != nil {
+		return nil, err
+	}
+	gotD, err := pimF.Discord(mp)
+	if err != nil {
+		return nil, err
+	}
+	if wantD != gotD {
+		return nil, fmt.Errorf("ext-motif: PIM discord diverges")
+	}
+	h, p = s.modeledMs(mh), s.modeledMs(mp)
+	t.AddRow("discord", ms(h), ms(p), speedup(h, p))
+	t.Note("planted motif at offsets (500, 2200); both paths find it exactly")
+	return t, nil
+}
+
+// ExtJoin measures host vs PIM kNN join between two relations.
+func ExtJoin(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ext-join",
+		Title:  "kNN similarity join (|R|=50, k=5) — extension",
+		Header: []string{"Inner dataset", "Host(ms)", "PIM(ms)", "Speedup"},
+	}
+	q, err := quant.New(s.Quant.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"Notre", "NUS-WIDE"} {
+		ds, err := s.Data(name)
+		if err != nil {
+			return nil, err
+		}
+		outer := ds.Queries(50, s.Seed+400)
+		host := join.NewJoiner(ds.X)
+		mHost := arch.NewMeter()
+		want, err := host.KNN(outer, 5, false, mHost)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := s.engine()
+		if err != nil {
+			return nil, err
+		}
+		pimJ, err := join.NewJoinerPIM(eng, ds.X, q, ds.Profile.FullN)
+		if err != nil {
+			return nil, err
+		}
+		mPIM := arch.NewMeter()
+		got, err := pimJ.KNN(outer, 5, false, mPIM)
+		if err != nil {
+			return nil, err
+		}
+		for i := range want {
+			for pos := range want[i] {
+				if want[i][pos].Dist != got[i][pos].Dist {
+					return nil, fmt.Errorf("ext-join: PIM join diverges on %s", name)
+				}
+			}
+		}
+		h, p := s.modeledMs(mHost), s.modeledMs(mPIM)
+		t.AddRow(name, ms(h), ms(p), speedup(h, p))
+	}
+	t.Note("join results verified identical between host and PIM paths")
+	return t, nil
+}

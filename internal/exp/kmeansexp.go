@@ -1,0 +1,157 @@
+package exp
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/profile"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+func init() {
+	register("table7", Table7)
+	register("fig18", Fig18)
+}
+
+// kmeansDatasets are the §VI-D evaluation datasets in Table 7's order.
+var kmeansDatasets = []string{"Year", "Notre", "NUS-WIDE", "Enron"}
+
+// kmeansKs returns the cluster-count sweep; the default (fast) suite stops
+// at 64, the full suite runs Table 7's complete {4, 64, 256, 1024}.
+func (s *Suite) kmeansKs() []int {
+	if s.Full {
+		return []int{4, 64, 256, 1024}
+	}
+	return []int{4, 64}
+}
+
+// kmeansPairs builds the four base algorithms and their PIM counterparts
+// over a dataset, sharing one PIM assist.
+func (s *Suite) kmeansPairs(data *vec.Matrix, capacityN int) ([][2]kmeans.Algorithm, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	q, err := quant.New(s.Quant.Alpha)
+	if err != nil {
+		return nil, err
+	}
+	assist, err := kmeans.NewAssist(eng, data, q, capacityN)
+	if err != nil {
+		return nil, err
+	}
+	return [][2]kmeans.Algorithm{
+		{kmeans.NewLloyd(data), kmeans.NewLloydPIM(data, assist)},
+		{kmeans.NewElkan(data), kmeans.NewElkanPIM(data, assist)},
+		{kmeans.NewDrake(data), kmeans.NewDrakePIM(data, assist)},
+		{kmeans.NewYinyang(data), kmeans.NewYinyangPIM(data, assist)},
+	}, nil
+}
+
+// runPerIter runs an algorithm for a few iterations and returns modeled
+// ms per iteration.
+func (s *Suite) runPerIter(alg kmeans.Algorithm, initial *vec.Matrix, iters int) (float64, error) {
+	m := arch.NewMeter()
+	res := alg.Run(initial, iters, m)
+	if res.Iterations == 0 {
+		return 0, fmt.Errorf("exp: %s ran zero iterations", alg.Name())
+	}
+	return s.modeledMs(m) / float64(res.Iterations), nil
+}
+
+// Table7: k-means execution time per iteration for every dataset ×
+// k × algorithm pair.
+func Table7(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:    "table7",
+		Title: "k-means execution time per iteration (ms/iter)",
+		Header: []string{"Dataset", "k",
+			"Standard", "Standard-PIM", "Elkan", "Elkan-PIM",
+			"Drake", "Drake-PIM", "Yinyang", "Yinyang-PIM"},
+	}
+	const iters = 8
+	for _, name := range kmeansDatasets {
+		ds, err := s.Data(name)
+		if err != nil {
+			return nil, err
+		}
+		pairs, err := s.kmeansPairs(ds.X, ds.Profile.FullN)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range s.kmeansKs() {
+			if k > ds.X.N {
+				continue
+			}
+			initial, err := kmeans.InitCenters(ds.X, k, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{name, fmt.Sprintf("%d", k)}
+			for _, pair := range pairs {
+				for _, alg := range pair {
+					perIter, err := s.runPerIter(alg, initial, iters)
+					if err != nil {
+						return nil, err
+					}
+					row = append(row, ms(perIter))
+				}
+			}
+			t.AddRow(row...)
+		}
+	}
+	t.Note("paper: PIM speeds up every algorithm; up to 33.4x for Standard, marginal for Elkan")
+	if !s.Full {
+		t.Note("fast suite sweeps k∈{4,64}; set Full for the paper's {4,64,256,1024}")
+	}
+	return t, nil
+}
+
+// Fig18: PIM-optimized vs PIM-oracle for the Standard and Drake families
+// as k grows (NUS-WIDE).
+func Fig18(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig18",
+		Title:  "k-means PIM vs PIM-oracle vs k (NUS-WIDE)",
+		Header: []string{"Family", "k", "No-PIM(ms/iter)", "PIM(ms/iter)", "Oracle(ms/iter)"},
+	}
+	ds, err := s.Data("NUS-WIDE")
+	if err != nil {
+		return nil, err
+	}
+	pairs, err := s.kmeansPairs(ds.X, ds.Profile.FullN)
+	if err != nil {
+		return nil, err
+	}
+	families := map[string][2]kmeans.Algorithm{
+		"Standard": pairs[0],
+		"Drake":    pairs[2],
+	}
+	const iters = 8
+	for _, fam := range []string{"Standard", "Drake"} {
+		pair := families[fam]
+		for _, k := range s.kmeansKs() {
+			if k > ds.X.N {
+				continue
+			}
+			initial, err := kmeans.InitCenters(ds.X, k, s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			baseMeter := arch.NewMeter()
+			baseRes := pair[0].Run(initial, iters, baseMeter)
+			baseMs := s.modeledMs(baseMeter) / float64(baseRes.Iterations)
+			pimMs, err := s.runPerIter(pair[1], initial, iters)
+			if err != nil {
+				return nil, err
+			}
+			r := profile.New(fam, s.Cfg, baseMeter)
+			oracleMs := r.PIMOracleAuto() / 1e6 / float64(baseRes.Iterations)
+			t.AddRow(fam, fmt.Sprintf("%d", k), ms(baseMs), ms(pimMs), ms(oracleMs))
+		}
+	}
+	t.Note("paper: the gap Standard→PIM is wide and PIM tracks the oracle closely for Drake")
+	return t, nil
+}

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"pimmine/internal/arch"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/knn"
+	"pimmine/internal/profile"
+	"pimmine/internal/vec"
+)
+
+func init() {
+	register("fig5", Fig5)
+	register("fig6", Fig6)
+	register("fig7", Fig7)
+}
+
+// knnProfileAlgos builds the four §IV kNN algorithms over MSD.
+func (s *Suite) knnProfileAlgos() (map[string]knn.Searcher, *knnWorkload, error) {
+	w, err := s.knnWorkloadFor("MSD")
+	if err != nil {
+		return nil, nil, err
+	}
+	data := w.data
+	ost, err := knn.NewOST(data, data.D/2)
+	if err != nil {
+		return nil, nil, err
+	}
+	sm, err := knn.NewSM(data, 28)
+	if err != nil {
+		return nil, nil, err
+	}
+	fnn, err := knn.NewFNN(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return map[string]knn.Searcher{
+		"Standard": knn.NewStandard(data),
+		"OST":      ost,
+		"SM":       sm,
+		"FNN":      fnn,
+	}, w, nil
+}
+
+// knnWorkload bundles one dataset with its query batch.
+type knnWorkload struct {
+	name    string
+	data    *vec.Matrix
+	queries *vec.Matrix
+	fullN   int
+}
+
+// profileKNN runs a searcher over the query batch and profiles it.
+func (s *Suite) profileKNN(name string, alg knn.Searcher, w *knnWorkload, k int) *profile.Report {
+	m := arch.NewMeter()
+	for qi := 0; qi < w.queries.N; qi++ {
+		alg.Search(w.queries.Row(qi), k, m)
+	}
+	return profile.New(name, s.Cfg, m)
+}
+
+// kmeansProfileAlgos builds the four §IV k-means algorithms over NUS-WIDE.
+func (s *Suite) kmeansProfileAlgos() (map[string]kmeans.Algorithm, *knnWorkload, error) {
+	w, err := s.knnWorkloadFor("NUS-WIDE")
+	if err != nil {
+		return nil, nil, err
+	}
+	data := w.data
+	return map[string]kmeans.Algorithm{
+		"Standard": kmeans.NewLloyd(data),
+		"Elkan":    kmeans.NewElkan(data),
+		"Drake":    kmeans.NewDrake(data),
+		"Yinyang":  kmeans.NewYinyang(data),
+	}, w, nil
+}
+
+// profileKMeans runs an algorithm for a few iterations and profiles it.
+func (s *Suite) profileKMeans(name string, alg kmeans.Algorithm, w *knnWorkload, k, iters int) (*profile.Report, int, error) {
+	initial, err := kmeans.InitCenters(w.data, k, s.Seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	m := arch.NewMeter()
+	res := alg.Run(initial, iters, m)
+	return profile.New(name, s.Cfg, m), res.Iterations, nil
+}
+
+var knnOrder = []string{"Standard", "FNN", "SM", "OST"}
+var kmeansOrder = []string{"Standard", "Elkan", "Drake", "Yinyang"}
+
+// Fig5 reproduces the hardware-component profiling: Tcache must dominate
+// (62–83% in the paper) for both workloads.
+func Fig5(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig5",
+		Title:  "Profiling by hardware component (kNN on MSD k=10; k-means on NUS-WIDE k=64)",
+		Header: []string{"Workload", "Algorithm", "Tc", "Tcache", "TALU", "TBr", "TFe"},
+	}
+	algos, w, err := s.knnProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range knnOrder {
+		r := s.profileKNN(name, algos[name], w, 10)
+		sh := r.HardwareShares()
+		t.AddRow("kNN", name, pct(sh["Tc"]), pct(sh["Tcache"]), pct(sh["TALU"]), pct(sh["TBr"]), pct(sh["TFe"]))
+	}
+	kalgos, kw, err := s.kmeansProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range kmeansOrder {
+		r, _, err := s.profileKMeans(name, kalgos[name], kw, 64, 5)
+		if err != nil {
+			return nil, err
+		}
+		sh := r.HardwareShares()
+		t.AddRow("k-means", name, pct(sh["Tc"]), pct(sh["Tcache"]), pct(sh["TALU"]), pct(sh["TBr"]), pct(sh["TFe"]))
+	}
+	t.Note("paper: Tcache accounts for 65-83%% (kNN) and 62-75%% (k-means) of total time")
+	return t, nil
+}
+
+// Fig6 reproduces the per-function breakdown: ED dominates Standard;
+// bound functions dominate the bound-based algorithms.
+func Fig6(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig6",
+		Title:  "Execution time breakdown by function",
+		Header: []string{"Workload", "Algorithm", "Function", "Share"},
+	}
+	algos, w, err := s.knnProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range knnOrder {
+		r := s.profileKNN(name, algos[name], w, 10)
+		for _, fn := range r.Functions() {
+			t.AddRow("kNN", name, fn, pct(r.FunctionShares()[fn]))
+		}
+	}
+	kalgos, kw, err := s.kmeansProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range kmeansOrder {
+		r, _, err := s.profileKMeans(name, kalgos[name], kw, 64, 5)
+		if err != nil {
+			return nil, err
+		}
+		for _, fn := range r.Functions() {
+			t.AddRow("k-means", name, fn, pct(r.FunctionShares()[fn]))
+		}
+	}
+	t.Note("paper: ED/bounds take 72-86%% for kNN; ED takes 52-96%% for k-means")
+	return t, nil
+}
+
+// Fig7 compares No-PIM with the Eq. 2 PIM-oracle for both workloads.
+func Fig7(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "fig7",
+		Title:  "No-PIM vs PIM-oracle (Eq. 2)",
+		Header: []string{"Workload", "Algorithm", "No-PIM(ms)", "PIM-oracle(ms)", "Potential"},
+	}
+	algos, w, err := s.knnProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range knnOrder {
+		r := s.profileKNN(name, algos[name], w, 10)
+		total := r.Total.Total()
+		oracle := r.PIMOracleAuto()
+		t.AddRow("kNN", name, ms(total/1e6), ms(oracle/1e6), speedup(total, oracle))
+	}
+	kalgos, kw, err := s.kmeansProfileAlgos()
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range kmeansOrder {
+		r, _, err := s.profileKMeans(name, kalgos[name], kw, 64, 5)
+		if err != nil {
+			return nil, err
+		}
+		total := r.Total.Total()
+		oracle := r.PIMOracleAuto()
+		t.AddRow("k-means", name, ms(total/1e6), ms(oracle/1e6), speedup(total, oracle))
+	}
+	t.Note("paper: PIM-oracle is 183.9x faster for kNN Standard, 51.4x for k-means Standard; only 2.2x for Elkan")
+	return t, nil
+}
+
+// knnWorkloadFor loads a dataset and query batch.
+func (s *Suite) knnWorkloadFor(name string) (*knnWorkload, error) {
+	ds, err := s.Data(name)
+	if err != nil {
+		return nil, err
+	}
+	return &knnWorkload{
+		name:    name,
+		data:    ds.X,
+		queries: ds.Queries(s.Queries, s.Seed+100),
+		fullN:   ds.Profile.FullN,
+	}, nil
+}

@@ -1,0 +1,63 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Markdown renders the table as a GitHub-flavored Markdown table (used to
+// regenerate the EXPERIMENTS.md record).
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Header, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Header)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values with a header row.
+// Cells containing commas or quotes are quoted per RFC 4180.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, row := range t.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(c)
+		}
+	}
+	b.WriteByte('\n')
+}
+
+// Render formats the table in the requested format: "text" (default),
+// "markdown" or "csv".
+func (t *Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.String(), nil
+	case "markdown", "md":
+		return t.Markdown(), nil
+	case "csv":
+		return t.CSV(), nil
+	}
+	return "", fmt.Errorf("exp: unknown format %q (text|markdown|csv)", format)
+}

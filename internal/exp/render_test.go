@@ -1,0 +1,56 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	t := &Table{
+		ID:     "x",
+		Title:  "Sample",
+		Header: []string{"A", "B"},
+	}
+	t.AddRow("1", "two, with comma")
+	t.AddRow(`quote"d`, "3")
+	t.Note("a note")
+	return t
+}
+
+func TestMarkdownRender(t *testing.T) {
+	md := sampleTable().Markdown()
+	for _, want := range []string{"### x — Sample", "| A | B |", "|---|---|", "| 1 | two, with comma |", "*a note*"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestCSVRender(t *testing.T) {
+	csv := sampleTable().CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "A,B" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"two, with comma"` {
+		t.Fatalf("comma cell not quoted: %q", lines[1])
+	}
+	if lines[2] != `"quote""d",3` {
+		t.Fatalf("quote cell not escaped: %q", lines[2])
+	}
+}
+
+func TestRenderDispatch(t *testing.T) {
+	tbl := sampleTable()
+	for _, f := range []string{"", "text", "markdown", "md", "csv"} {
+		if _, err := tbl.Render(f); err != nil {
+			t.Fatalf("Render(%q): %v", f, err)
+		}
+	}
+	if _, err := tbl.Render("xml"); err == nil {
+		t.Fatal("unknown format must error")
+	}
+}

@@ -1,0 +1,188 @@
+// Package join implements similarity joins between two datasets — the
+// database-flavored face of the paper's similarity primitive:
+//
+//   - kNN join: for every object of R, its k nearest neighbors in S;
+//   - ε-join (distance range join): every pair (r, s) with ED(r,s) ≤ ε².
+//
+// The PIM variants program S's quantized floors once (S is the inner,
+// indexed relation) and run one batched dot-product pass per outer row,
+// pruning with LB_PIM-ED exactly as the paper's kNN filter does. Results
+// are exact and integration-tested against nested-loop joins.
+package join
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+const operandBytes = 4
+
+// Joiner joins an outer relation against a fixed inner relation S. With
+// a non-nil PIM index it runs the PIM-optimized path.
+type Joiner struct {
+	S *vec.Matrix
+
+	eng  *pim.Engine
+	ix   *pimbound.EDIndex
+	pay  *pim.Payload
+	dots []int64
+}
+
+// NewJoiner builds the host-only joiner over the inner relation.
+func NewJoiner(s *vec.Matrix) *Joiner { return &Joiner{S: s} }
+
+// NewJoinerPIM quantizes the inner relation and programs it onto the
+// array.
+func NewJoinerPIM(eng *pim.Engine, s *vec.Matrix, q quant.Quantizer, capacityN int) (*Joiner, error) {
+	if !eng.Model().Fits(capacityN, s.D, 1) {
+		return nil, fmt.Errorf("join: %d-dim floors for N=%d exceed PIM capacity", s.D, capacityN)
+	}
+	ix := pimbound.BuildED(s, q)
+	pay, err := eng.Program("join/inner", s.N, s.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return &Joiner{S: s, eng: eng, ix: ix, pay: pay}, nil
+}
+
+// Name reports which path the joiner runs.
+func (j *Joiner) Name() string {
+	if j.ix != nil {
+		return "Joiner-PIM"
+	}
+	return "Joiner"
+}
+
+// prepare runs the PIM pass for one outer row (PIM path only).
+func (j *Joiner) prepare(r []float64, meter *arch.Meter) (pimbound.EDQuery, error) {
+	qf := j.ix.Query(r)
+	var err error
+	j.dots, err = j.eng.QueryAll(meter, "LBPIM-ED", j.pay, qf.Floor, j.dots)
+	return qf, err
+}
+
+// KNN computes the kNN join R ⋉ₖ S: result[i] holds the k nearest inner
+// rows of outer row i (squared distances, ascending). When selfJoin is
+// true, R must be S itself and the identity pair (i,i) is excluded.
+func (j *Joiner) KNN(r *vec.Matrix, k int, selfJoin bool, meter *arch.Meter) ([][]vec.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("join: k must be >= 1, got %d", k)
+	}
+	if r.D != j.S.D {
+		return nil, fmt.Errorf("join: outer d=%d, inner d=%d", r.D, j.S.D)
+	}
+	minInner := k
+	if selfJoin {
+		if r != j.S {
+			return nil, fmt.Errorf("join: self-join requires the outer relation to be the inner one")
+		}
+		minInner = k + 1
+	}
+	if j.S.N < minInner {
+		return nil, fmt.Errorf("join: inner relation has %d rows, need %d", j.S.N, minInner)
+	}
+	out := make([][]vec.Neighbor, r.N)
+	var exact, consults int64
+	for i := 0; i < r.N; i++ {
+		row := r.Row(i)
+		var qf pimbound.EDQuery
+		if j.ix != nil {
+			var err error
+			if qf, err = j.prepare(row, meter); err != nil {
+				return nil, err
+			}
+		}
+		top := vec.NewTopK(k)
+		for s := 0; s < j.S.N; s++ {
+			if selfJoin && s == i {
+				continue
+			}
+			if j.ix != nil {
+				consults++
+				if j.ix.LB(s, qf, j.dots[s]) >= top.Threshold() {
+					continue
+				}
+			}
+			exact++
+			top.Push(s, measure.SqEuclidean(row, j.S.Row(s)))
+		}
+		out[i] = top.Results()
+	}
+	j.recordCosts(meter, exact, consults)
+	return out, nil
+}
+
+// Pair is one ε-join result.
+type Pair struct {
+	R, S int
+	// DistSq is the squared Euclidean distance.
+	DistSq float64
+}
+
+// Eps computes the range join R ⋈_ε S: all pairs with ED(r,s) ≤ ε (true
+// Euclidean). Pairs come out in (R, S) lexicographic order. When selfJoin
+// is true, only pairs with r < s are emitted.
+func (j *Joiner) Eps(r *vec.Matrix, eps float64, selfJoin bool, meter *arch.Meter) ([]Pair, error) {
+	if eps <= 0 {
+		return nil, fmt.Errorf("join: eps must be positive, got %v", eps)
+	}
+	if r.D != j.S.D {
+		return nil, fmt.Errorf("join: outer d=%d, inner d=%d", r.D, j.S.D)
+	}
+	if selfJoin && r != j.S {
+		return nil, fmt.Errorf("join: self-join requires the outer relation to be the inner one")
+	}
+	eps2 := eps * eps
+	var out []Pair
+	var exact, consults int64
+	for i := 0; i < r.N; i++ {
+		row := r.Row(i)
+		var qf pimbound.EDQuery
+		if j.ix != nil {
+			var err error
+			if qf, err = j.prepare(row, meter); err != nil {
+				return nil, err
+			}
+		}
+		start := 0
+		if selfJoin {
+			start = i + 1
+		}
+		for s := start; s < j.S.N; s++ {
+			if j.ix != nil {
+				consults++
+				if j.ix.LB(s, qf, j.dots[s]) > eps2 {
+					continue
+				}
+			}
+			exact++
+			if d := measure.SqEuclidean(row, j.S.Row(s)); d <= eps2 {
+				out = append(out, Pair{R: i, S: s, DistSq: d})
+			}
+		}
+	}
+	j.recordCosts(meter, exact, consults)
+	return out, nil
+}
+
+func (j *Joiner) recordCosts(meter *arch.Meter, exact, consults int64) {
+	d := int64(j.S.D)
+	ed := meter.C(arch.FuncED)
+	ed.Ops += exact * 3 * d
+	ed.SeqBytes += exact * d * operandBytes
+	ed.Branches += exact
+	ed.Calls += exact
+	if consults > 0 {
+		c := meter.C("LBPIM-ED")
+		c.Ops += consults * 8
+		c.SeqBytes += consults * 2 * operandBytes
+		c.Branches += consults
+		c.Calls += consults
+	}
+}

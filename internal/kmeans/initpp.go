@@ -1,0 +1,62 @@
+package kmeans
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// InitCentersPlusPlus picks k initial centers with the k-means++ seeding
+// of Arthur & Vassilvitskii (SODA 2007): the first center uniformly, each
+// subsequent one with probability proportional to its squared distance to
+// the nearest already-chosen center. It typically starts Lloyd's
+// iteration much closer to a good optimum than uniform seeding (tested),
+// and — like InitCenters — is deterministic per seed so every algorithm
+// variant can share it.
+func InitCentersPlusPlus(data *vec.Matrix, k int, seed int64) (*vec.Matrix, error) {
+	if k <= 0 || k > data.N {
+		return nil, fmt.Errorf("kmeans: k=%d outside [1,%d]", k, data.N)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centers := vec.NewMatrix(k, data.D)
+	first := rng.Intn(data.N)
+	copy(centers.Row(0), data.Row(first))
+
+	// d2[i] tracks the squared distance to the nearest chosen center.
+	d2 := make([]float64, data.N)
+	var total float64
+	for i := 0; i < data.N; i++ {
+		d2[i] = measure.SqEuclidean(data.Row(i), centers.Row(0))
+		total += d2[i]
+	}
+	for c := 1; c < k; c++ {
+		var next int
+		if total <= 0 {
+			// All remaining mass at distance zero (duplicate-heavy data):
+			// fall back to uniform choice.
+			next = rng.Intn(data.N)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			next = data.N - 1
+			for i := 0; i < data.N; i++ {
+				acc += d2[i]
+				if acc >= target {
+					next = i
+					break
+				}
+			}
+		}
+		copy(centers.Row(c), data.Row(next))
+		total = 0
+		for i := 0; i < data.N; i++ {
+			if d := measure.SqEuclidean(data.Row(i), centers.Row(c)); d < d2[i] {
+				d2[i] = d
+			}
+			total += d2[i]
+		}
+	}
+	return centers, nil
+}

@@ -1,0 +1,144 @@
+// Package kmeans implements the k-means clustering algorithms evaluated
+// in §VI-D of the paper and their PIM-optimized counterparts:
+//
+//	Standard   Lloyd's algorithm                       [48]
+//	Elkan      triangle inequality, k lower bounds     [30]
+//	Drake      adaptive number of lower bounds         [31]
+//	Yinyang    global + group filters                  [29]
+//	*-PIM      the same with LB_PIM-ED (Theorem 1) consulted before
+//	           every exact ED computation in the assign step (§VI-D)
+//
+// All accelerated variants are exact: given the same initial centers they
+// produce identical assignments and centers to Lloyd's algorithm at every
+// iteration (integration-tested). Algorithms record modeled hardware
+// activity into arch.Meters for the timing model.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// Result summarizes one clustering run.
+type Result struct {
+	Assign     []int
+	Centers    *vec.Matrix
+	Iterations int
+	Converged  bool
+	SSE        float64 // sum of squared distances to assigned centers
+}
+
+// Algorithm is one k-means variant bound to a dataset.
+type Algorithm interface {
+	Name() string
+	// Run clusters the data starting from the given centers (copied, not
+	// mutated) for at most maxIters iterations, recording activity in the
+	// meter. It stops early once assignments are stable.
+	Run(initial *vec.Matrix, maxIters int, meter *arch.Meter) *Result
+}
+
+// InitCenters picks k distinct data rows as initial centers using a seeded
+// permutation, so every algorithm in a comparison starts identically
+// (§VI-A: "The same initial centers are chosen").
+func InitCenters(data *vec.Matrix, k int, seed int64) (*vec.Matrix, error) {
+	if k <= 0 || k > data.N {
+		return nil, fmt.Errorf("kmeans: k=%d outside [1,%d]", k, data.N)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(data.N)
+	centers := vec.NewMatrix(k, data.D)
+	for i := 0; i < k; i++ {
+		copy(centers.Row(i), data.Row(perm[i]))
+	}
+	return centers, nil
+}
+
+// operandBytes mirrors the 32-bit modeled operand width (see knn).
+const operandBytes = 4
+
+// costExactDist records one exact true-ED distance computation (3 ops per
+// dim + sqrt); seq=true for streaming scans (Lloyd), false for selective
+// access (bound-based variants).
+func costExactDist(c *arch.Counters, n int64, d int, seq bool) {
+	c.Ops += n * int64(3*d)
+	c.ALUOps += n // sqrt
+	if seq {
+		c.SeqBytes += n * int64(d) * operandBytes
+	} else {
+		c.RandBytes += n * int64(d) * operandBytes
+	}
+	c.Branches += n
+	c.Calls += n
+}
+
+// costBoundMaint records n bound maintenance operations (read-modify-write
+// of a stored bound plus a comparison).
+func costBoundMaint(c *arch.Counters, n int64) {
+	c.Ops += n * 3
+	c.SeqBytes += n * 2 * operandBytes
+	c.Branches += n
+	c.Calls += n
+}
+
+// costUpdateStep records the update step over the whole dataset: summing
+// every point into its center accumulator and dividing by counts.
+func costUpdateStep(c *arch.Counters, n int64, d, k int) {
+	c.Ops += n*int64(d) + int64(k*d)
+	c.ALUOps += int64(k * d) // divisions
+	c.SeqBytes += n * int64(d) * operandBytes
+	c.Calls++
+}
+
+// dist returns the true Euclidean distance between a data row and a center.
+func dist(p, c []float64) float64 { return math.Sqrt(measure.SqEuclidean(p, c)) }
+
+// updateCenters recomputes centers as the means of their assigned points.
+// Empty clusters keep their previous center (a standard Lloyd convention
+// that keeps all algorithms comparable). Returns per-center shifts.
+func updateCenters(data *vec.Matrix, assign []int, centers *vec.Matrix) []float64 {
+	k, d := centers.N, centers.D
+	sums := vec.NewMatrix(k, d)
+	counts := make([]int, k)
+	for i := 0; i < data.N; i++ {
+		a := assign[i]
+		vec.AddTo(sums.Row(a), data.Row(i))
+		counts[a]++
+	}
+	shifts := make([]float64, k)
+	for c := 0; c < k; c++ {
+		if counts[c] == 0 {
+			continue // keep previous center
+		}
+		row := sums.Row(c)
+		vec.Scale(row, 1/float64(counts[c]))
+		shifts[c] = dist(centers.Row(c), row)
+		copy(centers.Row(c), row)
+	}
+	return shifts
+}
+
+// sse computes the final sum of squared errors.
+func sse(data *vec.Matrix, assign []int, centers *vec.Matrix) float64 {
+	var s float64
+	for i := 0; i < data.N; i++ {
+		s += measure.SqEuclidean(data.Row(i), centers.Row(assign[i]))
+	}
+	return s
+}
+
+// argminDist returns the index and true distance of the closest center,
+// breaking ties toward the smaller index so all algorithms agree.
+func argminDist(p []float64, centers *vec.Matrix) (int, float64) {
+	best, bestD := 0, dist(p, centers.Row(0))
+	for c := 1; c < centers.N; c++ {
+		if d := dist(p, centers.Row(c)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}

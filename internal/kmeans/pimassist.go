@@ -1,0 +1,111 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// Assist supplies LB_PIM-ED(point, center) bounds to the PIM k-means
+// variants. The data points' floor vectors are programmed onto the PIM
+// array once (the points never change); at the start of every iteration
+// the k current centers are quantized and k batched dot-product passes
+// produce ⌊p̄⌋·⌊c̄⌋ for every (point, center) pair. Theorem 1 then turns
+// each into a lower bound on the squared distance, consulted before any
+// exact ED computation in the assign step (§VI-D: "The bound contributes
+// to filter far-away centers, and survived ones call exact ED
+// calculation").
+type Assist struct {
+	Ix   *pimbound.EDIndex
+	eng  *pim.Engine
+	pay  *pim.Payload
+	dots [][]int64 // [center][point]
+	qfs  []pimbound.EDQuery
+}
+
+// AssistFuncName is the meter bucket for PIM bound activity.
+const AssistFuncName = "LBPIM-ED"
+
+// NewAssist quantizes the dataset and programs the payload. capacityN is
+// the full-scale cardinality used for the Theorem 4 admission check.
+func NewAssist(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int) (*Assist, error) {
+	if !eng.Model().Fits(capacityN, data.D, 1) {
+		return nil, fmt.Errorf("kmeans: %d-dim floors for N=%d exceed PIM capacity", data.D, capacityN)
+	}
+	ix := pimbound.BuildED(data, q)
+	a := &Assist{Ix: ix, eng: eng}
+	var err error
+	a.pay, err = eng.Program("kmeans-pim/points", data.N, data.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// RecordPreprocessing charges the offline payload programming to a meter.
+func (a *Assist) RecordPreprocessing(meter *arch.Meter) {
+	pim.RecordProgramCost(meter, AssistFuncName, a.pay)
+}
+
+// BeginIteration quantizes the current centers and runs one PIM pass per
+// center, making LB available for every (point, center) pair.
+func (a *Assist) BeginIteration(centers *vec.Matrix, meter *arch.Meter) error {
+	k := centers.N
+	if cap(a.dots) < k {
+		a.dots = make([][]int64, k)
+	}
+	a.dots = a.dots[:k]
+	if cap(a.qfs) < k {
+		a.qfs = make([]pimbound.EDQuery, k)
+	}
+	a.qfs = a.qfs[:k]
+	for c := 0; c < k; c++ {
+		a.qfs[c] = a.Ix.Query(clampUnit(centers.Row(c)))
+		var err error
+		a.dots[c], err = a.eng.QueryAll(meter, AssistFuncName, a.pay, a.qfs[c].Floor, a.dots[c])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LBDist returns a lower bound on the *true* distance between point p and
+// center c (√ of Theorem 1's squared-ED bound, clamped at 0), and records
+// the host-side G cost (Fig 8: Φ(p) and the dot product move; Φ(c̄) is
+// cached per center).
+func (a *Assist) LBDist(p, c int, meter *arch.Meter) float64 {
+	lb := a.Ix.LB(p, a.qfs[c], a.dots[c][p])
+	mc := meter.C(AssistFuncName)
+	mc.Ops += 8
+	mc.ALUOps++ // sqrt
+	mc.SeqBytes += 2 * operandBytes
+	mc.Branches++
+	mc.Calls++
+	if lb <= 0 {
+		return 0
+	}
+	return math.Sqrt(lb)
+}
+
+// clampUnit returns a copy of v with values nudged into [0,1]; centers are
+// means of in-range points so only float round-off can stray outside.
+func clampUnit(v []float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		switch {
+		case x < 0:
+			out[i] = 0
+		case x > 1:
+			out[i] = 1
+		default:
+			out[i] = x
+		}
+	}
+	return out
+}

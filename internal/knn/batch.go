@@ -1,0 +1,83 @@
+package knn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+// BatchResult holds the per-query neighbor lists of a batch search plus
+// the merged activity meter.
+type BatchResult struct {
+	Neighbors [][]vec.Neighbor
+	Meter     *arch.Meter
+}
+
+// SearchBatch answers a whole query matrix concurrently. Searchers reuse
+// internal buffers and meters are not goroutine-safe, so each worker owns
+// a private Searcher built by newSearcher and a private meter; meters are
+// merged into the result. Results are deterministic and identical to
+// sequential execution (queries are independent).
+//
+// workers ≤ 0 selects GOMAXPROCS.
+func SearchBatch(newSearcher func() (Searcher, error), queries *vec.Matrix, k, workers int) (*BatchResult, error) {
+	if queries == nil || queries.N == 0 {
+		return &BatchResult{Meter: arch.NewMeter()}, nil
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("knn: batch search needs k >= 1, got %d", k)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > queries.N {
+		workers = queries.N
+	}
+
+	res := &BatchResult{
+		Neighbors: make([][]vec.Neighbor, queries.N),
+		Meter:     arch.NewMeter(),
+	}
+	jobs := make(chan int)
+	errs := make([]error, workers)
+	meters := make([]*arch.Meter, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s, err := newSearcher()
+			if err != nil {
+				errs[w] = err
+				// Drain so the dispatcher never blocks.
+				for range jobs {
+				}
+				return
+			}
+			m := arch.NewMeter()
+			meters[w] = m
+			for qi := range jobs {
+				res.Neighbors[qi] = s.Search(queries.Row(qi), k, m)
+			}
+		}(w)
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		jobs <- qi
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("knn: batch worker: %w", err)
+		}
+	}
+	for _, m := range meters {
+		if m != nil {
+			res.Meter.Merge(m)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,88 @@
+package knn
+
+import (
+	"errors"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/pim"
+)
+
+func TestSearchBatchMatchesSequential(t *testing.T) {
+	data, _ := testData(t, 400, 64)
+	queries := data // search the dataset against itself for plenty of queries
+	seq := NewStandard(data)
+	seqMeter := arch.NewMeter()
+	want := make([][]int, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		nn := seq.Search(queries.Row(qi), 5, seqMeter)
+		for _, n := range nn {
+			want[qi] = append(want[qi], n.Index)
+		}
+	}
+
+	res, err := SearchBatch(func() (Searcher, error) {
+		return NewStandard(data), nil
+	}, queries, 5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Neighbors) != queries.N {
+		t.Fatalf("got %d result lists", len(res.Neighbors))
+	}
+	for qi := range want {
+		for i, idx := range want[qi] {
+			if res.Neighbors[qi][i].Index != idx {
+				t.Fatalf("query %d pos %d: %d != %d", qi, i, res.Neighbors[qi][i].Index, idx)
+			}
+		}
+	}
+	// Merged meter equals the sequential meter (same total activity).
+	if res.Meter.Total() != seqMeter.Total() {
+		t.Fatalf("merged meter %+v != sequential %+v", res.Meter.Total(), seqMeter.Total())
+	}
+}
+
+func TestSearchBatchPIMWorkers(t *testing.T) {
+	data, queries := testData(t, 300, 64)
+	q := defaultQuant(t)
+	// Each worker needs its own engine (payload names are engine-scoped).
+	res, err := SearchBatch(func() (Searcher, error) {
+		eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+		if err != nil {
+			return nil, err
+		}
+		return NewStandardPIM(eng, data, q, data.N)
+	}, queries, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := NewStandard(data)
+	for qi := 0; qi < queries.N; qi++ {
+		want := exact.Search(queries.Row(qi), 10, arch.NewMeter())
+		for i := range want {
+			if res.Neighbors[qi][i].Dist != want[i].Dist {
+				t.Fatalf("query %d pos %d inexact", qi, i)
+			}
+		}
+	}
+}
+
+func TestSearchBatchErrors(t *testing.T) {
+	data, queries := testData(t, 50, 16)
+	if _, err := SearchBatch(func() (Searcher, error) {
+		return NewStandard(data), nil
+	}, queries, 0, 2); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	boom := errors.New("boom")
+	if _, err := SearchBatch(func() (Searcher, error) {
+		return nil, boom
+	}, queries, 5, 2); !errors.Is(err, boom) {
+		t.Fatalf("constructor error not propagated: %v", err)
+	}
+	res, err := SearchBatch(nil, nil, 5, 2)
+	if err != nil || len(res.Neighbors) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}

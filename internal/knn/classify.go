@@ -1,0 +1,72 @@
+package knn
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+)
+
+// Classifier turns any Searcher into a kNN classifier: a query takes the
+// majority label among its k nearest neighbors (ties resolved toward the
+// smaller label for determinism). This is the paper's actual kNN
+// classification task; because every Searcher in this package returns the
+// exact neighbor set, classification decisions are identical across the
+// host and PIM variants.
+type Classifier struct {
+	Searcher Searcher
+	Labels   []int
+	K        int
+}
+
+// NewClassifier builds a classifier over a labeled dataset. len(Labels)
+// must cover every index the searcher can return.
+func NewClassifier(s Searcher, labels []int, k int) (*Classifier, error) {
+	if s == nil {
+		return nil, fmt.Errorf("knn: classifier needs a searcher")
+	}
+	if len(labels) == 0 {
+		return nil, fmt.Errorf("knn: classifier needs labels")
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("knn: classifier needs k >= 1, got %d", k)
+	}
+	return &Classifier{Searcher: s, Labels: labels, K: k}, nil
+}
+
+// Classify returns the majority label among q's K nearest neighbors and
+// the vote count it received.
+func (c *Classifier) Classify(q []float64, meter *arch.Meter) (label, votes int) {
+	nn := c.Searcher.Search(q, c.K, meter)
+	counts := make(map[int]int, c.K)
+	for _, n := range nn {
+		if n.Index < 0 || n.Index >= len(c.Labels) {
+			panic(fmt.Sprintf("knn: neighbor index %d outside labels (%d)", n.Index, len(c.Labels)))
+		}
+		counts[c.Labels[n.Index]]++
+	}
+	label, votes = -1, -1
+	for l, v := range counts {
+		if v > votes || (v == votes && l < label) {
+			label, votes = l, v
+		}
+	}
+	return label, votes
+}
+
+// Accuracy classifies every row of a labeled query set and returns the
+// fraction matching the expected labels.
+func (c *Classifier) Accuracy(queries [][]float64, expected []int, meter *arch.Meter) (float64, error) {
+	if len(queries) != len(expected) {
+		return 0, fmt.Errorf("knn: %d queries with %d expected labels", len(queries), len(expected))
+	}
+	if len(queries) == 0 {
+		return 0, nil
+	}
+	correct := 0
+	for i, q := range queries {
+		if got, _ := c.Classify(q, meter); got == expected[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(queries)), nil
+}

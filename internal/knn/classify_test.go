@@ -1,0 +1,87 @@
+package knn
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+)
+
+func TestClassifierValidation(t *testing.T) {
+	data, _ := testData(t, 50, 16)
+	s := NewStandard(data)
+	if _, err := NewClassifier(nil, []int{1}, 3); err == nil {
+		t.Fatal("nil searcher must be rejected")
+	}
+	if _, err := NewClassifier(s, nil, 3); err == nil {
+		t.Fatal("empty labels must be rejected")
+	}
+	if _, err := NewClassifier(s, []int{1}, 0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}
+
+// On well-separated clusters, kNN classification recovers the generating
+// labels with high accuracy, and the PIM searcher produces identical
+// decisions to the host searcher.
+func TestClassifierAccuracyAndPIMAgreement(t *testing.T) {
+	prof := dataset.Profile{Name: "t", FullN: 600, D: 64, Clusters: 6, Correlation: 0.8, Spread: 0.08}
+	ds := dataset.Generate(prof, 600, 31)
+	queriesX := ds.Queries(40, 32)
+
+	// Ground truth: each query's generating cluster equals its exact
+	// nearest neighbor's label with near-certainty on tight clusters.
+	exact := NewStandard(ds.X)
+	expected := make([]int, queriesX.N)
+	queries := make([][]float64, queriesX.N)
+	for i := 0; i < queriesX.N; i++ {
+		queries[i] = queriesX.Row(i)
+		nn := exact.Search(queries[i], 1, arch.NewMeter())
+		expected[i] = ds.Labels[nn[0].Index]
+	}
+
+	hostC, err := NewClassifier(exact, ds.Labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := hostC.Accuracy(queries, expected, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("host classification accuracy %.2f below 0.9 on separated clusters", acc)
+	}
+
+	eng := newEngine(t)
+	q := defaultQuant(t)
+	pimS, err := NewStandardPIM(eng, ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pimC, err := NewClassifier(pimS, ds.Labels, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, qv := range queries {
+		hl, hv := hostC.Classify(qv, arch.NewMeter())
+		pl, pv := pimC.Classify(qv, arch.NewMeter())
+		if hl != pl || hv != pv {
+			t.Fatalf("query %d: host (%d,%d) != PIM (%d,%d)", i, hl, hv, pl, pv)
+		}
+	}
+}
+
+func TestAccuracyValidation(t *testing.T) {
+	data, _ := testData(t, 50, 16)
+	c, err := NewClassifier(NewStandard(data), make([]int, 50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Accuracy([][]float64{data.Row(0)}, []int{0, 1}, arch.NewMeter()); err == nil {
+		t.Fatal("length mismatch must be rejected")
+	}
+	acc, err := c.Accuracy(nil, nil, arch.NewMeter())
+	if err != nil || acc != 0 {
+		t.Fatalf("empty accuracy = %v, %v", acc, err)
+	}
+}

@@ -1,0 +1,164 @@
+package knn
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// Maximum-similarity search under CS or PCC (Fig 13d): the k most similar
+// objects are the k with the largest similarity, so internally we search
+// on negated similarity with the same TopK machinery.
+
+// SimStandard is the exact linear scan under CS or PCC.
+type SimStandard struct {
+	Data *vec.Matrix
+	Kind measure.Kind // measure.CS or measure.PCC
+}
+
+// NewSimStandard builds the exact similarity scan. kind must be CS or PCC.
+func NewSimStandard(data *vec.Matrix, kind measure.Kind) (*SimStandard, error) {
+	if kind != measure.CS && kind != measure.PCC {
+		return nil, fmt.Errorf("knn: SimStandard needs CS or PCC, got %v", kind)
+	}
+	return &SimStandard{Data: data, Kind: kind}, nil
+}
+
+// Name implements Searcher.
+func (s *SimStandard) Name() string { return "Standard" }
+
+// Search scans all objects exactly; Neighbor.Dist holds the negated
+// similarity so smaller = more similar.
+func (s *SimStandard) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	top := vec.NewTopK(k)
+	fn := arch.FuncCS
+	for i := 0; i < s.Data.N; i++ {
+		var sim float64
+		if s.Kind == measure.CS {
+			sim = measure.Cosine(s.Data.Row(i), q)
+		} else {
+			sim = measure.Pearson(s.Data.Row(i), q)
+			fn = arch.FuncPCC
+		}
+		top.Push(i, -sim)
+	}
+	c := meter.C(fn)
+	n, d := int64(s.Data.N), s.Data.D
+	c.Ops += n * int64(4*d)
+	c.ALUOps += n * 2 // sqrt + division per object
+	c.SeqBytes += n * int64(d) * operandBytes
+	c.Branches += n
+	c.Calls += n
+	meter.C(arch.FuncOther).Ops += n
+	return top.Results()
+}
+
+// SimPIM filters with the PIM upper bound UB_PIM-CS / UB_PIM-PCC (§V-B)
+// before exact refinement: objects whose upper-bounded similarity cannot
+// reach the current k-th best are pruned without touching their vectors.
+type SimPIM struct {
+	Data   *vec.Matrix
+	Kind   measure.Kind
+	Ix     *pimbound.CSIndex
+	eng    *pim.Engine
+	pay    *pim.Payload
+	dots   []int64
+	stages []StageStat
+}
+
+// NewSimPIM quantizes the dataset and programs the floor payload. The
+// full d dims are needed for the inner-product bound, so Theorem 4 must
+// admit them at full dimensionality (CS/PCC experiments run on datasets
+// where this holds; otherwise an error is returned).
+func NewSimPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, kind measure.Kind, capacityN int) (*SimPIM, error) {
+	if kind != measure.CS && kind != measure.PCC {
+		return nil, fmt.Errorf("knn: SimPIM needs CS or PCC, got %v", kind)
+	}
+	if !eng.Model().Fits(capacityN, data.D, 1) {
+		return nil, fmt.Errorf("knn: %d-dim floors for N=%d exceed PIM capacity", data.D, capacityN)
+	}
+	ix := pimbound.BuildCS(data, q)
+	a := &SimPIM{Data: data, Kind: kind, Ix: ix, eng: eng}
+	var err error
+	a.pay, err = eng.Program(fmt.Sprintf("sim-pim/%v", kind), data.N, data.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Name implements Searcher.
+func (a *SimPIM) Name() string { return "Standard-PIM" }
+
+// LastStages implements Stager.
+func (a *SimPIM) LastStages() []StageStat { return a.stages }
+
+// RecordPreprocessing charges offline payload programming to the meter.
+func (a *SimPIM) RecordPreprocessing(meter *arch.Meter) {
+	pim.RecordProgramCost(meter, a.boundName(), a.pay)
+}
+
+func (a *SimPIM) boundName() string {
+	if a.Kind == measure.CS {
+		return "UBPIM-CS"
+	}
+	return "UBPIM-PCC"
+}
+
+// Search prunes with the PIM upper bound and refines survivors exactly.
+func (a *SimPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qf := a.Ix.Query(q)
+	var err error
+	a.dots, err = a.eng.QueryAll(meter, a.boundName(), a.pay, qf.Floor, a.dots)
+	if err != nil {
+		panic(fmt.Sprintf("knn: SimPIM query-all: %v", err))
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	exactFn := arch.FuncCS
+	if a.Kind == measure.PCC {
+		exactFn = arch.FuncPCC
+	}
+	for i := 0; i < a.Data.N; i++ {
+		var ub float64
+		if a.Kind == measure.CS {
+			ub = a.Ix.UBCS(i, qf, a.dots[i])
+		} else {
+			ub = a.Ix.UBPCC(i, qf, a.dots[i])
+		}
+		// Prune when even the upper bound cannot beat the k-th best
+		// (threshold holds negated similarity).
+		if -ub >= top.Threshold() {
+			continue
+		}
+		survivors++
+		var sim float64
+		if a.Kind == measure.CS {
+			sim = measure.Cosine(a.Data.Row(i), q)
+		} else {
+			sim = measure.Pearson(a.Data.Row(i), q)
+		}
+		top.Push(i, -sim)
+	}
+	// Per consultation: Φ values and the dot product (Fig 8) — 3 operands
+	// (dot, Σ⌊p̄⌋, norm/Φa; the query side is cached).
+	costPIMBound(meter.C(a.boundName()), int64(a.Data.N), 3)
+	n := int64(survivors)
+	c := meter.C(exactFn)
+	c.Ops += n * int64(4*a.Data.D)
+	c.ALUOps += n * 2
+	c.SeqBytes += n * int64(a.Data.D) * operandBytes
+	c.Branches += n
+	c.Calls += n
+	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
+	a.stages = []StageStat{
+		{Name: a.boundName(), In: a.Data.N, Out: survivors, TransferDims: 3},
+		{Name: exactFn, In: survivors, Out: k, TransferDims: a.Data.D},
+	}
+	return top.Results()
+}

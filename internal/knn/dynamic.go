@@ -1,0 +1,105 @@
+package knn
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// DynamicPIM is an insert-capable PIM kNN index — the §VII future-work
+// exploration made concrete. It reserves crossbar headroom up front
+// (pim.AppendablePayload) so inserts program only fresh cells: zero
+// endurance cost on existing data, no re-programming, and searches stay
+// single-pass. The filter is LB_PIM-ED at full dimensionality, so the
+// reservation must satisfy Theorem 4 for the *reserved* row count.
+type DynamicPIM struct {
+	data *vec.Matrix // owned copy that grows with Add
+	Ix   *pimbound.EDIndex
+	pay  *pim.AppendablePayload
+	dots []int64
+}
+
+// NewDynamicPIM indexes the initial data and reserves headroom for
+// reserveRows total rows.
+func NewDynamicPIM(eng *pim.Engine, initial *vec.Matrix, q quant.Quantizer, reserveRows int) (*DynamicPIM, error) {
+	if initial.N == 0 {
+		return nil, fmt.Errorf("knn: dynamic index needs at least one initial row")
+	}
+	ix := pimbound.BuildED(initial, q)
+	pay, err := eng.ProgramAppendable("dynamic-pim/floors", initial.N, reserveRows,
+		initial.D, 1, eng.Config().OperandBits, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicPIM{data: initial.Clone(), Ix: ix, pay: pay}, nil
+}
+
+// Name implements Searcher.
+func (d *DynamicPIM) Name() string { return "Dynamic-PIM" }
+
+// Len returns the current number of indexed rows.
+func (d *DynamicPIM) Len() int { return d.data.N }
+
+// Headroom returns how many more rows fit the reservation.
+func (d *DynamicPIM) Headroom() int { return d.pay.CapacityRows - d.data.N }
+
+// Add inserts new rows (values in [0,1]). Only fresh crossbar cells are
+// programmed; the modeled programming time accumulates on the payload and
+// can be charged to a meter with RecordInsertCost.
+func (d *DynamicPIM) Add(rows *vec.Matrix) error {
+	if rows.D != d.data.D {
+		return fmt.Errorf("knn: adding %d-dim rows to %d-dim index", rows.D, d.data.D)
+	}
+	if rows.N == 0 {
+		return nil
+	}
+	if rows.N > d.Headroom() {
+		return fmt.Errorf("knn: adding %d rows exceeds headroom %d", rows.N, d.Headroom())
+	}
+	if err := d.Ix.AppendRows(rows); err != nil {
+		return err
+	}
+	// Grow the owned data copy for exact refinement.
+	grown := vec.NewMatrix(d.data.N+rows.N, d.data.D)
+	copy(grown.Data, d.data.Data)
+	copy(grown.Data[d.data.N*d.data.D:], rows.Data)
+	d.data = grown
+	if _, err := d.pay.Append(rows.N, d.Ix.Floor); err != nil {
+		return err
+	}
+	return nil
+}
+
+// RecordInsertCost charges accumulated insert programming time to a meter.
+func (d *DynamicPIM) RecordInsertCost(m *arch.Meter) {
+	d.pay.RecordAppendCost(m, "LBPIM-ED")
+}
+
+// Search filters with LB_PIM-ED over the current contents and refines
+// survivors exactly; results match an exact scan of the same contents.
+func (d *DynamicPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qf := d.Ix.Query(q)
+	var err error
+	d.dots, err = d.pay.QueryAll(meter, "LBPIM-ED", qf.Floor, d.dots)
+	if err != nil {
+		panic(fmt.Sprintf("knn: Dynamic-PIM query-all: %v", err))
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < d.data.N; i++ {
+		if d.Ix.LB(i, qf, d.dots[i]) >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(d.data.Row(i), q))
+	}
+	costPIMBound(meter.C("LBPIM-ED"), int64(d.data.N), 2)
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), d.data.D)
+	meter.C(arch.FuncOther).Ops += int64(d.data.N)
+	return top.Results()
+}

@@ -1,0 +1,97 @@
+package knn
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+)
+
+func TestDynamicPIMInsertAndSearch(t *testing.T) {
+	prof := dataset.Profile{Name: "t", FullN: 900, D: 48, Clusters: 8, Correlation: 0.8, Spread: 0.1}
+	all := dataset.Generate(prof, 900, 55)
+	queries := all.Queries(4, 56)
+	initialN := 300
+
+	initial := all.X.Clone()
+	initial.N = initialN
+	initial.Data = initial.Data[:initialN*initial.D]
+
+	eng := newEngine(t)
+	q := defaultQuant(t)
+	dyn, err := NewDynamicPIM(eng, initial, q, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dyn.Len() != initialN || dyn.Headroom() != 600 {
+		t.Fatalf("len=%d headroom=%d", dyn.Len(), dyn.Headroom())
+	}
+
+	// checkAgainstScan verifies the dynamic index matches an exact scan of
+	// the same logical contents.
+	checkAgainstScan := func(n int) {
+		t.Helper()
+		view := all.X.Clone()
+		view.N = n
+		view.Data = view.Data[:n*view.D]
+		std := NewStandard(view)
+		for qi := 0; qi < queries.N; qi++ {
+			want := std.Search(queries.Row(qi), 10, arch.NewMeter())
+			got := dyn.Search(queries.Row(qi), 10, arch.NewMeter())
+			for i := range want {
+				if got[i].Dist != want[i].Dist {
+					t.Fatalf("n=%d query %d pos %d: %v != %v", n, qi, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	checkAgainstScan(initialN)
+
+	// Insert the rest in two batches.
+	batch1 := all.X.Clone()
+	batch1.Data = batch1.Data[initialN*all.X.D : 600*all.X.D]
+	batch1.N = 300
+	if err := dyn.Add(batch1); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstScan(600)
+
+	batch2 := all.X.Clone()
+	batch2.Data = batch2.Data[600*all.X.D:]
+	batch2.N = 300
+	if err := dyn.Add(batch2); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstScan(900)
+
+	if dyn.Headroom() != 0 {
+		t.Fatalf("headroom = %d after filling reservation", dyn.Headroom())
+	}
+	if err := dyn.Add(batch2); err == nil {
+		t.Fatal("insert beyond reservation must fail")
+	}
+	m := arch.NewMeter()
+	dyn.RecordInsertCost(m)
+	if m.Get("LBPIM-ED").PIMWriteNs <= 0 {
+		t.Fatal("insert programming time must be chargeable")
+	}
+}
+
+func TestDynamicPIMValidation(t *testing.T) {
+	data, _ := testData(t, 50, 16)
+	eng := newEngine(t)
+	q := defaultQuant(t)
+	dyn, err := NewDynamicPIM(eng, data, q, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := testData(t, 5, 8)
+	if err := dyn.Add(bad); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+	empty := data.Clone()
+	empty.N, empty.Data = 0, empty.Data[:0]
+	if err := dyn.Add(empty); err != nil {
+		t.Fatal("empty add must be a no-op")
+	}
+}

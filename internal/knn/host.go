@@ -1,0 +1,227 @@
+package knn
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/bound"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// ---------------------------------------------------------------------------
+// Standard: exact linear scan.
+// ---------------------------------------------------------------------------
+
+// Standard is the exact ED linear scan over a dataset.
+type Standard struct {
+	Data *vec.Matrix
+}
+
+// NewStandard builds the baseline scan.
+func NewStandard(data *vec.Matrix) *Standard { return &Standard{Data: data} }
+
+// Name implements Searcher.
+func (s *Standard) Name() string { return "Standard" }
+
+// Search scans all objects with exact ED.
+func (s *Standard) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	top := vec.NewTopK(k)
+	for i := 0; i < s.Data.N; i++ {
+		top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+	}
+	costExactScan(meter.C(arch.FuncED), int64(s.Data.N), s.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(s.Data.N) // heap maintenance
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// OST: LB_OST filter + exact refinement.
+// ---------------------------------------------------------------------------
+
+// OST prunes with the orthogonal-search-tree bound before refining.
+type OST struct {
+	Data   *vec.Matrix
+	Ix     *bound.OSTIndex
+	stages []StageStat
+}
+
+// NewOST builds the OST searcher with head length d0 (the paper's baseline
+// setting uses half the dimensions; callers may tune).
+func NewOST(data *vec.Matrix, d0 int) (*OST, error) {
+	ix, err := bound.BuildOST(data, d0)
+	if err != nil {
+		return nil, err
+	}
+	return &OST{Data: data, Ix: ix}, nil
+}
+
+// Name implements Searcher.
+func (o *OST) Name() string { return "OST" }
+
+// LastStages implements Stager.
+func (o *OST) LastStages() []StageStat { return o.stages }
+
+// Search filters with LB_OST, then refines survivors with exact ED.
+func (o *OST) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qTail := o.Ix.QueryTail(q)
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < o.Data.N; i++ {
+		if o.Ix.LB(i, q, qTail) >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(o.Data.Row(i), q))
+	}
+	costBoundScan(meter.C("LBOST"), int64(o.Data.N), o.Ix.TransferDims())
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), o.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(o.Data.N)
+	o.stages = []StageStat{
+		{Name: "LBOST", In: o.Data.N, Out: survivors, TransferDims: o.Ix.TransferDims()},
+		{Name: "ED", In: survivors, Out: k, TransferDims: o.Data.D},
+	}
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// SM: LB_SM filter + exact refinement.
+// ---------------------------------------------------------------------------
+
+// SM prunes with the segmented-mean bound before refining.
+type SM struct {
+	Data   *vec.Matrix
+	Ix     *bound.SMIndex
+	stages []StageStat
+}
+
+// NewSM builds the SM searcher with segs segments.
+func NewSM(data *vec.Matrix, segs int) (*SM, error) {
+	ix, err := bound.BuildSM(data, segs)
+	if err != nil {
+		return nil, err
+	}
+	return &SM{Data: data, Ix: ix}, nil
+}
+
+// Name implements Searcher.
+func (s *SM) Name() string { return "SM" }
+
+// LastStages implements Stager.
+func (s *SM) LastStages() []StageStat { return s.stages }
+
+// Search filters with LB_SM, then refines survivors with exact ED.
+func (s *SM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qMu, err := s.Ix.QueryMu(q)
+	if err != nil {
+		panic(fmt.Sprintf("knn: SM query: %v", err)) // shape mismatch is a caller bug
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < s.Data.N; i++ {
+		if s.Ix.LB(i, qMu) >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+	}
+	costBoundScan(meter.C("LBSM"), int64(s.Data.N), s.Ix.TransferDims())
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), s.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
+	s.stages = []StageStat{
+		{Name: "LBSM", In: s.Data.N, Out: survivors, TransferDims: s.Ix.TransferDims()},
+		{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D},
+	}
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// FNN: cascade of LB_FNN bounds of increasing granularity + refinement.
+// ---------------------------------------------------------------------------
+
+// FNN applies the paper's three-level LB_FNN cascade (granularities near
+// d/64, d/16, d/4 — Fig 12a) before exact refinement.
+type FNN struct {
+	Data   *vec.Matrix
+	Levels []*bound.FNNIndex // ascending granularity
+	stages []StageStat
+}
+
+// NewFNN builds the FNN searcher with the standard cascade for the data's
+// dimensionality.
+func NewFNN(data *vec.Matrix) (*FNN, error) {
+	levels := bound.FNNLevels(data.D)
+	return NewFNNWithLevels(data, levels[:])
+}
+
+// NewFNNWithLevels builds the cascade with explicit segment counts
+// (ascending). Duplicate granularities are collapsed.
+func NewFNNWithLevels(data *vec.Matrix, segCounts []int) (*FNN, error) {
+	f := &FNN{Data: data}
+	seen := map[int]bool{}
+	for _, segs := range segCounts {
+		if seen[segs] {
+			continue
+		}
+		seen[segs] = true
+		ix, err := bound.BuildFNN(data, segs)
+		if err != nil {
+			return nil, err
+		}
+		f.Levels = append(f.Levels, ix)
+	}
+	if len(f.Levels) == 0 {
+		return nil, fmt.Errorf("knn: FNN needs at least one granularity")
+	}
+	return f, nil
+}
+
+// Name implements Searcher.
+func (f *FNN) Name() string { return "FNN" }
+
+// LastStages implements Stager.
+func (f *FNN) LastStages() []StageStat { return f.stages }
+
+// Search runs the cascade. Each level is evaluated lazily: an object only
+// reaches level j+1 if level j failed to prune it, exactly as in Fig 12(a).
+func (f *FNN) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	type qstats struct{ mu, sigma []float64 }
+	qs := make([]qstats, len(f.Levels))
+	for li, ix := range f.Levels {
+		mu, sigma, err := ix.QueryStats(q)
+		if err != nil {
+			panic(fmt.Sprintf("knn: FNN query: %v", err))
+		}
+		qs[li] = qstats{mu, sigma}
+	}
+	top := vec.NewTopK(k)
+	entered := make([]int, len(f.Levels)+1)
+	f.stages = f.stages[:0]
+	for i := 0; i < f.Data.N; i++ {
+		pruned := false
+		for li, ix := range f.Levels {
+			entered[li]++
+			if ix.LB(i, qs[li].mu, qs[li].sigma) >= top.Threshold() {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		entered[len(f.Levels)]++
+		top.Push(i, measure.SqEuclidean(f.Data.Row(i), q))
+	}
+	for li, ix := range f.Levels {
+		name := fmt.Sprintf("LBFNN-%d", ix.Segs)
+		costBoundScan(meter.C(name), int64(entered[li]), ix.TransferDims())
+		f.stages = append(f.stages, StageStat{
+			Name: name, In: entered[li], Out: entered[li+1], TransferDims: ix.TransferDims(),
+		})
+	}
+	survivors := entered[len(f.Levels)]
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), f.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(f.Data.N)
+	f.stages = append(f.stages, StageStat{Name: "ED", In: survivors, Out: k, TransferDims: f.Data.D})
+	return top.Results()
+}

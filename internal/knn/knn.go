@@ -1,0 +1,100 @@
+// Package knn implements the kNN classification algorithms evaluated in
+// §VI-C of the paper and their PIM-optimized counterparts:
+//
+//	Standard      linear scan with exact ED        (baseline)
+//	OST           LB_OST filter + refine           (Liaw et al. 2010)
+//	SM            LB_SM filter + refine            (Yi & Faloutsos 2000)
+//	FNN           LB_FNN cascade + refine          (Hwang et al. 2012)
+//	*-PIM         the same with the bottleneck bound replaced by its
+//	              PIM-aware bound computed on the ReRAM array (§V)
+//	FNN-PIM-opt   FNN-PIM with §V-D's execution-plan optimization
+//
+// plus Hamming-distance scans over binary codes (Fig 14) and CS/PCC
+// maximum-similarity scans (Fig 13d).
+//
+// Every algorithm performs the real computation — results are exact and
+// integration tests assert each variant returns the same neighbor set as
+// the exact scan — while recording modeled hardware activity into an
+// arch.Meter for the timing model.
+package knn
+
+import (
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+// Searcher is a kNN algorithm bound to a dataset. Search must append its
+// activity to the meter (which may be shared across queries).
+type Searcher interface {
+	Name() string
+	Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor
+}
+
+// StageStat reports one filtering stage of a query: how many candidates
+// entered, how many survived, and the per-object data-transfer cost in
+// operands — the inputs to Fig 15 and the §V-D plan optimizer.
+type StageStat struct {
+	Name         string
+	In, Out      int
+	TransferDims int
+}
+
+// PruneRatio returns the fraction of entering candidates the stage pruned.
+func (s StageStat) PruneRatio() float64 {
+	if s.In == 0 {
+		return 0
+	}
+	return 1 - float64(s.Out)/float64(s.In)
+}
+
+// Stager is implemented by filter-and-refine searchers that expose their
+// last query's per-stage statistics.
+type Stager interface {
+	LastStages() []StageStat
+}
+
+// operandBytes is the modeled width of one data operand (32 bits,
+// matching arch.Config's default; meters deliberately count bytes so they
+// are independent of the configuration object).
+const operandBytes = 4
+
+// costBoundScan records the host cost of evaluating a precomputed bound
+// against n objects in a sequential scan, with tdims operands transferred
+// and ~3 ops consumed per operand, plus a compare/branch per object.
+func costBoundScan(c *arch.Counters, n int64, tdims int) {
+	c.Ops += n * int64(3*tdims+2)
+	c.SeqBytes += n * int64(tdims) * operandBytes
+	c.Branches += n
+	c.Calls += n
+}
+
+// costExactRefine records the host cost of exact d-dimensional ED on n
+// surviving candidates. Survivors are visited in ascending index order
+// (the scan order), so their traffic still prefetches like a sparse
+// sequential stream and is charged at the sequential rate.
+func costExactRefine(c *arch.Counters, n int64, d int) {
+	c.Ops += n * int64(3*d)
+	c.SeqBytes += n * int64(d) * operandBytes
+	c.Branches += n
+	c.Calls += n
+}
+
+// costExactScan records the host cost of exact ED over the whole dataset
+// in a sequential scan (the Standard baseline).
+func costExactScan(c *arch.Counters, n int64, d int) {
+	c.Ops += n * int64(3*d)
+	c.SeqBytes += n * int64(d) * operandBytes
+	c.Branches += n
+	c.Calls += n
+}
+
+// costPIMBound records the host-side cost of combining PIM results with
+// the precomputed Φ values (function G of Eq. 3): per consulted object the
+// CPU moves `operands` values (Fig 8: Φ(p) and the dot product(s); Φ(q) is
+// computed once and cached) and spends a handful of ops.
+func costPIMBound(c *arch.Counters, n int64, operands int) {
+	c.Ops += n * int64(2*operands+4)
+	c.SeqBytes += n * int64(operands) * operandBytes
+	c.Branches += n
+	c.Calls += n
+}

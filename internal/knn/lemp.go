@@ -1,0 +1,72 @@
+package knn
+
+import (
+	"pimmine/internal/arch"
+	"pimmine/internal/bound"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// SimLEMP is the host-side bound-based baseline for maximum cosine
+// similarity search, built on Table 3's UB_part (Teflioudi et al., LEMP):
+// CS(p,q) ≤ UB_part(p,q) / (‖p‖‖q‖), so objects whose bounded similarity
+// cannot reach the current k-th best are pruned before the exact
+// computation. This is the CS analogue of the OST/SM/FNN ED baselines —
+// §II-C: "Prior works focus on devising upper bound UB ... such as
+// UB_part".
+type SimLEMP struct {
+	Data   *vec.Matrix
+	Ix     *bound.PartIndex
+	stages []StageStat
+}
+
+// NewSimLEMP builds the searcher with head length d0.
+func NewSimLEMP(data *vec.Matrix, d0 int) (*SimLEMP, error) {
+	ix, err := bound.BuildPart(data, d0)
+	if err != nil {
+		return nil, err
+	}
+	return &SimLEMP{Data: data, Ix: ix}, nil
+}
+
+// Name implements Searcher.
+func (s *SimLEMP) Name() string { return "LEMP" }
+
+// LastStages implements Stager.
+func (s *SimLEMP) LastStages() []StageStat { return s.stages }
+
+// Search returns the k most cosine-similar objects (Neighbor.Dist holds
+// the negated similarity, matching SimStandard).
+func (s *SimLEMP) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qTail := s.Ix.QueryTail(q)
+	qNorm := vec.Norm(q)
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < s.Data.N; i++ {
+		var ub float64
+		if pn := s.Ix.Norm[i]; pn > 0 && qNorm > 0 {
+			ub = s.Ix.UBDot(i, q, qTail) / (pn * qNorm)
+		}
+		if -ub >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, -measure.Cosine(s.Data.Row(i), q))
+	}
+	costBoundScan(meter.C("UBpart"), int64(s.Data.N), s.Ix.TransferDims())
+	n := int64(survivors)
+	c := meter.C(arch.FuncCS)
+	c.Ops += n * int64(4*s.Data.D)
+	c.ALUOps += n * 2
+	c.SeqBytes += n * int64(s.Data.D) * operandBytes
+	c.Branches += n
+	c.Calls += n
+	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
+	s.stages = []StageStat{
+		{Name: "UBpart", In: s.Data.N, Out: survivors, TransferDims: s.Ix.TransferDims()},
+		{Name: arch.FuncCS, In: survivors, Out: k, TransferDims: s.Data.D},
+	}
+	return top.Results()
+}
+
+var _ Searcher = (*SimLEMP)(nil)

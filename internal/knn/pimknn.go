@@ -1,0 +1,447 @@
+package knn
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/bound"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// fnnFilter wraps an LB_PIM-FNN payload pair (⌊µ⌋ and ⌊σ⌋ crossbar
+// payloads, Fig 10) and evaluates Theorem 2's bound for every object.
+type fnnFilter struct {
+	ix     *pimbound.FNNIndex
+	eng    *pim.Engine
+	muPay  *pim.Payload
+	sgPay  *pim.Payload
+	dotsMu []int64
+	dotsSg []int64
+}
+
+// newFNNFilter quantizes the dataset's segment statistics at granularity
+// segs and programs both payloads.
+func newFNNFilter(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, segs int, tag string) (*fnnFilter, error) {
+	ix, err := pimbound.BuildFNN(data, q, segs)
+	if err != nil {
+		return nil, err
+	}
+	f := &fnnFilter{ix: ix, eng: eng}
+	f.muPay, err = eng.Program(tag+"/mu", data.N, segs, 2, ix.MuFloor)
+	if err != nil {
+		return nil, err
+	}
+	f.sgPay, err = eng.Program(tag+"/sigma", data.N, segs, 2, ix.SigmaFloor)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// funcName is the meter bucket / stage name for this filter.
+func (f *fnnFilter) funcName() string { return fmt.Sprintf("LBPIM-FNN-%d", f.ix.Segs) }
+
+// prepare runs the query's PIM passes and returns the query features;
+// bounds are then available for every object via lb. The ⌊µ⌋ and ⌊σ⌋
+// payloads live in disjoint crossbar groups (Fig 10's crossbar a /
+// crossbar b), so both dot products come out of one concurrent pass
+// (§V-C's parallel function groups).
+func (f *fnnFilter) prepare(q []float64, meter *arch.Meter) (pimbound.FNNQuery, error) {
+	qf, err := f.ix.Query(q)
+	if err != nil {
+		return pimbound.FNNQuery{}, err
+	}
+	dsts, err := f.eng.QueryAllParallel(meter, f.funcName(),
+		[]*pim.Payload{f.muPay, f.sgPay},
+		[][]uint32{qf.MuFloor, qf.SigmaFloor},
+		[][]int64{f.dotsMu, f.dotsSg})
+	if err != nil {
+		return pimbound.FNNQuery{}, err
+	}
+	f.dotsMu, f.dotsSg = dsts[0], dsts[1]
+	return qf, nil
+}
+
+func (f *fnnFilter) lb(i int, qf pimbound.FNNQuery) float64 {
+	return f.ix.LB(i, qf, f.dotsMu[i], f.dotsSg[i])
+}
+
+// hostOperands is the per-consultation transfer: Φ(p̂) plus two dot
+// products (Φ(q̂) is cached) — Fig 8's 3·b bits.
+func (f *fnnFilter) hostOperands() int { return 3 }
+
+// recordProgram charges the offline programming to a meter.
+func (f *fnnFilter) recordProgram(meter *arch.Meter) {
+	pim.RecordProgramCost(meter, f.funcName(), f.muPay)
+	pim.RecordProgramCost(meter, f.funcName(), f.sgPay)
+}
+
+// ---------------------------------------------------------------------------
+// Standard-PIM: linear scan with a single LB_PIM-FNN filter at the
+// Theorem 4 dimensionality, then exact refinement. Matches §VI-C's
+// Standard-PIM (e.g. s=105 on MSD, s=50 on ImageNet when sized against
+// the full dataset cardinalities).
+// ---------------------------------------------------------------------------
+
+// StandardPIM is the PIM-optimized linear scan.
+type StandardPIM struct {
+	Data   *vec.Matrix
+	filter *fnnFilter
+	stages []StageStat
+}
+
+// NewStandardPIM sizes the compressed dimensionality with Theorem 4
+// against capacityN objects (pass the dataset's full-scale cardinality to
+// reproduce the paper's constraint; the generated data may be smaller) and
+// programs the payloads.
+func NewStandardPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int) (*StandardPIM, error) {
+	s := eng.Model().ChooseS(capacityN, pim.Divisors(data.D), 2)
+	if s == 0 {
+		return nil, fmt.Errorf("knn: no compressed dimensionality of d=%d fits the PIM array for N=%d", data.D, capacityN)
+	}
+	f, err := newFNNFilter(eng, data, q, s, "standard-pim")
+	if err != nil {
+		return nil, err
+	}
+	return &StandardPIM{Data: data, filter: f}, nil
+}
+
+// S returns the Theorem 4 compressed dimensionality in use.
+func (s *StandardPIM) S() int { return s.filter.ix.Segs }
+
+// Name implements Searcher.
+func (s *StandardPIM) Name() string { return "Standard-PIM" }
+
+// LastStages implements Stager.
+func (s *StandardPIM) LastStages() []StageStat { return s.stages }
+
+// RecordPreprocessing charges offline payload programming to the meter.
+func (s *StandardPIM) RecordPreprocessing(meter *arch.Meter) { s.filter.recordProgram(meter) }
+
+// Search filters with LB_PIM-FNN and refines survivors exactly.
+func (s *StandardPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qf, err := s.filter.prepare(q, meter)
+	if err != nil {
+		panic(fmt.Sprintf("knn: Standard-PIM prepare: %v", err))
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < s.Data.N; i++ {
+		if s.filter.lb(i, qf) >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+	}
+	fn := s.filter.funcName()
+	costPIMBound(meter.C(fn), int64(s.Data.N), s.filter.hostOperands())
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), s.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
+	s.stages = []StageStat{
+		{Name: fn, In: s.Data.N, Out: survivors, TransferDims: s.filter.hostOperands()},
+		{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D},
+	}
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// FNN-PIM: the FNN cascade with its bottleneck (coarsest) bound replaced
+// by LB_PIM-FNN at the Theorem 4 dimensionality; the finer original
+// bounds stay in place (§VI-C's default plan). FNN-PIM-optimize drops the
+// host bounds the §V-D plan optimizer rejects.
+// ---------------------------------------------------------------------------
+
+// FNNPIM is the PIM-optimized FNN cascade.
+type FNNPIM struct {
+	Data       *vec.Matrix
+	filter     *fnnFilter
+	HostLevels []*bound.FNNIndex // remaining original bounds, ascending granularity
+	variant    string
+	stages     []StageStat
+}
+
+// NewFNNPIM builds the default plan: LB_PIM-FNN(s) followed by the
+// original cascade's finer levels (those with granularity above the
+// replaced bottleneck level).
+func NewFNNPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int) (*FNNPIM, error) {
+	levels := bound.FNNLevels(data.D)
+	return newFNNPIM(eng, data, q, capacityN, levels[1:], "FNN-PIM")
+}
+
+// NewFNNPIMOptimized builds FNN-PIM with an explicit set of retained host
+// granularities (possibly none), as selected by the §V-D plan optimizer.
+func NewFNNPIMOptimized(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int, hostSegs []int) (*FNNPIM, error) {
+	return newFNNPIM(eng, data, q, capacityN, hostSegs, "FNN-PIM-optimize")
+}
+
+func newFNNPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int, hostSegs []int, variant string) (*FNNPIM, error) {
+	s := eng.Model().ChooseS(capacityN, pim.Divisors(data.D), 2)
+	if s == 0 {
+		return nil, fmt.Errorf("knn: no compressed dimensionality of d=%d fits the PIM array for N=%d", data.D, capacityN)
+	}
+	f, err := newFNNFilter(eng, data, q, s, variant)
+	if err != nil {
+		return nil, err
+	}
+	a := &FNNPIM{Data: data, filter: f, variant: variant}
+	for _, segs := range hostSegs {
+		if segs == s {
+			continue // subsumed by the PIM bound at equal granularity
+		}
+		ix, err := bound.BuildFNN(data, segs)
+		if err != nil {
+			return nil, err
+		}
+		a.HostLevels = append(a.HostLevels, ix)
+	}
+	return a, nil
+}
+
+// S returns the Theorem 4 compressed dimensionality in use.
+func (a *FNNPIM) S() int { return a.filter.ix.Segs }
+
+// Name implements Searcher.
+func (a *FNNPIM) Name() string { return a.variant }
+
+// LastStages implements Stager.
+func (a *FNNPIM) LastStages() []StageStat { return a.stages }
+
+// RecordPreprocessing charges offline payload programming to the meter.
+func (a *FNNPIM) RecordPreprocessing(meter *arch.Meter) { a.filter.recordProgram(meter) }
+
+// Search runs the PIM bound first (it is computed in one batch on the
+// array), then the retained host bounds, then exact refinement.
+func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qf, err := a.filter.prepare(q, meter)
+	if err != nil {
+		panic(fmt.Sprintf("knn: %s prepare: %v", a.variant, err))
+	}
+	type qstats struct{ mu, sigma []float64 }
+	qs := make([]qstats, len(a.HostLevels))
+	for li, ix := range a.HostLevels {
+		mu, sigma, serr := ix.QueryStats(q)
+		if serr != nil {
+			panic(fmt.Sprintf("knn: %s query: %v", a.variant, serr))
+		}
+		qs[li] = qstats{mu, sigma}
+	}
+	top := vec.NewTopK(k)
+	entered := make([]int, len(a.HostLevels)+2) // [pim, host..., exact]
+	for i := 0; i < a.Data.N; i++ {
+		entered[0]++
+		if a.filter.lb(i, qf) >= top.Threshold() {
+			continue
+		}
+		pruned := false
+		for li, ix := range a.HostLevels {
+			entered[1+li]++
+			if ix.LB(i, qs[li].mu, qs[li].sigma) >= top.Threshold() {
+				pruned = true
+				break
+			}
+		}
+		if pruned {
+			continue
+		}
+		entered[1+len(a.HostLevels)]++
+		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+	}
+	fn := a.filter.funcName()
+	costPIMBound(meter.C(fn), int64(entered[0]), a.filter.hostOperands())
+	a.stages = a.stages[:0]
+	a.stages = append(a.stages, StageStat{
+		Name: fn, In: entered[0], Out: entered[1], TransferDims: a.filter.hostOperands(),
+	})
+	for li, ix := range a.HostLevels {
+		name := fmt.Sprintf("LBFNN-%d", ix.Segs)
+		costBoundScan(meter.C(name), int64(entered[1+li]), ix.TransferDims())
+		a.stages = append(a.stages, StageStat{
+			Name: name, In: entered[1+li], Out: entered[2+li], TransferDims: ix.TransferDims(),
+		})
+	}
+	survivors := entered[1+len(a.HostLevels)]
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
+	a.stages = append(a.stages, StageStat{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D})
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// SM-PIM: LB_SM's bottleneck replaced by its PIM-aware form — Theorem 1's
+// floor trick applied to the segment-mean vectors, scaled by the segment
+// length l:  LB_PIM-SM(p,q) = l · LB_PIM-ED(µ(p̂), µ(q̂)) ≤ LB_SM ≤ ED.
+// ---------------------------------------------------------------------------
+
+// SMPIM is the PIM-optimized segmented-mean searcher.
+type SMPIM struct {
+	Data   *vec.Matrix
+	Ix     *pimbound.EDIndex // over the µ vectors
+	L      int
+	eng    *pim.Engine
+	pay    *pim.Payload
+	dots   []int64
+	stages []StageStat
+}
+
+// NewSMPIM derives segment means at granularity segs (compressed further
+// if Theorem 4 requires), quantizes them and programs the payload.
+func NewSMPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, segs, capacityN int) (*SMPIM, error) {
+	// Respect capacity: shrink to the largest fitting divisor granularity.
+	if !eng.Model().Fits(capacityN, segs, 1) {
+		segs = eng.Model().ChooseS(capacityN, pim.Divisors(data.D), 1)
+		if segs == 0 {
+			return nil, fmt.Errorf("knn: no SM granularity fits the PIM array for N=%d", capacityN)
+		}
+	}
+	mus := vec.NewMatrix(data.N, segs)
+	for i := 0; i < data.N; i++ {
+		mu, _, err := vec.SegmentStats(data.Row(i), segs)
+		if err != nil {
+			return nil, err
+		}
+		copy(mus.Row(i), mu)
+	}
+	ix := pimbound.BuildED(mus, q)
+	a := &SMPIM{Data: data, Ix: ix, L: data.D / segs, eng: eng}
+	var err error
+	a.pay, err = eng.Program("sm-pim/mu", data.N, segs, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Name implements Searcher.
+func (a *SMPIM) Name() string { return "SM-PIM" }
+
+// LastStages implements Stager.
+func (a *SMPIM) LastStages() []StageStat { return a.stages }
+
+// RecordPreprocessing charges offline payload programming to the meter.
+func (a *SMPIM) RecordPreprocessing(meter *arch.Meter) {
+	pim.RecordProgramCost(meter, "LBPIM-SM", a.pay)
+}
+
+// Search filters with LB_PIM-SM and refines survivors exactly.
+func (a *SMPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	mu, _, err := vec.SegmentStats(q, a.Ix.D)
+	if err != nil {
+		panic(fmt.Sprintf("knn: SM-PIM query: %v", err))
+	}
+	qf := a.Ix.Query(mu)
+	a.dots, err = a.eng.QueryAll(meter, "LBPIM-SM", a.pay, qf.Floor, a.dots)
+	if err != nil {
+		panic(fmt.Sprintf("knn: SM-PIM query-all: %v", err))
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < a.Data.N; i++ {
+		if float64(a.L)*a.Ix.LB(i, qf, a.dots[i]) >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+	}
+	costPIMBound(meter.C("LBPIM-SM"), int64(a.Data.N), 2)
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
+	a.stages = []StageStat{
+		{Name: "LBPIM-SM", In: a.Data.N, Out: survivors, TransferDims: 2},
+		{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D},
+	}
+	return top.Results()
+}
+
+// ---------------------------------------------------------------------------
+// OST-PIM: LB_OST's head partial distance replaced by Theorem 1's floor
+// trick over the head prefix, keeping the exact tail-norm term (both tail
+// norms are precomputed scalars):
+//
+//	LB_PIM-OST(p,q) = LB_PIM-ED(p_head, q_head) + (‖p_tail‖ − ‖q_tail‖)²
+// ---------------------------------------------------------------------------
+
+// OSTPIM is the PIM-optimized orthogonal-search-tree searcher.
+type OSTPIM struct {
+	Data   *vec.Matrix
+	Ix     *pimbound.EDIndex // over the head prefix
+	Tail   []float64         // ‖p_tail‖ per object
+	D0     int
+	eng    *pim.Engine
+	pay    *pim.Payload
+	dots   []int64
+	stages []StageStat
+}
+
+// NewOSTPIM builds the PIM head filter with head length d0, clamped to
+// Theorem 4 capacity.
+func NewOSTPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, d0, capacityN int) (*OSTPIM, error) {
+	if d0 <= 0 || d0 >= data.D {
+		return nil, fmt.Errorf("knn: OST-PIM head length %d outside (0,%d)", d0, data.D)
+	}
+	if fit := eng.Model().MaxFitting(capacityN, d0, 1); fit < d0 {
+		if fit == 0 {
+			return nil, fmt.Errorf("knn: no OST head length fits the PIM array for N=%d", capacityN)
+		}
+		d0 = fit
+	}
+	heads := vec.NewMatrix(data.N, d0)
+	tails := make([]float64, data.N)
+	for i := 0; i < data.N; i++ {
+		row := data.Row(i)
+		copy(heads.Row(i), row[:d0])
+		tails[i] = vec.Norm(row[d0:])
+	}
+	ix := pimbound.BuildED(heads, q)
+	a := &OSTPIM{Data: data, Ix: ix, Tail: tails, D0: d0, eng: eng}
+	var err error
+	a.pay, err = eng.Program("ost-pim/head", data.N, d0, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Name implements Searcher.
+func (a *OSTPIM) Name() string { return "OST-PIM" }
+
+// LastStages implements Stager.
+func (a *OSTPIM) LastStages() []StageStat { return a.stages }
+
+// RecordPreprocessing charges offline payload programming to the meter.
+func (a *OSTPIM) RecordPreprocessing(meter *arch.Meter) {
+	pim.RecordProgramCost(meter, "LBPIM-OST", a.pay)
+}
+
+// Search filters with LB_PIM-OST and refines survivors exactly.
+func (a *OSTPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	qf := a.Ix.Query(q[:a.D0])
+	qTail := vec.Norm(q[a.D0:])
+	var err error
+	a.dots, err = a.eng.QueryAll(meter, "LBPIM-OST", a.pay, qf.Floor, a.dots)
+	if err != nil {
+		panic(fmt.Sprintf("knn: OST-PIM query-all: %v", err))
+	}
+	top := vec.NewTopK(k)
+	survivors := 0
+	for i := 0; i < a.Data.N; i++ {
+		dt := a.Tail[i] - qTail
+		if a.Ix.LB(i, qf, a.dots[i])+dt*dt >= top.Threshold() {
+			continue
+		}
+		survivors++
+		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+	}
+	// Per consultation: Φ(p_head), dot, ‖p_tail‖ → 3 operands.
+	costPIMBound(meter.C("LBPIM-OST"), int64(a.Data.N), 3)
+	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
+	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
+	a.stages = []StageStat{
+		{Name: "LBPIM-OST", In: a.Data.N, Out: survivors, TransferDims: 3},
+		{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D},
+	}
+	return top.Results()
+}

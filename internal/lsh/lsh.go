@@ -1,0 +1,65 @@
+// Package lsh implements Charikar-style random-hyperplane locality
+// sensitive hashing (SimHash, STOC 2002), used by the paper (§VI) to learn
+// binary codes of 128–1024 bits from GIST descriptors for the
+// Hamming-distance kNN experiments (Fig 14).
+//
+// Each output bit is the sign of the input's projection onto a random
+// Gaussian hyperplane. The expected Hamming distance between two codes is
+// proportional to the angle between the original vectors, so kNN on codes
+// approximates kNN on the originals — exactly the property Fig 14 needs.
+package lsh
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// Hasher projects d-dimensional float vectors to fixed-length binary codes.
+type Hasher struct {
+	Bits int
+	d    int
+	// planes holds Bits random hyperplane normals, row-major.
+	planes []float64
+}
+
+// NewHasher creates a SimHash family for d-dimensional inputs producing
+// bits-bit codes, seeded deterministically.
+func NewHasher(d, bits int, seed int64) *Hasher {
+	if d <= 0 || bits <= 0 {
+		panic(fmt.Sprintf("lsh: invalid hasher shape d=%d bits=%d", d, bits))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	planes := make([]float64, bits*d)
+	for i := range planes {
+		planes[i] = rng.NormFloat64()
+	}
+	return &Hasher{Bits: bits, d: d, planes: planes}
+}
+
+// Hash returns the bits-bit SimHash code of v. Panics if v has the wrong
+// dimensionality.
+func (h *Hasher) Hash(v []float64) measure.BitVector {
+	if len(v) != h.d {
+		panic(fmt.Sprintf("lsh: hashing %d-dim vector with %d-dim hasher", len(v), h.d))
+	}
+	code := measure.NewBitVector(h.Bits)
+	for b := 0; b < h.Bits; b++ {
+		plane := h.planes[b*h.d : (b+1)*h.d]
+		if vec.Dot(plane, v) >= 0 {
+			code.Set(b, true)
+		}
+	}
+	return code
+}
+
+// HashAll hashes every row of the matrix.
+func (h *Hasher) HashAll(m *vec.Matrix) []measure.BitVector {
+	out := make([]measure.BitVector, m.N)
+	for i := 0; i < m.N; i++ {
+		out[i] = h.Hash(m.Row(i))
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package lsh
+
+import (
+	"math"
+	"testing"
+
+	"pimmine/internal/dataset"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+func TestHasherShapeAndDeterminism(t *testing.T) {
+	h1 := NewHasher(32, 128, 1)
+	h2 := NewHasher(32, 128, 1)
+	v := make([]float64, 32)
+	for i := range v {
+		v[i] = float64(i) / 32
+	}
+	c1, c2 := h1.Hash(v), h2.Hash(v)
+	if c1.Bits != 128 {
+		t.Fatalf("code bits = %d", c1.Bits)
+	}
+	if measure.Hamming(c1, c2) != 0 {
+		t.Fatal("same seed must give identical codes")
+	}
+	h3 := NewHasher(32, 128, 2)
+	if measure.Hamming(c1, h3.Hash(v)) == 0 {
+		t.Fatal("different seeds should give different codes")
+	}
+}
+
+func TestHashWrongDimsPanics(t *testing.T) {
+	h := NewHasher(8, 16, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input dims must panic")
+		}
+	}()
+	h.Hash(make([]float64, 9))
+}
+
+// SimHash's defining property: expected Hamming distance grows with the
+// angle between inputs, so near vectors get nearer codes than far ones.
+func TestLocalitySensitivity(t *testing.T) {
+	prof := dataset.Profile{Name: "t", FullN: 100, D: 64, Clusters: 4, Correlation: 0.5, Spread: 0.1}
+	ds := dataset.Generate(prof, 60, 3)
+	h := NewHasher(prof.D, 512, 4)
+	codes := h.HashAll(ds.X)
+
+	// Compare average code distance between same-cluster and
+	// cross-cluster pairs.
+	var sameSum, crossSum float64
+	var sameN, crossN int
+	for i := 0; i < ds.X.N; i++ {
+		for j := i + 1; j < ds.X.N; j++ {
+			hd := float64(measure.Hamming(codes[i], codes[j]))
+			if ds.Labels[i] == ds.Labels[j] {
+				sameSum += hd
+				sameN++
+			} else {
+				crossSum += hd
+				crossN++
+			}
+		}
+	}
+	if sameN == 0 || crossN == 0 {
+		t.Skip("degenerate cluster draw")
+	}
+	same, cross := sameSum/float64(sameN), crossSum/float64(crossN)
+	if same >= cross {
+		t.Fatalf("same-cluster code distance %.1f not below cross-cluster %.1f", same, cross)
+	}
+}
+
+// The angle ↔ Hamming relation is roughly linear: HD/bits ≈ θ/π.
+func TestAngleEstimate(t *testing.T) {
+	d := 48
+	a := make([]float64, d)
+	b := make([]float64, d)
+	for i := range a {
+		a[i] = 1
+		b[i] = 1
+	}
+	// Rotate half of b's mass to make a known angle.
+	for i := 0; i < d/2; i++ {
+		b[i] = -1
+	}
+	cos := vec.Dot(a, b) / (vec.Norm(a) * vec.Norm(b)) // = 0
+	theta := math.Acos(cos)                            // = π/2
+	h := NewHasher(d, 4096, 9)
+	hd := measure.Hamming(h.Hash(a), h.Hash(b))
+	got := float64(hd) / 4096
+	want := theta / math.Pi // 0.5
+	if math.Abs(got-want) > 0.05 {
+		t.Fatalf("HD fraction = %.3f, want ≈ %.3f", got, want)
+	}
+}

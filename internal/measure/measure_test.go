@@ -1,0 +1,160 @@
+package measure
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{ED: "ED", CS: "CS", PCC: "PCC", HD: "HD"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+	if !ED.Distance() || !HD.Distance() || CS.Distance() || PCC.Distance() {
+		t.Fatal("Distance() classification wrong")
+	}
+}
+
+func TestSqEuclidean(t *testing.T) {
+	if got := SqEuclidean([]float64{1, 2}, []float64{4, 6}); got != 25 {
+		t.Fatalf("ED = %v, want 25", got)
+	}
+	if got := SqEuclidean([]float64{1}, []float64{1}); got != 0 {
+		t.Fatalf("ED of identical = %v", got)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
+		t.Fatalf("CS orthogonal = %v", got)
+	}
+	if got := Cosine([]float64{2, 0}, []float64{5, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CS parallel = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("CS zero vector = %v, want 0 by convention", got)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	// Perfect positive linear relation.
+	p := []float64{1, 2, 3, 4}
+	q := []float64{2, 4, 6, 8}
+	if got := Pearson(p, q); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("PCC linear = %v, want 1", got)
+	}
+	// Perfect negative.
+	r := []float64{4, 3, 2, 1}
+	if got := Pearson(p, r); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("PCC anti = %v, want -1", got)
+	}
+	// Constant vector convention.
+	if got := Pearson(p, []float64{5, 5, 5, 5}); got != 0 {
+		t.Fatalf("PCC constant = %v, want 0", got)
+	}
+}
+
+// Property: CS and PCC are bounded in [-1, 1], ED is non-negative and
+// symmetric.
+func TestMeasurePropertiesQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		p, q := raw[:n], raw[n:2*n]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		tol := 1e-9
+		cs, pcc := Cosine(p, q), Pearson(p, q)
+		ed := SqEuclidean(p, q)
+		return cs >= -1-tol && cs <= 1+tol &&
+			pcc >= -1-tol && pcc <= 1+tol &&
+			ed >= 0 && ed == SqEuclidean(q, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitVector(t *testing.T) {
+	b := NewBitVector(130)
+	b.Set(0, true)
+	b.Set(64, true)
+	b.Set(129, true)
+	if !b.Get(0) || !b.Get(64) || !b.Get(129) || b.Get(1) {
+		t.Fatal("Set/Get wrong")
+	}
+	if b.Ones() != 3 {
+		t.Fatalf("Ones = %d, want 3", b.Ones())
+	}
+	b.Set(64, false)
+	if b.Get(64) || b.Ones() != 2 {
+		t.Fatal("clearing a bit failed")
+	}
+}
+
+func TestBitVectorBoundsPanics(t *testing.T) {
+	b := NewBitVector(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Set must panic")
+		}
+	}()
+	b.Set(8, true)
+}
+
+func TestHamming(t *testing.T) {
+	p := NewBitVector(8)
+	q := NewBitVector(8)
+	p.Set(0, true)
+	p.Set(3, true)
+	q.Set(3, true)
+	q.Set(7, true)
+	if got := Hamming(p, q); got != 2 {
+		t.Fatalf("HD = %d, want 2", got)
+	}
+	if Hamming(p, p) != 0 {
+		t.Fatal("HD(p,p) must be 0")
+	}
+}
+
+// Property: Hamming is a metric on bit vectors (symmetry, identity,
+// triangle inequality) and matches the naive per-bit count.
+func TestHammingPropertiesQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	randBV := func(bits int) BitVector {
+		b := NewBitVector(bits)
+		for i := 0; i < bits; i++ {
+			if rng.Intn(2) == 1 {
+				b.Set(i, true)
+			}
+		}
+		return b
+	}
+	for trial := 0; trial < 100; trial++ {
+		bits := 1 + rng.Intn(300)
+		p, q, r := randBV(bits), randBV(bits), randBV(bits)
+		naive := 0
+		for i := 0; i < bits; i++ {
+			if p.Get(i) != q.Get(i) {
+				naive++
+			}
+		}
+		if Hamming(p, q) != naive {
+			t.Fatalf("HD != naive count (%d vs %d)", Hamming(p, q), naive)
+		}
+		if Hamming(p, q) != Hamming(q, p) {
+			t.Fatal("HD not symmetric")
+		}
+		if Hamming(p, r) > Hamming(p, q)+Hamming(q, r) {
+			t.Fatal("HD violates triangle inequality")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// periodicSeriesWithAnomaly builds a clean periodic series with one
+// corrupted region — the classic discord benchmark setup.
+func periodicSeriesWithAnomaly(n, at, w int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.Sin(float64(i)/8) + rng.NormFloat64()*0.02
+	}
+	for i := 0; i < w; i++ {
+		s[at+i] += 3 * math.Sin(float64(i)) // break the periodic pattern
+	}
+	return s
+}
+
+func bruteDiscord(win *vec.Matrix, w int) Discord {
+	best := Discord{I: -1, Dist: -1}
+	for i := 0; i < win.N; i++ {
+		nn := math.Inf(1)
+		for j := 0; j < win.N; j++ {
+			if absInt(i-j) < w {
+				continue
+			}
+			if d := measure.SqEuclidean(win.Row(i), win.Row(j)); d < nn {
+				nn = d
+			}
+		}
+		if !math.IsInf(nn, 1) && math.Sqrt(nn) > best.Dist {
+			best = Discord{I: i, Dist: math.Sqrt(nn)}
+		}
+	}
+	return best
+}
+
+func TestDiscordFindsAnomaly(t *testing.T) {
+	const n, w, at = 800, 32, 400
+	series := periodicSeriesWithAnomaly(n, at, w, 8)
+	win, _, err := Windows(series, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteDiscord(win, w)
+	// The discord must overlap the corrupted region.
+	if want.I < at-w || want.I > at+w {
+		t.Fatalf("brute discord at %d, anomaly planted at %d", want.I, at)
+	}
+	host, err := NewFinder(win).Discord(arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if host.I != want.I || math.Abs(host.Dist-want.Dist) > 1e-12 {
+		t.Fatalf("host discord %+v, brute %+v", host, want)
+	}
+	pimF := newPIMFinder(t, win)
+	got, err := pimF.Discord(arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I || math.Abs(got.Dist-want.Dist) > 1e-12 {
+		t.Fatalf("PIM discord %+v, brute %+v", got, want)
+	}
+}
+
+func TestDiscordPIMPrunes(t *testing.T) {
+	series := periodicSeriesWithAnomaly(1000, 500, 32, 9)
+	win, _, err := Windows(series, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHost, mPIM := arch.NewMeter(), arch.NewMeter()
+	if _, err := NewFinder(win).Discord(mHost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newPIMFinder(t, win).Discord(mPIM); err != nil {
+		t.Fatal(err)
+	}
+	if mPIM.Get(arch.FuncED).Calls >= mHost.Get(arch.FuncED).Calls {
+		t.Fatalf("PIM discord computed %d exact distances vs host %d",
+			mPIM.Get(arch.FuncED).Calls, mHost.Get(arch.FuncED).Calls)
+	}
+}
+
+func TestDiscordValidation(t *testing.T) {
+	tiny, _, err := Windows([]float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFinder(tiny).Discord(arch.NewMeter()); err == nil {
+		t.Fatal("series without non-overlapping pairs must be rejected")
+	}
+}

@@ -1,0 +1,240 @@
+// Package motif implements time-series motif discovery — another of the
+// similarity-based mining tasks the paper's introduction cites (§I,
+// "motif discovery and anomaly detection" [3]). The task: given a series
+// and a window length w, find the pair of non-overlapping subsequences
+// with the smallest Euclidean distance (the top motif, Mueen [3]).
+//
+// The host algorithm is the classic scan with early abandonment; the
+// PIM-optimized variant quantizes the sliding windows onto the PIM array
+// once and consults LB_PIM-ED (Theorem 1) before every exact distance —
+// the same filter-and-refine recipe the paper applies to kNN, so the
+// discovered motif is exact (tested against brute force).
+package motif
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+const operandBytes = 4
+
+// Motif is the best non-overlapping pair found.
+type Motif struct {
+	I, J int // window start offsets, I < J, J−I ≥ w
+	// Dist is the true Euclidean distance between the two windows.
+	Dist float64
+}
+
+// Windows expands a series into its n−w+1 sliding windows, min-max
+// normalized into [0,1] with one global affine map (distance-order
+// preserving, and the range Theorem 1 requires). The scale factor of the
+// normalization is returned so distances can be mapped back if needed.
+func Windows(series []float64, w int) (*vec.Matrix, float64, error) {
+	if w < 2 || w > len(series) {
+		return nil, 0, fmt.Errorf("motif: window %d outside [2,%d]", w, len(series))
+	}
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	n := len(series) - w + 1
+	m := vec.NewMatrix(n, w)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := 0; j < w; j++ {
+			row[j] = (series[i+j] - lo) / span
+		}
+	}
+	return m, span, nil
+}
+
+// Finder locates the top motif of one window matrix. With a non-nil PIM
+// index it runs the PIM-optimized path.
+type Finder struct {
+	Win *vec.Matrix
+	W   int
+
+	eng  *pim.Engine
+	ix   *pimbound.EDIndex
+	pay  *pim.Payload
+	dots []int64
+}
+
+// NewFinder builds the host-only finder over pre-computed windows.
+func NewFinder(windows *vec.Matrix) *Finder {
+	return &Finder{Win: windows, W: windows.D}
+}
+
+// NewFinderPIM quantizes the windows and programs them onto the array.
+func NewFinderPIM(eng *pim.Engine, windows *vec.Matrix, q quant.Quantizer, capacityN int) (*Finder, error) {
+	if !eng.Model().Fits(capacityN, windows.D, 1) {
+		return nil, fmt.Errorf("motif: %d-dim windows for N=%d exceed PIM capacity", windows.D, capacityN)
+	}
+	ix := pimbound.BuildED(windows, q)
+	pay, err := eng.Program("motif/windows", windows.N, windows.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return &Finder{Win: windows, W: windows.D, eng: eng, ix: ix, pay: pay}, nil
+}
+
+// Name reports which path the finder runs.
+func (f *Finder) Name() string {
+	if f.ix != nil {
+		return "Finder-PIM"
+	}
+	return "Finder"
+}
+
+// Top returns the closest pair of windows whose offsets differ by at
+// least the window length (the standard trivial-match exclusion).
+func (f *Finder) Top(meter *arch.Meter) (Motif, error) {
+	n := f.Win.N
+	if n < f.W+1 {
+		return Motif{}, fmt.Errorf("motif: series too short for non-overlapping pairs (windows=%d, w=%d)", n, f.W)
+	}
+	best := Motif{I: -1, J: -1, Dist: math.Inf(1)}
+	bestSq := math.Inf(1)
+	var exact, consults int64
+	for i := 0; i < n; i++ {
+		var qf pimbound.EDQuery
+		if f.ix != nil {
+			qf = f.ix.Query(f.Win.Row(i))
+			var err error
+			f.dots, err = f.eng.QueryAll(meter, "LBPIM-ED", f.pay, qf.Floor, f.dots)
+			if err != nil {
+				return Motif{}, err
+			}
+		}
+		p := f.Win.Row(i)
+		for j := i + f.W; j < n; j++ {
+			if f.ix != nil {
+				consults++
+				if f.ix.LB(j, qf, f.dots[j]) >= bestSq {
+					continue
+				}
+			}
+			exact++
+			if d := measure.SqEuclidean(p, f.Win.Row(j)); d < bestSq {
+				bestSq = d
+				best = Motif{I: i, J: j, Dist: math.Sqrt(d)}
+			}
+		}
+	}
+	f.recordCosts(meter, exact, consults)
+	return best, nil
+}
+
+// TopK returns the k best non-overlapping pairs by ascending distance,
+// where pairs are additionally required not to trivially match an
+// already-reported motif (both endpoints at least w away from the
+// corresponding endpoints of every better pair).
+func (f *Finder) TopK(k int, meter *arch.Meter) ([]Motif, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("motif: k must be >= 1, got %d", k)
+	}
+	n := f.Win.N
+	if n < f.W+1 {
+		return nil, fmt.Errorf("motif: series too short for non-overlapping pairs")
+	}
+	// Collect candidate pairs through the same filter machinery, then
+	// greedily pick non-overlapping winners. The candidate set is bounded
+	// by keeping the best pair per i (sufficient for greedy selection on
+	// typical series, exact for k=1).
+	type cand struct {
+		m  Motif
+		sq float64
+	}
+	cands := make([]cand, 0, n)
+	var exact, consults int64
+	for i := 0; i < n; i++ {
+		var qf pimbound.EDQuery
+		if f.ix != nil {
+			qf = f.ix.Query(f.Win.Row(i))
+			var err error
+			f.dots, err = f.eng.QueryAll(meter, "LBPIM-ED", f.pay, qf.Floor, f.dots)
+			if err != nil {
+				return nil, err
+			}
+		}
+		p := f.Win.Row(i)
+		bi := cand{m: Motif{I: -1}, sq: math.Inf(1)}
+		for j := i + f.W; j < n; j++ {
+			if f.ix != nil {
+				consults++
+				if f.ix.LB(j, qf, f.dots[j]) >= bi.sq {
+					continue
+				}
+			}
+			exact++
+			if d := measure.SqEuclidean(p, f.Win.Row(j)); d < bi.sq {
+				bi = cand{m: Motif{I: i, J: j, Dist: math.Sqrt(d)}, sq: d}
+			}
+		}
+		if bi.m.I >= 0 {
+			cands = append(cands, bi)
+		}
+	}
+	f.recordCosts(meter, exact, consults)
+	// Greedy selection by ascending distance with exclusion zones.
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sq != cands[b].sq {
+			return cands[a].sq < cands[b].sq
+		}
+		return cands[a].m.I < cands[b].m.I
+	})
+	var out []Motif
+	for _, c := range cands {
+		if len(out) == k {
+			break
+		}
+		clash := false
+		for _, m := range out {
+			if absInt(c.m.I-m.I) < f.W || absInt(c.m.J-m.J) < f.W ||
+				absInt(c.m.I-m.J) < f.W || absInt(c.m.J-m.I) < f.W {
+				clash = true
+				break
+			}
+		}
+		if !clash {
+			out = append(out, c.m)
+		}
+	}
+	return out, nil
+}
+
+func (f *Finder) recordCosts(meter *arch.Meter, exact, consults int64) {
+	w := int64(f.W)
+	ed := meter.C(arch.FuncED)
+	ed.Ops += exact * 3 * w
+	ed.SeqBytes += exact * w * operandBytes
+	ed.Branches += exact
+	ed.Calls += exact
+	if consults > 0 {
+		c := meter.C("LBPIM-ED")
+		c.Ops += consults * 8
+		c.SeqBytes += consults * 2 * operandBytes
+		c.Branches += consults
+		c.Calls += consults
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,187 @@
+package motif
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// plantedSeries builds a noisy random-walk series with one near-identical
+// pattern planted at two known offsets.
+func plantedSeries(n, w, at1, at2 int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, n)
+	v := 0.0
+	for i := range s {
+		v += rng.NormFloat64()
+		s[i] = v
+	}
+	pattern := make([]float64, w)
+	for i := range pattern {
+		pattern[i] = 10 * math.Sin(float64(i)/3)
+	}
+	copy(s[at1:], pattern)
+	for i := range pattern {
+		s[at2+i] = pattern[i] + rng.NormFloat64()*0.01
+	}
+	return s
+}
+
+func bruteForce(win *vec.Matrix, w int) Motif {
+	best := Motif{Dist: math.Inf(1)}
+	bestSq := math.Inf(1)
+	for i := 0; i < win.N; i++ {
+		for j := i + w; j < win.N; j++ {
+			if d := measure.SqEuclidean(win.Row(i), win.Row(j)); d < bestSq {
+				bestSq = d
+				best = Motif{I: i, J: j, Dist: math.Sqrt(d)}
+			}
+		}
+	}
+	return best
+}
+
+func newPIMFinder(t *testing.T, win *vec.Matrix) *Finder {
+	t.Helper()
+	eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quant.New(quant.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFinderPIM(eng, win, q, win.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestWindowsValidation(t *testing.T) {
+	if _, _, err := Windows([]float64{1, 2, 3}, 1); err == nil {
+		t.Fatal("w<2 must be rejected")
+	}
+	if _, _, err := Windows([]float64{1, 2, 3}, 4); err == nil {
+		t.Fatal("w>len must be rejected")
+	}
+	win, _, err := Windows([]float64{1, 2, 3, 4}, 2)
+	if err != nil || win.N != 3 || win.D != 2 {
+		t.Fatalf("Windows shape = %dx%d, %v", win.N, win.D, err)
+	}
+	for _, v := range win.Data {
+		if v < 0 || v > 1 {
+			t.Fatalf("window value %v outside [0,1]", v)
+		}
+	}
+	// Constant series must not divide by zero.
+	if _, _, err := Windows([]float64{5, 5, 5, 5}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopFindsPlantedMotif(t *testing.T) {
+	const n, w, at1, at2 = 600, 32, 100, 400
+	series := plantedSeries(n, w, at1, at2, 5)
+	win, _, err := Windows(series, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForce(win, w)
+	if want.I != at1 || want.J != at2 {
+		t.Fatalf("brute force found (%d,%d), planted (%d,%d)", want.I, want.J, at1, at2)
+	}
+	host := NewFinder(win)
+	got, err := host.Top(arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("host Top = %+v, brute force %+v", got, want)
+	}
+	pimF := newPIMFinder(t, win)
+	gotPIM, err := pimF.Top(arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPIM != want {
+		t.Fatalf("PIM Top = %+v, brute force %+v", gotPIM, want)
+	}
+}
+
+func TestPIMFinderPrunes(t *testing.T) {
+	series := plantedSeries(800, 32, 100, 500, 6)
+	win, _, err := Windows(series, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mHost, mPIM := arch.NewMeter(), arch.NewMeter()
+	if _, err := NewFinder(win).Top(mHost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newPIMFinder(t, win).Top(mPIM); err != nil {
+		t.Fatal(err)
+	}
+	hostExact := mHost.Get(arch.FuncED).Calls
+	pimExact := mPIM.Get(arch.FuncED).Calls
+	if pimExact*2 >= hostExact {
+		t.Fatalf("PIM finder computed %d exact distances vs host %d — expected >2x pruning", pimExact, hostExact)
+	}
+}
+
+func TestTopKExclusionZones(t *testing.T) {
+	const w = 16
+	series := plantedSeries(500, w, 50, 300, 7)
+	win, _, err := Windows(series, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	motifs, err := NewFinder(win).TopK(3, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(motifs) == 0 {
+		t.Fatal("no motifs found")
+	}
+	if motifs[0].I != 50 || motifs[0].J != 300 {
+		t.Fatalf("best motif = (%d,%d), planted (50,300)", motifs[0].I, motifs[0].J)
+	}
+	for a := 0; a < len(motifs); a++ {
+		if motifs[a].J-motifs[a].I < w {
+			t.Fatalf("motif %d overlaps itself: %+v", a, motifs[a])
+		}
+		for b := a + 1; b < len(motifs); b++ {
+			ma, mb := motifs[a], motifs[b]
+			if absInt(ma.I-mb.I) < w && absInt(ma.J-mb.J) < w {
+				t.Fatalf("motifs %d and %d trivially match: %+v vs %+v", a, b, ma, mb)
+			}
+		}
+		if a > 0 && motifs[a].Dist < motifs[a-1].Dist {
+			t.Fatal("motifs not sorted by ascending distance")
+		}
+	}
+}
+
+func TestFinderValidation(t *testing.T) {
+	win, _, err := Windows([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFinder(win)
+	if _, err := f.TopK(0, arch.NewMeter()); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	tiny, _, err := Windows([]float64{1, 2, 3}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFinder(tiny).Top(arch.NewMeter()); err == nil {
+		t.Fatal("series without non-overlapping pairs must be rejected")
+	}
+}

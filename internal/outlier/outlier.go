@@ -1,0 +1,197 @@
+// Package outlier implements distance-based outlier detection, one of the
+// similarity-based mining tasks the paper's introduction names alongside
+// kNN classification and k-means clustering (§I, §II-C: "distance-based
+// outlier detection"). Two classical formulations are provided:
+//
+//   - DB(r, π) outliers (Knorr & Ng, VLDB 1998): an object is an outlier
+//     if fewer than π·N objects lie within distance r of it.
+//   - Top-n kNN-distance outliers (Ramaswamy et al., SIGMOD 2000): the n
+//     objects with the largest distance to their k-th nearest neighbor.
+//
+// Both are built on the same ED primitive as the paper's tasks, so both
+// get a PIM-optimized variant: LB_PIM-ED (Theorem 1) is consulted before
+// every exact distance, and — because the bound is a *lower* bound — a
+// neighbor candidate whose bound already exceeds r (or the current k-NN
+// threshold) is discarded without touching its vector. Results are exact
+// (integration-tested against the naive scans).
+package outlier
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// operandBytes mirrors the modeled 32-bit operand width.
+const operandBytes = 4
+
+// Detector finds distance-based outliers over a dataset. With a non-nil
+// PIM index it runs the PIM-optimized path.
+type Detector struct {
+	Data *vec.Matrix
+
+	eng  *pim.Engine
+	ix   *pimbound.EDIndex
+	pay  *pim.Payload
+	dots []int64
+}
+
+// NewDetector builds the host-only detector.
+func NewDetector(data *vec.Matrix) *Detector { return &Detector{Data: data} }
+
+// NewDetectorPIM builds the PIM-optimized detector: the dataset's floor
+// vectors are programmed once; each object's outlier test reuses one
+// batched dot-product pass.
+func NewDetectorPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN int) (*Detector, error) {
+	if !eng.Model().Fits(capacityN, data.D, 1) {
+		return nil, fmt.Errorf("outlier: %d-dim floors for N=%d exceed PIM capacity", data.D, capacityN)
+	}
+	ix := pimbound.BuildED(data, q)
+	pay, err := eng.Program("outlier/points", data.N, data.D, 1, ix.Floor)
+	if err != nil {
+		return nil, err
+	}
+	return &Detector{Data: data, eng: eng, ix: ix, pay: pay}, nil
+}
+
+// Name reports which path the detector runs.
+func (d *Detector) Name() string {
+	if d.ix != nil {
+		return "Detector-PIM"
+	}
+	return "Detector"
+}
+
+// prepare runs the PIM pass for object i's query side (PIM path only).
+func (d *Detector) prepare(i int, meter *arch.Meter) pimbound.EDQuery {
+	qf := d.ix.Query(d.Data.Row(i))
+	var err error
+	d.dots, err = d.eng.QueryAll(meter, "LBPIM-ED", d.pay, qf.Floor, d.dots)
+	if err != nil {
+		panic(fmt.Sprintf("outlier: PIM pass: %v", err))
+	}
+	return qf
+}
+
+// DB reports the DB(r, pi) outliers: objects with fewer than ⌈pi·N⌉
+// neighbors (excluding themselves) within distance r (true Euclidean).
+// Indices are returned ascending.
+func (d *Detector) DB(r float64, pi float64, meter *arch.Meter) ([]int, error) {
+	if r <= 0 || pi <= 0 || pi > 1 {
+		return nil, fmt.Errorf("outlier: DB needs r > 0 and pi in (0,1], got r=%v pi=%v", r, pi)
+	}
+	n := d.Data.N
+	need := int(math.Ceil(pi * float64(n)))
+	r2 := r * r
+	var out []int
+	var exact, consults int64
+	for i := 0; i < n; i++ {
+		var qf pimbound.EDQuery
+		if d.ix != nil {
+			qf = d.prepare(i, meter)
+		}
+		p := d.Data.Row(i)
+		neighbors := 0
+		// An object with ≥ need in-range neighbors is not an outlier; we
+		// can stop counting early either way.
+		for j := 0; j < n && neighbors < need; j++ {
+			if j == i {
+				continue
+			}
+			if d.ix != nil {
+				consults++
+				if d.ix.LB(j, qf, d.dots[j]) > r2 {
+					continue // provably out of range
+				}
+			}
+			exact++
+			if measure.SqEuclidean(p, d.Data.Row(j)) <= r2 {
+				neighbors++
+			}
+		}
+		if neighbors < need {
+			out = append(out, i)
+		}
+	}
+	d.recordCosts(meter, exact, consults)
+	return out, nil
+}
+
+// Outlier is one top-n kNN-distance result.
+type Outlier struct {
+	Index int
+	// Score is the true distance to the object's k-th nearest neighbor.
+	Score float64
+}
+
+// TopN returns the n objects with the largest k-NN distance, sorted by
+// descending score (ties by ascending index).
+func (d *Detector) TopN(n, k int, meter *arch.Meter) ([]Outlier, error) {
+	if n < 1 || k < 1 {
+		return nil, fmt.Errorf("outlier: TopN needs n,k >= 1, got n=%d k=%d", n, k)
+	}
+	if k >= d.Data.N {
+		return nil, fmt.Errorf("outlier: k=%d must be below N=%d", k, d.Data.N)
+	}
+	var exact, consults int64
+	scores := make([]Outlier, d.Data.N)
+	for i := 0; i < d.Data.N; i++ {
+		var qf pimbound.EDQuery
+		if d.ix != nil {
+			qf = d.prepare(i, meter)
+		}
+		p := d.Data.Row(i)
+		top := vec.NewTopK(k)
+		for j := 0; j < d.Data.N; j++ {
+			if j == i {
+				continue
+			}
+			if d.ix != nil {
+				consults++
+				if d.ix.LB(j, qf, d.dots[j]) >= top.Threshold() {
+					continue
+				}
+			}
+			exact++
+			top.Push(j, measure.SqEuclidean(p, d.Data.Row(j)))
+		}
+		nn := top.Results()
+		scores[i] = Outlier{Index: i, Score: math.Sqrt(nn[len(nn)-1].Dist)}
+	}
+	d.recordCosts(meter, exact, consults)
+	sort.Slice(scores, func(a, b int) bool {
+		if scores[a].Score != scores[b].Score {
+			return scores[a].Score > scores[b].Score
+		}
+		return scores[a].Index < scores[b].Index
+	})
+	if n > len(scores) {
+		n = len(scores)
+	}
+	return scores[:n], nil
+}
+
+// recordCosts charges the modeled activity: exact distances stream
+// vectors; PIM consults move the Fig 8 operand pair.
+func (d *Detector) recordCosts(meter *arch.Meter, exact, consults int64) {
+	dd := int64(d.Data.D)
+	ed := meter.C(arch.FuncED)
+	ed.Ops += exact * 3 * dd
+	ed.SeqBytes += exact * dd * operandBytes
+	ed.Branches += exact
+	ed.Calls += exact
+	if consults > 0 {
+		c := meter.C("LBPIM-ED")
+		c.Ops += consults * 8
+		c.SeqBytes += consults * 2 * operandBytes
+		c.Branches += consults
+		c.Calls += consults
+	}
+}

@@ -1,0 +1,175 @@
+package outlier
+
+import (
+	"math"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// plantedData builds clustered data with a few far-away planted outliers,
+// returning the planted indices.
+func plantedData(t *testing.T, n, d, planted int) (*vec.Matrix, []int) {
+	t.Helper()
+	prof := dataset.Profile{Name: "t", FullN: n, D: d, Clusters: 4, Correlation: 0.7, Spread: 0.05}
+	ds := dataset.Generate(prof, n, 77)
+	idx := make([]int, 0, planted)
+	for i := 0; i < planted; i++ {
+		row := ds.X.Row(i * (n / planted))
+		for j := range row {
+			// Push toward an extreme corner, alternating to stay in [0,1].
+			if j%2 == 0 {
+				row[j] = 1
+			} else {
+				row[j] = 0
+			}
+		}
+		idx = append(idx, i*(n/planted))
+	}
+	return ds.X, idx
+}
+
+func newPIMDetector(t *testing.T, data *vec.Matrix) *Detector {
+	t.Helper()
+	eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := quant.New(quant.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, err := NewDetectorPIM(eng, data, q, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return det
+}
+
+// naiveDB is the reference implementation.
+func naiveDB(data *vec.Matrix, r, pi float64) []int {
+	n := data.N
+	need := int(math.Ceil(pi * float64(n)))
+	r2 := r * r
+	var out []int
+	for i := 0; i < n; i++ {
+		count := 0
+		for j := 0; j < n; j++ {
+			if j != i && measure.SqEuclidean(data.Row(i), data.Row(j)) <= r2 {
+				count++
+			}
+		}
+		if count < need {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func TestDBMatchesNaiveAndFindsPlanted(t *testing.T) {
+	data, planted := plantedData(t, 200, 24, 3)
+	r, pi := 0.5, 0.05
+	want := naiveDB(data, r, pi)
+
+	host := NewDetector(data)
+	got, err := host.DB(r, pi, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameInts(t, "host DB", got, want)
+
+	pimDet := newPIMDetector(t, data)
+	gotPIM, err := pimDet.DB(r, pi, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameInts(t, "PIM DB", gotPIM, want)
+
+	// Every planted point must be flagged.
+	flagged := map[int]bool{}
+	for _, i := range got {
+		flagged[i] = true
+	}
+	for _, p := range planted {
+		if !flagged[p] {
+			t.Errorf("planted outlier %d not detected", p)
+		}
+	}
+}
+
+func TestTopNMatchesHostAndRanksPlantedFirst(t *testing.T) {
+	data, planted := plantedData(t, 200, 24, 3)
+	host := NewDetector(data)
+	want, err := host.TopN(3, 5, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pimDet := newPIMDetector(t, data)
+	got, err := pimDet.TopN(3, 5, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i].Index != got[i].Index || math.Abs(want[i].Score-got[i].Score) > 1e-12 {
+			t.Fatalf("TopN[%d]: PIM %+v != host %+v", i, got[i], want[i])
+		}
+	}
+	isPlanted := map[int]bool{}
+	for _, p := range planted {
+		isPlanted[p] = true
+	}
+	for _, o := range want {
+		if !isPlanted[o.Index] {
+			t.Errorf("top outlier %d (score %.3f) is not a planted point", o.Index, o.Score)
+		}
+	}
+}
+
+func TestPIMDetectorPrunesExactWork(t *testing.T) {
+	data, _ := plantedData(t, 300, 32, 3)
+	mHost, mPIM := arch.NewMeter(), arch.NewMeter()
+	if _, err := NewDetector(data).TopN(3, 5, mHost); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newPIMDetector(t, data).TopN(3, 5, mPIM); err != nil {
+		t.Fatal(err)
+	}
+	if mPIM.Get(arch.FuncED).Calls >= mHost.Get(arch.FuncED).Calls {
+		t.Fatalf("PIM detector computed %d exact distances, host %d — no pruning",
+			mPIM.Get(arch.FuncED).Calls, mHost.Get(arch.FuncED).Calls)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	data, _ := plantedData(t, 50, 8, 1)
+	d := NewDetector(data)
+	if _, err := d.DB(0, 0.1, arch.NewMeter()); err == nil {
+		t.Fatal("r=0 must be rejected")
+	}
+	if _, err := d.DB(1, 0, arch.NewMeter()); err == nil {
+		t.Fatal("pi=0 must be rejected")
+	}
+	if _, err := d.TopN(0, 5, arch.NewMeter()); err == nil {
+		t.Fatal("n=0 must be rejected")
+	}
+	if _, err := d.TopN(3, 50, arch.NewMeter()); err == nil {
+		t.Fatal("k>=N must be rejected")
+	}
+}
+
+func assertSameInts(t *testing.T, name string, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %v, want %v", name, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: got %v, want %v", name, got, want)
+		}
+	}
+}

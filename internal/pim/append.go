@@ -1,0 +1,132 @@
+package pim
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/crossbar"
+)
+
+// §VII lists as future work a "more space-friendly PIM scheme ... to
+// minimize the impact on latency and endurance" for growing datasets.
+// AppendablePayload explores the natural first step: an append-only
+// payload that reserves headroom at programming time and grows by
+// programming only *fresh* cells — never rewriting programmed ones — so
+// inserts are endurance-free and queries stay single-pass.
+//
+// The trade-off it makes explicit: headroom counts against the Theorem 4
+// capacity check up front, so reserving room for growth lowers the
+// compressed dimensionality the array can afford today.
+
+// AppendablePayload is a payload with reserved growth headroom.
+type AppendablePayload struct {
+	*Payload
+	eng *Engine
+	// CapacityRows is the total reserved row budget (N ≤ CapacityRows).
+	CapacityRows int
+	appendNs     float64 // accumulated (offline) programming time of appends
+}
+
+// ProgramAppendable programs the first n rows and reserves capacity for
+// capacityRows total. The Theorem 4 admission check runs against the full
+// reservation — headroom is real crossbar space.
+func (e *Engine) ProgramAppendable(name string, n, capacityRows, dims, vectorsPerObject, opBits int, rows func(i int) []uint32) (*AppendablePayload, error) {
+	if capacityRows < n {
+		return nil, fmt.Errorf("pim: reservation %d below initial size %d", capacityRows, n)
+	}
+	if !e.model.FitsB(capacityRows, dims, vectorsPerObject, opBits) {
+		return nil, fmt.Errorf("pim: reservation of %d×%d ×%d exceeds PIM array capacity", capacityRows, dims, vectorsPerObject)
+	}
+	p, err := e.ProgramWidth(name, n, dims, vectorsPerObject, opBits, rows)
+	if err != nil {
+		return nil, err
+	}
+	return &AppendablePayload{Payload: p, eng: e, CapacityRows: capacityRows}, nil
+}
+
+// Append programs count additional rows into reserved headroom. rows(i)
+// must cover indices [oldN, oldN+count). Only fresh cells are written —
+// existing data is untouched, so the operation costs zero endurance on
+// programmed cells. Returns the modeled programming time of the delta.
+func (a *AppendablePayload) Append(count int, rows func(i int) []uint32) (float64, error) {
+	if count <= 0 {
+		return 0, fmt.Errorf("pim: append count %d must be positive", count)
+	}
+	newN := a.N + count
+	if newN > a.CapacityRows {
+		return 0, fmt.Errorf("pim: append of %d rows exceeds reservation (%d/%d used)", count, a.N, a.CapacityRows)
+	}
+	old := a.rows
+	oldN := a.N
+	a.rows = func(i int) []uint32 {
+		if i < oldN {
+			return old(i)
+		}
+		return rows(i)
+	}
+	if a.eng.mode == ModeSimulate {
+		// Program the new rows into fresh tiles.
+		for i := oldN; i < newN; i++ {
+			row := rows(i)
+			if len(row) != a.Dims {
+				return 0, fmt.Errorf("pim: appended row %d has %d dims, want %d", i, len(row), a.Dims)
+			}
+			if err := a.appendTileRow(i, row); err != nil {
+				return 0, err
+			}
+		}
+	}
+	a.N = newN
+	delta := a.eng.programCost(count, a.Dims, a.OpBits)
+	a.appendNs += delta.TotalNs()
+	a.cost.WriteNs += delta.WriteNs
+	a.cost.BusNs += delta.BusNs
+	a.cost.Bytes += delta.Bytes
+	return delta.TotalNs(), nil
+}
+
+// appendTileRow places one appended vector into the simulate-mode tiling,
+// growing the tile grid as needed.
+func (a *AppendablePayload) appendTileRow(i int, row []uint32) error {
+	g := i / a.perGroup
+	for g >= len(a.xbars) {
+		row := make([]*crossbar.Crossbar, a.chunks)
+		for c := range row {
+			row[c] = crossbar.New(a.eng.cfg.Crossbar)
+		}
+		a.xbars = append(a.xbars, row)
+	}
+	m := a.eng.cfg.Crossbar.M
+	for c := 0; c < a.chunks; c++ {
+		lo := c * m
+		hi := minInt(lo+m, a.Dims)
+		if _, err := a.xbars[g][c].ProgramVector(row[lo:hi], a.OpBits); err != nil {
+			return fmt.Errorf("pim: appending row %d chunk %d: %w", i, c, err)
+		}
+	}
+	return nil
+}
+
+// RecordAppendCost charges the accumulated append programming time to a
+// meter function (then resets the accumulator).
+func (a *AppendablePayload) RecordAppendCost(m *arch.Meter, fn string) {
+	c := m.C(fn)
+	c.PIMWriteNs += a.appendNs
+	c.Calls++
+	a.appendNs = 0
+}
+
+// QueryAll delegates to the engine against the payload's current size.
+func (a *AppendablePayload) QueryAll(meter *arch.Meter, fn string, input []uint32, dst []int64) ([]int64, error) {
+	return a.eng.QueryAll(meter, fn, a.Payload, input, dst)
+}
+
+// Verify (exact mode helper): the payload's logical rows are reachable.
+func (a *AppendablePayload) Verify() error {
+	for i := 0; i < a.N; i++ {
+		if got := a.rows(i); len(got) != a.Dims {
+			return fmt.Errorf("pim: row %d has %d dims, want %d", i, len(got), a.Dims)
+		}
+	}
+	return nil
+}

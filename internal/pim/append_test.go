@@ -1,0 +1,124 @@
+package pim
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+func appendRows(n, dims int) [][]uint32 {
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = make([]uint32, dims)
+		for j := range rows[i] {
+			rows[i][j] = uint32((3*i + 7*j) % 200)
+		}
+	}
+	return rows
+}
+
+func TestAppendablePayloadGrows(t *testing.T) {
+	for _, mode := range []Mode{ModeExact, ModeSimulate} {
+		cfg := smallCfg()
+		eng, err := NewEngine(cfg, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const total, initial, dims = 30, 10, 12
+		rows := appendRows(total, dims)
+		rowFn := func(i int) []uint32 { return rows[i] }
+		p, err := eng.ProgramAppendable("grow", initial, total, dims, 1, cfg.OperandBits, rowFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		input := make([]uint32, dims)
+		for j := range input {
+			input[j] = uint32(j + 1)
+		}
+		check := func(wantN int) {
+			t.Helper()
+			out, err := p.QueryAll(arch.NewMeter(), "f", input, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != wantN {
+				t.Fatalf("mode %d: %d results, want %d", mode, len(out), wantN)
+			}
+			for i := range out {
+				if want := vec.IntDot(rows[i], input); out[i] != want {
+					t.Fatalf("mode %d: row %d got %d want %d", mode, i, out[i], want)
+				}
+			}
+		}
+		check(initial)
+		ns, err := p.Append(12, rowFn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ns <= 0 {
+			t.Fatal("append must cost programming time")
+		}
+		check(initial + 12)
+		if _, err := p.Append(8, rowFn); err != nil {
+			t.Fatal(err)
+		}
+		check(total)
+		if err := p.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		// Reservation exhausted.
+		if _, err := p.Append(1, rowFn); err == nil {
+			t.Fatal("append beyond reservation must fail")
+		}
+		m := arch.NewMeter()
+		p.RecordAppendCost(m, "pre")
+		if m.Get("pre").PIMWriteNs <= 0 {
+			t.Fatal("append cost must be chargeable to a meter")
+		}
+	}
+}
+
+func TestAppendablePayloadEnduranceSafety(t *testing.T) {
+	// In simulate mode, appending must never rewrite programmed cells:
+	// max writes per cell stays 1.
+	cfg := smallCfg()
+	eng, err := NewEngine(cfg, ModeSimulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := appendRows(20, 6)
+	p, err := eng.ProgramAppendable("e", 5, 20, 6, 1, cfg.OperandBits, func(i int) []uint32 { return rows[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(15, func(i int) []uint32 { return rows[i] }); err != nil {
+		t.Fatal(err)
+	}
+	for g, tiles := range p.xbars {
+		for c, xb := range tiles {
+			if st := xb.Endurance(); st.MaxWrites > 1 {
+				t.Fatalf("tile (%d,%d) has cells written %d times; appends must be endurance-free", g, c, st.MaxWrites)
+			}
+		}
+	}
+}
+
+func TestProgramAppendableValidation(t *testing.T) {
+	cfg := smallCfg()
+	eng, _ := NewEngine(cfg, ModeExact)
+	rowFn := func(i int) []uint32 { return make([]uint32, 8) }
+	if _, err := eng.ProgramAppendable("x", 10, 5, 8, 1, cfg.OperandBits, rowFn); err == nil {
+		t.Fatal("reservation below initial size must be rejected")
+	}
+	if _, err := eng.ProgramAppendable("x", 10, 100000000, 8, 1, cfg.OperandBits, rowFn); err == nil {
+		t.Fatal("reservation beyond capacity must be rejected")
+	}
+	p, err := eng.ProgramAppendable("ok", 4, 8, 8, 1, cfg.OperandBits, rowFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Append(0, rowFn); err == nil {
+		t.Fatal("zero-count append must be rejected")
+	}
+}

@@ -1,0 +1,19 @@
+package pim
+
+// MaxFitting returns the largest s in [1, limit] such that n vectors of s
+// dims (×vectorsPerObject) fit the usable array, or 0 if none fits. Used
+// when the compressed dimensionality need not divide d (e.g. the head
+// length of the PIM-aware OST bound).
+func (cm CapacityModel) MaxFitting(n, limit, vectorsPerObject int) int {
+	lo, hi := 0, limit
+	// Fits is monotone decreasing in s, so binary search applies.
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if cm.Fits(n, mid, vectorsPerObject) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,84 @@
+package pim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pimmine/internal/arch"
+)
+
+// Property: Theorem 4's cost is monotone in n and s, and Fits is
+// consistent with it (adding vectors or dimensions never makes a
+// non-fitting payload fit).
+func TestCapacityMonotonicityQuick(t *testing.T) {
+	cm := ModelFor(arch.Default())
+	f := func(nRaw, sRaw uint16, grow uint8) bool {
+		n := int(nRaw)%100000 + 1
+		s := int(sRaw)%2000 + 1
+		dn := int(grow%16) + 1
+		nd1, ng1 := cm.Cost(n, s)
+		nd2, ng2 := cm.Cost(n+dn, s)
+		nd3, ng3 := cm.Cost(n, s+dn)
+		if nd2 < nd1 || nd3 < nd1 {
+			return false // data crossbars must not shrink
+		}
+		if ng2+nd2 < ng1+nd1 || ng3+nd3 < ng1+nd1 {
+			return false // total demand must not shrink
+		}
+		// Fits consistency: a fitting larger payload implies the smaller fits.
+		if cm.Fits(n+dn, s, 2) && !cm.Fits(n, s, 2) {
+			return false
+		}
+		if cm.Fits(n, s+dn, 2) && !cm.Fits(n, s, 2) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ChooseS over the divisors of d always returns either 0 or a
+// maximal fitting divisor, and MaxFitting brackets it from above.
+func TestChooseSQuick(t *testing.T) {
+	cm := ModelFor(arch.Default())
+	f := func(dRaw uint16, nRaw uint32) bool {
+		d := int(dRaw)%4096 + 1
+		n := int(nRaw)%5000000 + 1
+		cands := Divisors(d)
+		s := cm.ChooseS(n, cands, 2)
+		if s == 0 {
+			// nothing fits — then not even s=1 may fit
+			return !cm.Fits(n, 1, 2)
+		}
+		if d%s != 0 || !cm.Fits(n, s, 2) {
+			return false
+		}
+		for _, c := range cands {
+			if c > s && cm.Fits(n, c, 2) {
+				return false
+			}
+		}
+		return cm.MaxFitting(n, d, 2) >= s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: binary payloads (1-bit operands) never demand more crossbars
+// than the same shape at the default width.
+func TestBinaryPackingQuick(t *testing.T) {
+	cm := ModelFor(arch.Default())
+	f := func(nRaw uint32, sRaw uint16) bool {
+		n := int(nRaw)%10000000 + 1
+		s := int(sRaw)%2048 + 1
+		nd1, ng1 := cm.CostB(n, s, 1)
+		nd32, ng32 := cm.CostB(n, s, 32)
+		return nd1+ng1 <= nd32+ng32
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+package pim
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/crossbar"
+	"pimmine/internal/vec"
+)
+
+// Mode selects how the Engine evaluates dot products.
+type Mode int
+
+const (
+	// ModeExact evaluates dot products with host integer arithmetic while
+	// accounting PIM activity analytically. This is what the mining
+	// algorithms use: it is fast and bit-identical to the crossbar
+	// pipeline (property-tested).
+	ModeExact Mode = iota
+	// ModeSimulate routes every dot product through the bit-sliced
+	// functional crossbar simulator, allocating real crossbar tiles.
+	// Intended for verification and small demos.
+	ModeSimulate
+)
+
+// Engine owns the PIM array of one architecture instance: payload
+// programming (offline) and batched dot-product queries (online).
+type Engine struct {
+	cfg      arch.Config
+	model    CapacityModel
+	mode     Mode
+	payloads map[string]*Payload
+}
+
+// NewEngine creates an engine for the given architecture.
+func NewEngine(cfg arch.Config, mode Mode) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Engine{
+		cfg:      cfg,
+		model:    ModelFor(cfg),
+		mode:     mode,
+		payloads: make(map[string]*Payload),
+	}, nil
+}
+
+// Model exposes the Theorem 4 capacity model in effect.
+func (e *Engine) Model() CapacityModel { return e.model }
+
+// Config returns the architecture configuration.
+func (e *Engine) Config() arch.Config { return e.cfg }
+
+// Payload is one named integer matrix programmed onto the PIM array (e.g.
+// the ⌊p̄⌋ vectors for LB_PIM-ED, or the ⌊µ(p̂)⌋ vectors for LB_PIM-FNN).
+type Payload struct {
+	Name    string
+	N, Dims int
+	// OpBits is this payload's stored operand width (1 for binary codes,
+	// the architecture default of 32 for quantized integers).
+	OpBits int
+
+	rows func(i int) []uint32 // exact-mode row accessor
+
+	// Simulate-mode tiling: groups × chunks crossbars, where each group
+	// holds perGroup vectors and each chunk covers up to m dimensions.
+	xbars    [][]*crossbar.Crossbar
+	perGroup int
+	chunks   int
+
+	gatherLevels int
+	cost         ProgramCost
+}
+
+// ProgramCost reports the modeled offline cost of programming a payload.
+type ProgramCost struct {
+	// WriteNs is the critical-path ReRAM programming time: crossbars
+	// program in parallel, rows within one crossbar serially.
+	WriteNs float64
+	// BusNs is the time to deliver the payload bytes over the internal bus.
+	BusNs float64
+	// Bytes is the payload size at the modeled operand width.
+	Bytes int64
+	// DataCrossbars/GatherCrossbars echo the Theorem 4 demand.
+	DataCrossbars, GatherCrossbars int64
+}
+
+// TotalNs returns the full modeled programming time.
+func (pc ProgramCost) TotalNs() float64 { return pc.WriteNs + pc.BusNs }
+
+// Program lays a payload of n vectors × dims non-negative integers onto
+// the array. rows(i) must return vector i and stay valid for the engine's
+// lifetime. Programming enforces Theorem 4: a payload that does not fit
+// the usable array (given how many sibling payloads the caller will
+// store — vectorsPerObject) is rejected, because re-programming would
+// burn ReRAM endurance (§V-C).
+func (e *Engine) Program(name string, n, dims, vectorsPerObject int, rows func(i int) []uint32) (*Payload, error) {
+	return e.ProgramWidth(name, n, dims, vectorsPerObject, e.cfg.OperandBits, rows)
+}
+
+// ProgramWidth is Program with an explicit operand width: binary payloads
+// (Table 4's HD decomposition) store 1-bit operands and pack 32× denser
+// than the default integers.
+func (e *Engine) ProgramWidth(name string, n, dims, vectorsPerObject, opBits int, rows func(i int) []uint32) (*Payload, error) {
+	if n <= 0 || dims <= 0 {
+		return nil, fmt.Errorf("pim: empty payload %q (%d×%d)", name, n, dims)
+	}
+	if opBits <= 0 || opBits > 32 {
+		return nil, fmt.Errorf("pim: payload %q operand width %d outside [1,32]", name, opBits)
+	}
+	if _, dup := e.payloads[name]; dup {
+		return nil, fmt.Errorf("pim: payload %q already programmed (re-programming burns endurance)", name)
+	}
+	if !e.model.FitsB(n, dims, vectorsPerObject, opBits) {
+		return nil, fmt.Errorf("pim: payload %q (%d×%d ×%d) exceeds PIM array capacity; compress with CapacityModel.ChooseS",
+			name, n, dims, vectorsPerObject)
+	}
+	p := &Payload{Name: name, N: n, Dims: dims, OpBits: opBits, rows: rows, gatherLevels: e.model.GatherLevels(dims)}
+	p.cost = e.programCost(n, dims, opBits)
+	if e.mode == ModeSimulate {
+		if err := e.buildTiles(p); err != nil {
+			return nil, err
+		}
+	}
+	e.payloads[name] = p
+	return p, nil
+}
+
+// WriteVerifyPulses models ReRAM cell programming as iterative
+// program-and-verify (multi-level cells need several pulses to land on
+// the target resistance — the reason Table 1's ReRAM write latency and
+// endurance trail DRAM's). Combined with the write-power limit that
+// serializes row programming across the array (one m-cell row per pulse
+// window), this is what makes PIM pre-processing slower than the host
+// baseline's DRAM writes despite touching less data (Fig 17).
+const WriteVerifyPulses = 8
+
+// programCost models the offline programming cost analytically.
+func (e *Engine) programCost(n, dims, opBits int) ProgramCost {
+	spec := e.cfg.Crossbar
+	nd, ng := e.model.CostB(n, dims, opBits)
+	bytes := (int64(n)*int64(dims)*int64(opBits) + 7) / 8
+	// Total cells to program, serialized into m-cell row writes by the
+	// write-power budget, each taking WriteVerifyPulses pulses.
+	cells := float64(n) * float64(dims) * float64(spec.CellsPerOperand(opBits))
+	rowWrites := cells / float64(spec.M)
+	return ProgramCost{
+		WriteNs:         rowWrites * WriteVerifyPulses * spec.WriteLatencyNs,
+		BusNs:           float64(bytes) / e.cfg.InternalBusGBs,
+		Bytes:           bytes,
+		DataCrossbars:   nd,
+		GatherCrossbars: ng,
+	}
+}
+
+// buildTiles allocates and programs real crossbar tiles (simulate mode).
+func (e *Engine) buildTiles(p *Payload) error {
+	spec := e.cfg.Crossbar
+	m := spec.M
+	p.chunks = (p.Dims + m - 1) / m
+	chunkDims := minInt(p.Dims, m)
+	p.perGroup = spec.VectorsPerCrossbar(chunkDims, p.OpBits)
+	if p.perGroup == 0 {
+		return fmt.Errorf("pim: operand width %d leaves no room in %d-wide crossbar", p.OpBits, m)
+	}
+	groups := (p.N + p.perGroup - 1) / p.perGroup
+	p.xbars = make([][]*crossbar.Crossbar, groups)
+	for g := range p.xbars {
+		p.xbars[g] = make([]*crossbar.Crossbar, p.chunks)
+		for c := range p.xbars[g] {
+			p.xbars[g][c] = crossbar.New(spec)
+		}
+	}
+	for i := 0; i < p.N; i++ {
+		row := p.rows(i)
+		if len(row) != p.Dims {
+			return fmt.Errorf("pim: payload %q row %d has %d dims, want %d", p.Name, i, len(row), p.Dims)
+		}
+		g := i / p.perGroup
+		for c := 0; c < p.chunks; c++ {
+			lo := c * m
+			hi := minInt(lo+m, p.Dims)
+			if _, err := p.xbars[g][c].ProgramVector(row[lo:hi], p.OpBits); err != nil {
+				return fmt.Errorf("pim: programming payload %q row %d chunk %d: %w", p.Name, i, c, err)
+			}
+		}
+	}
+	return nil
+}
+
+// RecordProgramCost adds a payload's offline programming cost to the named
+// function of a meter (pre-processing accounting, Fig 17).
+func RecordProgramCost(m *arch.Meter, fn string, p *Payload) {
+	c := m.C(fn)
+	c.PIMWriteNs += p.cost.TotalNs()
+	c.Calls++
+}
+
+// Cost returns the payload's modeled programming cost.
+func (p *Payload) Cost() ProgramCost { return p.cost }
+
+// QueryAll computes the dot product of input with every payload vector,
+// appending results to dst (allocated if nil) and recording the PIM
+// activity under fn in the meter:
+//
+//   - compute cycles: ⌈b/dac⌉ input-slicing cycles plus one cycle per
+//     gather level (all data crossbars fire in parallel — this is the
+//     massive-parallelism property of §II-A, and Theorem 4 guarantees the
+//     payload fits without re-programming);
+//   - buffer traffic: 8 bytes per result (the paper keeps the least
+//     significant 64 bits of PIM results).
+func (e *Engine) QueryAll(meter *arch.Meter, fn string, p *Payload, input []uint32, dst []int64) ([]int64, error) {
+	if len(input) != p.Dims {
+		return nil, fmt.Errorf("pim: query has %d dims, payload %q has %d", len(input), p.Name, p.Dims)
+	}
+	if cap(dst) < p.N {
+		dst = make([]int64, p.N)
+	}
+	dst = dst[:p.N]
+	switch e.mode {
+	case ModeExact:
+		for i := 0; i < p.N; i++ {
+			dst[i] = vec.IntDot(p.rows(i), input)
+		}
+	case ModeSimulate:
+		if err := e.simulateQuery(p, input, dst); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("pim: unknown mode %d", e.mode)
+	}
+	if meter != nil {
+		c := meter.C(fn)
+		c.PIMCycles += int64(e.cfg.Crossbar.InputCycles(p.OpBits) + p.gatherLevels)
+		c.PIMBufBytes += int64(p.N) * 8
+		c.Calls++
+	}
+	return dst, nil
+}
+
+// simulateQuery runs the query through the functional crossbar tiles.
+func (e *Engine) simulateQuery(p *Payload, input []uint32, dst []int64) error {
+	m := e.cfg.Crossbar.M
+	for g, tiles := range p.xbars {
+		base := g * p.perGroup
+		count := minInt(p.perGroup, p.N-base)
+		// Zero the group's outputs, then accumulate chunk partials
+		// (the gather crossbars' summation).
+		for v := 0; v < count; v++ {
+			dst[base+v] = 0
+		}
+		for c, xb := range tiles {
+			lo := c * m
+			hi := minInt(lo+m, p.Dims)
+			part, _, err := xb.DotAll(input[lo:hi], p.OpBits)
+			if err != nil {
+				return fmt.Errorf("pim: querying payload %q group %d chunk %d: %w", p.Name, g, c, err)
+			}
+			for v := 0; v < count; v++ {
+				dst[base+v] += part[v]
+			}
+		}
+	}
+	return nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,116 @@
+package pim
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+// tinyArrayCfg returns a config whose PIM array holds only a few vectors,
+// forcing partitioning.
+func tinyArrayCfg() arch.Config {
+	cfg := arch.Default()
+	cfg.Crossbar.M = 8
+	cfg.OperandBits = 8
+	cfg.PIMArrayBytes = 256 // 2048 bits → 16 crossbars of 8×8×2
+	return cfg
+}
+
+func TestPartitionedCoversOversizedPayload(t *testing.T) {
+	cfg := tinyArrayCfg()
+	eng, err := NewEngine(cfg, ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, dims := 200, 8
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = make([]uint32, dims)
+		for j := range rows[i] {
+			rows[i][j] = uint32((i + j) % 256)
+		}
+	}
+	rowFn := func(i int) []uint32 { return rows[i] }
+
+	// The regular path must reject this payload...
+	if _, err := eng.Program("big", n, dims, 1, rowFn); err == nil {
+		t.Fatal("oversized payload must be rejected by Program")
+	}
+	// ...while the strawman accepts it with waves > 1.
+	p, err := eng.ProgramPartitioned("big", n, dims, 1, cfg.OperandBits, rowFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Waves() <= 1 {
+		t.Fatalf("expected multiple waves, got %d", p.Waves())
+	}
+
+	input := make([]uint32, dims)
+	for j := range input {
+		input[j] = uint32(j + 1)
+	}
+	m := arch.NewMeter()
+	out, err := p.QueryAll(eng, m, "strawman", input, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rows {
+		if want := vec.IntDot(rows[i], input); out[i] != want {
+			t.Fatalf("row %d: got %d want %d", i, out[i], want)
+		}
+	}
+	// The strawman pays online re-programming time; Theorem 4 compression
+	// never does at query time.
+	if m.Get("strawman").PIMWriteNs <= 0 {
+		t.Fatal("partitioned query must charge re-programming time")
+	}
+}
+
+func TestPartitionedEnduranceReport(t *testing.T) {
+	cfg := tinyArrayCfg()
+	eng, _ := NewEngine(cfg, ModeExact)
+	rows := func(i int) []uint32 { return make([]uint32, 8) }
+	p, err := eng.ProgramPartitioned("big", 500, 8, 1, cfg.OperandBits, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := make([]uint32, 8)
+	for q := 0; q < 3; q++ {
+		if _, err := p.QueryAll(eng, arch.NewMeter(), "f", input, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep := p.Endurance()
+	if rep.PassesRun != 3 {
+		t.Fatalf("passes = %d, want 3", rep.PassesRun)
+	}
+	if rep.WritesPerCellPerPass != float64(p.Waves()) {
+		t.Fatalf("writes/cell/pass = %v, want %d", rep.WritesPerCellPerPass, p.Waves())
+	}
+	if rep.LifetimePasses >= ReRAMEnduranceWrites {
+		t.Fatal("lifetime must shrink with waves")
+	}
+}
+
+func TestPartitionedValidation(t *testing.T) {
+	eng, _ := NewEngine(tinyArrayCfg(), ModeExact)
+	rows := func(i int) []uint32 { return make([]uint32, 8) }
+	if _, err := eng.ProgramPartitioned("x", 0, 8, 1, 8, rows); err == nil {
+		t.Fatal("empty payload must be rejected")
+	}
+	if _, err := eng.ProgramPartitioned("x", 10, 8, 1, 0, rows); err == nil {
+		t.Fatal("bad operand width must be rejected")
+	}
+	// A single vector larger than the whole array cannot partition.
+	if _, err := eng.ProgramPartitioned("x", 10, 1_000_000, 1, 8, rows); err == nil {
+		t.Fatal("uncompressible vector must be rejected")
+	}
+	p, err := eng.ProgramPartitioned("ok", 10, 8, 1, 8, rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.QueryAll(eng, nil, "f", make([]uint32, 4), nil); err == nil {
+		t.Fatal("dimension mismatch must be rejected")
+	}
+}

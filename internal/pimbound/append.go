@@ -1,0 +1,25 @@
+package pimbound
+
+import (
+	"fmt"
+
+	"pimmine/internal/vec"
+)
+
+// AppendRows extends an LB_PIM-ED index with additional normalized rows,
+// quantizing them with the index's α. Existing features are untouched, so
+// a PIM payload reading floors through ix.Floor stays valid (the accessor
+// resolves against the current storage on every call).
+func (ix *EDIndex) AppendRows(m *vec.Matrix) error {
+	if m.D != ix.D {
+		return fmt.Errorf("pimbound: appending %d-dim rows to %d-dim index", m.D, ix.D)
+	}
+	for i := 0; i < m.N; i++ {
+		floors := make([]uint32, ix.D)
+		phi := edFeatures(m.Row(i), ix.Q, floors)
+		ix.Floors = append(ix.Floors, floors...)
+		ix.Phi = append(ix.Phi, phi)
+		ix.n++
+	}
+	return nil
+}

@@ -1,0 +1,232 @@
+package pimbound
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Index persistence. The offline stage (§V-B) is the expensive part of
+// deployment — quantizing the dataset and computing Φ — and the result is
+// exactly what gets programmed onto crossbars, so production deployments
+// persist it. The format is a small versioned binary container:
+//
+//	magic "PIMB" | version u16 | kind u16 | payload
+//
+// All integers are little-endian; floats are IEEE-754 bits.
+
+const (
+	persistMagic   = "PIMB"
+	persistVersion = 1
+
+	kindED  = 1
+	kindFNN = 2
+)
+
+type writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *writer) u16(v uint16) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+
+func (w *writer) u32(v uint32) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+
+func (w *writer) u64(v uint64) {
+	if w.err == nil {
+		w.err = binary.Write(w.w, binary.LittleEndian, v)
+	}
+}
+
+func (w *writer) f64(v float64) { w.u64(math.Float64bits(v)) }
+
+func (w *writer) u32s(vs []uint32) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.u32(v)
+	}
+}
+
+func (w *writer) f64s(vs []float64) {
+	w.u64(uint64(len(vs)))
+	for _, v := range vs {
+		w.f64(v)
+	}
+}
+
+type reader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (r *reader) u16() (v uint16) {
+	if r.err == nil {
+		r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (r *reader) u32() (v uint32) {
+	if r.err == nil {
+		r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (r *reader) u64() (v uint64) {
+	if r.err == nil {
+		r.err = binary.Read(r.r, binary.LittleEndian, &v)
+	}
+	return v
+}
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// sliceLen validates a length prefix against an upper bound so corrupted
+// files cannot trigger huge allocations.
+func (r *reader) sliceLen(max uint64) int {
+	n := r.u64()
+	if r.err == nil && n > max {
+		r.err = fmt.Errorf("pimbound: corrupt length %d (cap %d)", n, max)
+	}
+	if r.err != nil {
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) u32s(max uint64) []uint32 {
+	n := r.sliceLen(max)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.u32()
+	}
+	return out
+}
+
+func (r *reader) f64s(max uint64) []float64 {
+	n := r.sliceLen(max)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.f64()
+	}
+	return out
+}
+
+// maxElems caps any persisted slice at 2^33 elements (64 GB of floors).
+const maxElems = 1 << 33
+
+func writeHeader(w *writer, kind uint16) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(persistMagic)
+	}
+	w.u16(persistVersion)
+	w.u16(kind)
+}
+
+func readHeader(r *reader, wantKind uint16) error {
+	magic := make([]byte, len(persistMagic))
+	if r.err == nil {
+		_, r.err = io.ReadFull(r.r, magic)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if string(magic) != persistMagic {
+		return fmt.Errorf("pimbound: bad magic %q", magic)
+	}
+	if v := r.u16(); r.err == nil && v != persistVersion {
+		return fmt.Errorf("pimbound: unsupported version %d", v)
+	}
+	if k := r.u16(); r.err == nil && k != wantKind {
+		return fmt.Errorf("pimbound: index kind %d, want %d", k, wantKind)
+	}
+	return r.err
+}
+
+// SaveED serializes an LB_PIM-ED index.
+func SaveED(dst io.Writer, ix *EDIndex) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	writeHeader(w, kindED)
+	w.f64(ix.Q.Alpha)
+	w.u64(uint64(ix.D))
+	w.u64(uint64(ix.n))
+	w.f64s(ix.Phi)
+	w.u32s(ix.Floors)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// LoadED deserializes an LB_PIM-ED index.
+func LoadED(src io.Reader) (*EDIndex, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	if err := readHeader(r, kindED); err != nil {
+		return nil, err
+	}
+	ix := &EDIndex{}
+	ix.Q.Alpha = r.f64()
+	ix.D = int(r.u64())
+	ix.n = int(r.u64())
+	ix.Phi = r.f64s(maxElems)
+	ix.Floors = r.u32s(maxElems)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(ix.Phi) != ix.n || len(ix.Floors) != ix.n*ix.D {
+		return nil, fmt.Errorf("pimbound: inconsistent ED index (n=%d d=%d phi=%d floors=%d)",
+			ix.n, ix.D, len(ix.Phi), len(ix.Floors))
+	}
+	return ix, nil
+}
+
+// SaveFNN serializes an LB_PIM-FNN index.
+func SaveFNN(dst io.Writer, ix *FNNIndex) error {
+	w := &writer{w: bufio.NewWriter(dst)}
+	writeHeader(w, kindFNN)
+	w.f64(ix.Q.Alpha)
+	w.u64(uint64(ix.Segs))
+	w.u64(uint64(ix.L))
+	w.u64(uint64(ix.n))
+	w.f64s(ix.Phi)
+	w.u32s(ix.MuFloors)
+	w.u32s(ix.SigmaFloors)
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// LoadFNN deserializes an LB_PIM-FNN index.
+func LoadFNN(src io.Reader) (*FNNIndex, error) {
+	r := &reader{r: bufio.NewReader(src)}
+	if err := readHeader(r, kindFNN); err != nil {
+		return nil, err
+	}
+	ix := &FNNIndex{}
+	ix.Q.Alpha = r.f64()
+	ix.Segs = int(r.u64())
+	ix.L = int(r.u64())
+	ix.n = int(r.u64())
+	ix.Phi = r.f64s(maxElems)
+	ix.MuFloors = r.u32s(maxElems)
+	ix.SigmaFloors = r.u32s(maxElems)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(ix.Phi) != ix.n || len(ix.MuFloors) != ix.n*ix.Segs || len(ix.SigmaFloors) != ix.n*ix.Segs {
+		return nil, fmt.Errorf("pimbound: inconsistent FNN index (n=%d segs=%d)", ix.n, ix.Segs)
+	}
+	return ix, nil
+}

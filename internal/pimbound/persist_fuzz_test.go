@@ -1,0 +1,71 @@
+package pimbound
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/quant"
+)
+
+// FuzzLoadED hardens the index loader against corrupted or hostile files:
+// it must return an error or a consistent index, never panic or OOM (the
+// length caps in persist.go exist exactly for this).
+func FuzzLoadED(f *testing.F) {
+	// Seed with a valid file and a few mutations.
+	rng := rand.New(rand.NewSource(71))
+	m := randMatrix(rng, 5, 9)
+	q, _ := quant.New(1e4)
+	ix := BuildED(m, q)
+	var buf bytes.Buffer
+	if err := SaveED(&buf, ix); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:len(good)/2])
+	f.Add([]byte("PIMB"))
+	f.Add([]byte{})
+	mut := append([]byte{}, good...)
+	mut[10] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := LoadED(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is the expected outcome for junk
+		}
+		// Anything accepted must be internally consistent.
+		if len(ix.Phi) != ix.N() || len(ix.Floors) != ix.N()*ix.D {
+			t.Fatalf("accepted inconsistent index: n=%d d=%d phi=%d floors=%d",
+				ix.N(), ix.D, len(ix.Phi), len(ix.Floors))
+		}
+	})
+}
+
+// FuzzLoadFNN mirrors FuzzLoadED for the FNN container.
+func FuzzLoadFNN(f *testing.F) {
+	rng := rand.New(rand.NewSource(72))
+	m := randMatrix(rng, 4, 12)
+	q, _ := quant.New(1e4)
+	ix, err := BuildFNN(m, q, 3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveFNN(&buf, ix); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:8])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := LoadFNN(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(ix.Phi) != ix.N() || len(ix.MuFloors) != ix.N()*ix.Segs {
+			t.Fatalf("accepted inconsistent FNN index")
+		}
+	})
+}

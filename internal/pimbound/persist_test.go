@@ -1,0 +1,117 @@
+package pimbound
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/quant"
+)
+
+func TestEDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := randMatrix(rng, 30, 17)
+	q, _ := quant.New(1e6)
+	ix := BuildED(m, q)
+
+	var buf bytes.Buffer
+	if err := SaveED(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadED(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.D != ix.D || got.N() != ix.N() || got.Q.Alpha != ix.Q.Alpha {
+		t.Fatalf("shape mismatch: %+v vs %+v", got, ix)
+	}
+	qv := randMatrix(rng, 1, 17).Row(0)
+	qf1 := ix.Query(qv)
+	qf2 := got.Query(qv)
+	for i := 0; i < ix.N(); i++ {
+		if ix.LB(i, qf1, ix.HostDot(i, qf1)) != got.LB(i, qf2, got.HostDot(i, qf2)) {
+			t.Fatalf("bound diverges after round trip at object %d", i)
+		}
+	}
+}
+
+func TestFNNRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	m := randMatrix(rng, 20, 24)
+	q, _ := quant.New(1e4)
+	ix, err := BuildFNN(m, q, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveFNN(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFNN(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Segs != ix.Segs || got.L != ix.L || got.N() != ix.N() {
+		t.Fatalf("shape mismatch")
+	}
+	qv := randMatrix(rng, 1, 24).Row(0)
+	qf1, _ := ix.Query(qv)
+	qf2, _ := got.Query(qv)
+	for i := 0; i < ix.N(); i++ {
+		dm1, ds1 := ix.HostDots(i, qf1)
+		dm2, ds2 := got.HostDots(i, qf2)
+		if ix.LB(i, qf1, dm1, ds1) != got.LB(i, qf2, dm2, ds2) {
+			t.Fatalf("bound diverges after round trip at object %d", i)
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	m := randMatrix(rng, 4, 8)
+	q, _ := quant.New(100)
+	ix := BuildED(m, q)
+	var buf bytes.Buffer
+	if err := SaveED(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, good...)
+	bad[0] = 'X'
+	if _, err := LoadED(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Wrong kind: an FNN file loaded as ED.
+	fnn, err := BuildFNN(m, q, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fbuf bytes.Buffer
+	if err := SaveFNN(&fbuf, fnn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadED(&fbuf); err == nil {
+		t.Fatal("kind mismatch accepted")
+	}
+	// Truncated payload.
+	if _, err := LoadED(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+	// Insane length prefix (would allocate 64GB without the cap).
+	evil := append([]byte{}, good[:16]...) // header + alpha
+	evil = append(evil, make([]byte, 16)...)
+	for i := 16; i < 32; i++ {
+		evil[i] = 0xFF
+	}
+	if _, err := LoadED(bytes.NewReader(evil)); err == nil {
+		t.Fatal("oversized length prefix accepted")
+	}
+	// Version bump.
+	vbad := append([]byte{}, good...)
+	vbad[4] = 0xFF
+	if _, err := LoadED(bytes.NewReader(vbad)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}

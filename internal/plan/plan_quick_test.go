@@ -1,0 +1,95 @@
+package plan
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// genBounds derives a small candidate set from raw fuzz input.
+func genBounds(raw []byte) []Bound {
+	var out []Bound
+	for i := 0; i+2 < len(raw) && len(out) < 6; i += 3 {
+		out = append(out, Bound{
+			Name:         fmt.Sprintf("b%d", i/3),
+			Family:       string(rune('A' + raw[i]%3)),
+			TransferDims: int(raw[i+1]%50) + 1,
+			PruneRatio:   float64(raw[i+2]%100) / 100,
+		})
+	}
+	return out
+}
+
+// Property: Optimize never returns a plan costing more than the empty
+// plan or any single candidate.
+func TestOptimizeDominatesQuick(t *testing.T) {
+	f := func(raw []byte, nRaw uint16, dRaw uint8) bool {
+		cands := genBounds(raw)
+		n := int(nRaw)%100000 + 1
+		d := int(dRaw)%500 + 1
+		best, err := Optimize(n, d, cands)
+		if err != nil {
+			return false
+		}
+		if best.Cost > Cost(n, d, nil)+1e-9 {
+			return false
+		}
+		for _, b := range cands {
+			if best.Cost > Cost(n, d, []Bound{b})+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cost is non-negative, scales linearly with N, and adding a
+// zero-transfer bound never increases it.
+func TestCostPropertiesQuick(t *testing.T) {
+	f := func(raw []byte, dRaw uint8) bool {
+		seq := genBounds(raw)
+		d := int(dRaw)%500 + 1
+		c1 := Cost(1000, d, seq)
+		if c1 < 0 {
+			return false
+		}
+		c2 := Cost(2000, d, seq)
+		if diff := c2 - 2*c1; diff > 1e-6 || diff < -1e-6 {
+			return false // linear in N
+		}
+		free := append(append([]Bound{}, seq...), Bound{
+			Name: "free", Family: "Z", TransferDims: 0, PruneRatio: 0.5,
+		})
+		return Cost(1000, d, free) <= c1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: within one family, a dominated (lower-ratio) bound appended
+// after a stronger one changes nothing but its own transfer cost.
+func TestFamilyDominanceQuick(t *testing.T) {
+	f := func(prA, prB uint8, tdB uint8, dRaw uint8) bool {
+		a := Bound{Name: "a", Family: "F", TransferDims: 1, PruneRatio: float64(prA%100) / 100}
+		b := Bound{Name: "b", Family: "F", TransferDims: int(tdB%20) + 1, PruneRatio: float64(prB%100) / 100}
+		if b.PruneRatio > a.PruneRatio {
+			a.PruneRatio, b.PruneRatio = b.PruneRatio, a.PruneRatio
+		}
+		d := int(dRaw)%500 + 1
+		n := 1000
+		withB := Cost(n, d, []Bound{a, b})
+		withoutB := Cost(n, d, []Bound{a})
+		// b is dominated: its only effect is its own evaluation cost on
+		// a's survivors.
+		extra := float64(n) * float64(b.TransferDims) * (1 - a.PruneRatio)
+		diff := withB - withoutB - extra
+		return diff < 1e-6 && diff > -1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

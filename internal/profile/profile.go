@@ -1,0 +1,155 @@
+// Package profile implements §IV of the paper: algorithm profiling by
+// hardware component (Eq. 1) and by function, and the PIM-oracle estimate
+// (Eq. 2) that predicts the best-case gain of offloading a set of
+// functions to PIM.
+//
+// The paper uses PAPI hardware counters on a real Xeon; here the same
+// decomposition is produced from the analytic model of internal/arch over
+// the activity meters the algorithms populate (see DESIGN.md §2 for the
+// substitution rationale).
+package profile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pimmine/internal/arch"
+)
+
+// Report is the profile of one algorithm run.
+type Report struct {
+	Algorithm string
+	Cfg       arch.Config
+	PerFunc   map[string]arch.Breakdown
+	Total     arch.Breakdown
+}
+
+// New profiles a meter under a hardware configuration.
+func New(algorithm string, cfg arch.Config, meter *arch.Meter) *Report {
+	per, total := cfg.TimeMeter(meter)
+	return &Report{Algorithm: algorithm, Cfg: cfg, PerFunc: per, Total: total}
+}
+
+// Component labels of Eq. 1 in presentation order.
+var Components = []string{"Tc", "Tcache", "TALU", "TBr", "TFe", "TPIM"}
+
+// HardwareShares returns each Eq. 1 component's fraction of total modeled
+// time — the Fig 5 bars.
+func (r *Report) HardwareShares() map[string]float64 {
+	t := r.Total.Total()
+	if t == 0 {
+		return map[string]float64{}
+	}
+	return map[string]float64{
+		"Tc":     r.Total.Tc / t,
+		"Tcache": r.Total.Tcache / t,
+		"TALU":   r.Total.TALU / t,
+		"TBr":    r.Total.TBr / t,
+		"TFe":    r.Total.TFe / t,
+		"TPIM":   r.Total.TPIM / t,
+	}
+}
+
+// FunctionShares returns each function's fraction of total modeled time —
+// the Fig 6 bars.
+func (r *Report) FunctionShares() map[string]float64 {
+	t := r.Total.Total()
+	out := make(map[string]float64, len(r.PerFunc))
+	if t == 0 {
+		return out
+	}
+	for name, b := range r.PerFunc {
+		out[name] = b.Total() / t
+	}
+	return out
+}
+
+// Functions returns the profiled function names sorted by descending time.
+func (r *Report) Functions() []string {
+	names := make([]string, 0, len(r.PerFunc))
+	for n := range r.PerFunc {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := r.PerFunc[names[i]].Total(), r.PerFunc[names[j]].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Bottleneck returns the most expensive function other than "Other" — the
+// candidate for PIM offloading (§III-B).
+func (r *Report) Bottleneck() string {
+	for _, n := range r.Functions() {
+		if n != arch.FuncOther {
+			return n
+		}
+	}
+	return ""
+}
+
+// PIMOracle evaluates Eq. 2: the theoretical optimal time if the named
+// functions' cost dropped to zero,
+//
+//	T_PIM-oracle = T_total − Σ_{f ∈ F} T_f
+//
+// returning nanoseconds. It is a lower bound for any PIM implementation
+// of the algorithm.
+func (r *Report) PIMOracle(funcs ...string) float64 {
+	t := r.Total.Total()
+	for _, f := range funcs {
+		if b, ok := r.PerFunc[f]; ok {
+			t -= b.Total()
+		}
+	}
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// PIMOracleAuto applies Eq. 2 to every function that is PIM-aware by
+// naming convention: exact similarity functions (ED/HD/CS/PCC) and every
+// bound function (LB*/UB*) decompose per Table 4; "Other" and
+// bound-maintenance do not.
+func (r *Report) PIMOracleAuto() float64 {
+	var fs []string
+	for name := range r.PerFunc {
+		if PIMAware(name) {
+			fs = append(fs, name)
+		}
+	}
+	return r.PIMOracle(fs...)
+}
+
+// PIMAware reports whether a profiled function name denotes a PIM-aware
+// function in the §V-A sense.
+func PIMAware(name string) bool {
+	switch name {
+	case arch.FuncED, arch.FuncHD, arch.FuncCS, arch.FuncPCC:
+		return true
+	}
+	return strings.HasPrefix(name, "LB") || strings.HasPrefix(name, "UB")
+}
+
+// String renders the profile as a small table (ms and % per function,
+// then the hardware-component shares).
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "profile of %s: total %.3f ms\n", r.Algorithm, r.Total.Total()/1e6)
+	for _, name := range r.Functions() {
+		bd := r.PerFunc[name]
+		fmt.Fprintf(&b, "  %-16s %10.3f ms  %5.1f%%\n", name, bd.Total()/1e6, 100*bd.Total()/r.Total.Total())
+	}
+	shares := r.HardwareShares()
+	b.WriteString("  components:")
+	for _, c := range Components {
+		fmt.Fprintf(&b, " %s=%.1f%%", c, 100*shares[c])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,109 @@
+package profile
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pimmine/internal/arch"
+)
+
+func sampleMeter() *arch.Meter {
+	m := arch.NewMeter()
+	ed := m.C(arch.FuncED)
+	ed.Ops, ed.SeqBytes = 1_000_000, 4_000_000
+	lb := m.C("LBFNN-7")
+	lb.Ops, lb.SeqBytes = 100_000, 400_000
+	other := m.C(arch.FuncOther)
+	other.Ops = 50_000
+	return m
+}
+
+func TestSharesSumToOne(t *testing.T) {
+	r := New("FNN", arch.Default(), sampleMeter())
+	var hw float64
+	for _, v := range r.HardwareShares() {
+		hw += v
+	}
+	if math.Abs(hw-1) > 1e-9 {
+		t.Fatalf("hardware shares sum to %v", hw)
+	}
+	var fn float64
+	for _, v := range r.FunctionShares() {
+		fn += v
+	}
+	if math.Abs(fn-1) > 1e-9 {
+		t.Fatalf("function shares sum to %v", fn)
+	}
+}
+
+func TestFunctionsSortedByTime(t *testing.T) {
+	r := New("FNN", arch.Default(), sampleMeter())
+	names := r.Functions()
+	if names[0] != arch.FuncED {
+		t.Fatalf("largest function = %q, want ED", names[0])
+	}
+	for i := 1; i < len(names); i++ {
+		if r.PerFunc[names[i]].Total() > r.PerFunc[names[i-1]].Total() {
+			t.Fatal("Functions not sorted by descending time")
+		}
+	}
+}
+
+func TestBottleneckSkipsOther(t *testing.T) {
+	m := arch.NewMeter()
+	m.C(arch.FuncOther).Ops = 1_000_000
+	m.C("LBSM").Ops = 10
+	r := New("x", arch.Default(), m)
+	if got := r.Bottleneck(); got != "LBSM" {
+		t.Fatalf("Bottleneck = %q, want LBSM", got)
+	}
+}
+
+func TestPIMOracle(t *testing.T) {
+	r := New("FNN", arch.Default(), sampleMeter())
+	total := r.Total.Total()
+	oracle := r.PIMOracle(arch.FuncED, "LBFNN-7")
+	want := r.PerFunc[arch.FuncOther].Total()
+	if math.Abs(oracle-want) > 1e-6 {
+		t.Fatalf("PIMOracle = %v, want %v (Other only)", oracle, want)
+	}
+	if oracle >= total {
+		t.Fatal("oracle must be below total")
+	}
+	if auto := r.PIMOracleAuto(); math.Abs(auto-oracle) > 1e-6 {
+		t.Fatalf("PIMOracleAuto = %v, want %v", auto, oracle)
+	}
+	// Unknown functions are ignored, never negative.
+	if r.PIMOracle("nope") != total {
+		t.Fatal("unknown function must not change the oracle")
+	}
+}
+
+func TestPIMAware(t *testing.T) {
+	for name, want := range map[string]bool{
+		"ED": true, "HD": true, "CS": true, "PCC": true,
+		"LBFNN-7": true, "LBPIM-FNN-105": true, "UBPIM-CS": true,
+		"Other": false, "bound-update": false,
+	} {
+		if PIMAware(name) != want {
+			t.Errorf("PIMAware(%q) = %v, want %v", name, !want, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := New("FNN", arch.Default(), sampleMeter()).String()
+	for _, want := range []string{"FNN", "ED", "Tcache"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}
+
+func TestEmptyMeter(t *testing.T) {
+	r := New("empty", arch.Default(), arch.NewMeter())
+	if len(r.HardwareShares()) != 0 || len(r.FunctionShares()) != 0 {
+		t.Fatal("empty meter must produce empty shares, not NaNs")
+	}
+}

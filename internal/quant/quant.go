@@ -1,0 +1,84 @@
+// Package quant implements §V-B's integer quantization pipeline that makes
+// floating-point vectors consumable by ReRAM PIM crossbars, which only
+// operate on non-negative integers.
+//
+// Given values already normalized into [0,1] (see internal/dataset), a
+// vector p is scaled by the factor α (p̄ᵢ = pᵢ·α, Eq. 5) and its integer
+// part ⌊p̄ᵢ⌋ is taken (Eq. 6). The floor vector is what gets programmed
+// onto (or injected into) crossbars; the fractional remainder is what the
+// PIM-aware bounds of internal/pimbound account for, with Theorem 3
+// bounding the resulting slack by 4d/α + 2d/α².
+package quant
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultAlpha is the paper's scaling factor (§VI-A: "chose α as 10⁶").
+const DefaultAlpha = 1e6
+
+// Quantizer scales normalized [0,1] values by Alpha and floors them to
+// non-negative integers.
+type Quantizer struct {
+	Alpha float64
+}
+
+// New returns a quantizer with the given scaling factor. Alpha must be at
+// least 1; the paper uses 10⁶.
+func New(alpha float64) (Quantizer, error) {
+	if alpha < 1 || math.IsInf(alpha, 0) || math.IsNaN(alpha) {
+		return Quantizer{}, fmt.Errorf("quant: invalid alpha %v (need finite alpha >= 1)", alpha)
+	}
+	if alpha > math.MaxUint32 {
+		return Quantizer{}, fmt.Errorf("quant: alpha %v exceeds 32-bit operand range", alpha)
+	}
+	return Quantizer{Alpha: alpha}, nil
+}
+
+// OperandBits returns the number of bits needed to represent a quantized
+// value, i.e. ⌈log2(α+1)⌉. With the paper's α=10⁶ this is 20 bits; the
+// paper nevertheless models 32-bit integer operands "to keep consistent
+// with host processor", and internal/arch does the same.
+func (q Quantizer) OperandBits() int {
+	return int(math.Ceil(math.Log2(q.Alpha + 1)))
+}
+
+// Floor quantizes one normalized value: ⌊v·α⌋. Values must lie in [0,1];
+// out-of-range input is a caller bug and panics, because a silently
+// clamped value would invalidate the bound proofs.
+func (q Quantizer) Floor(v float64) uint32 {
+	if v < 0 || v > 1 || math.IsNaN(v) {
+		panic(fmt.Sprintf("quant: value %v outside [0,1]", v))
+	}
+	return uint32(v * q.Alpha)
+}
+
+// FloorVec quantizes a whole normalized vector into dst, allocating when
+// dst is nil or too short, and returns it.
+func (q Quantizer) FloorVec(v []float64, dst []uint32) []uint32 {
+	if cap(dst) < len(v) {
+		dst = make([]uint32, len(v))
+	}
+	dst = dst[:len(v)]
+	for i, x := range v {
+		dst[i] = q.Floor(x)
+	}
+	return dst
+}
+
+// Scaled returns p̄ᵢ = v·α as a float (used by Φ precomputation, which
+// needs Σ p̄ᵢ² with full precision).
+func (q Quantizer) Scaled(v float64) float64 { return v * q.Alpha }
+
+// ErrorBound returns Theorem 3's upper bound on the gap between the exact
+// squared Euclidean distance and LB_PIM-ED for d-dimensional vectors:
+//
+//	ED(p,q) − LB_PIM-ED(p,q) ≤ 4d/α + 2d/α²
+//
+// The bound is inversely proportional to α: larger scaling factors give
+// tighter PIM bounds.
+func (q Quantizer) ErrorBound(d int) float64 {
+	df := float64(d)
+	return 4*df/q.Alpha + 2*df/(q.Alpha*q.Alpha)
+}

@@ -1,0 +1,110 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0.5); err == nil {
+		t.Fatal("alpha < 1 must be rejected")
+	}
+	if _, err := New(math.NaN()); err == nil {
+		t.Fatal("NaN alpha must be rejected")
+	}
+	if _, err := New(math.Inf(1)); err == nil {
+		t.Fatal("Inf alpha must be rejected")
+	}
+	if _, err := New(1e10); err == nil {
+		t.Fatal("alpha beyond 32-bit operand range must be rejected")
+	}
+	if _, err := New(DefaultAlpha); err != nil {
+		t.Fatalf("paper alpha rejected: %v", err)
+	}
+}
+
+func TestOperandBits(t *testing.T) {
+	q, _ := New(1e6)
+	if got := q.OperandBits(); got != 20 {
+		t.Fatalf("OperandBits(1e6) = %d, want 20", got)
+	}
+	q3, _ := New(3)
+	if got := q3.OperandBits(); got != 2 {
+		t.Fatalf("OperandBits(3) = %d, want 2", got)
+	}
+}
+
+func TestFloor(t *testing.T) {
+	q, _ := New(1000)
+	for _, tc := range []struct {
+		v    float64
+		want uint32
+	}{
+		{0, 0}, {1, 1000}, {0.5532, 553}, {0.9742, 974}, {0.0009, 0},
+	} {
+		if got := q.Floor(tc.v); got != tc.want {
+			t.Errorf("Floor(%v) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestFloorPanicsOutOfRange(t *testing.T) {
+	q, _ := New(10)
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Floor(%v) must panic", bad)
+				}
+			}()
+			q.Floor(bad)
+		}()
+	}
+}
+
+func TestFloorVec(t *testing.T) {
+	q, _ := New(1000)
+	// Fig 9's example vector.
+	got := q.FloorVec([]float64{0.5532, 0.9742, 0.7375, 0.6557}, nil)
+	want := []uint32{553, 974, 737, 655}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FloorVec = %v, want %v", got, want)
+		}
+	}
+	// Reuses the destination buffer when it is large enough.
+	buf := make([]uint32, 8)
+	got2 := q.FloorVec([]float64{0.1}, buf)
+	if &got2[0] != &buf[0] || got2[0] != 100 {
+		t.Fatal("FloorVec must reuse the provided buffer")
+	}
+}
+
+func TestErrorBound(t *testing.T) {
+	q, _ := New(1e6)
+	d := 420
+	want := 4*float64(d)/1e6 + 2*float64(d)/1e12
+	if got := q.ErrorBound(d); math.Abs(got-want) > 1e-18 {
+		t.Fatalf("ErrorBound = %v, want %v", got, want)
+	}
+	// Theorem 3: error shrinks as alpha grows.
+	q2, _ := New(1e3)
+	if q2.ErrorBound(d) <= q.ErrorBound(d) {
+		t.Fatal("error bound must be inversely proportional to alpha")
+	}
+}
+
+// Property: the floor never exceeds the scaled value and is within 1 of it.
+func TestFloorPropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	q, _ := New(1e6)
+	for i := 0; i < 1000; i++ {
+		v := rng.Float64()
+		f := float64(q.Floor(v))
+		s := q.Scaled(v)
+		if f > s || s-f >= 1 {
+			t.Fatalf("Floor(%v)=%v not in (scaled-1, scaled]=(%v-1, %v]", v, f, s, s)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package vec
+
+import (
+	"math"
+	"sort"
+)
+
+// Neighbor is one kNN result: the index of a dataset object and its distance
+// (or, for similarity measures, its negated similarity so that smaller is
+// always better).
+type Neighbor struct {
+	Index int
+	Dist  float64
+}
+
+// TopK maintains the k smallest-distance neighbors seen so far using a
+// bounded binary max-heap: the root is always the current worst (largest
+// distance) of the kept k, so Threshold is O(1) and Push is O(log k).
+//
+// The zero value is not usable; construct with NewTopK.
+type TopK struct {
+	k    int
+	heap []Neighbor // max-heap on Dist
+}
+
+// NewTopK creates a collector for the k nearest neighbors. k must be >= 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("vec: TopK requires k >= 1")
+	}
+	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Len returns how many neighbors are currently held (≤ k).
+func (t *TopK) Len() int { return len(t.heap) }
+
+// Full reports whether k neighbors have been collected.
+func (t *TopK) Full() bool { return len(t.heap) == t.k }
+
+// Threshold returns the pruning threshold: the distance of the current k-th
+// nearest neighbor, or +Inf while fewer than k neighbors are held. Any
+// candidate whose lower bound meets or exceeds this value cannot enter the
+// result set.
+func (t *TopK) Threshold() float64 {
+	if len(t.heap) < t.k {
+		return math.Inf(1)
+	}
+	return t.heap[0].Dist
+}
+
+// Push offers a candidate. It is kept only if fewer than k neighbors are
+// held or it beats the current k-th neighbor. Returns true if kept.
+func (t *TopK) Push(index int, dist float64) bool {
+	if len(t.heap) < t.k {
+		t.heap = append(t.heap, Neighbor{index, dist})
+		t.siftUp(len(t.heap) - 1)
+		return true
+	}
+	if dist >= t.heap[0].Dist {
+		return false
+	}
+	t.heap[0] = Neighbor{index, dist}
+	t.siftDown(0)
+	return true
+}
+
+// Results returns the collected neighbors sorted by ascending distance,
+// breaking ties by ascending index so results are deterministic.
+func (t *TopK) Results() []Neighbor {
+	out := make([]Neighbor, len(t.heap))
+	copy(out, t.heap)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out
+}
+
+func (t *TopK) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.heap[parent].Dist >= t.heap[i].Dist {
+			return
+		}
+		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) siftDown(i int) {
+	n := len(t.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
+			largest = l
+		}
+		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
+		i = largest
+	}
+}

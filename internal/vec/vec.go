@@ -1,0 +1,190 @@
+// Package vec provides the dense-vector containers and arithmetic kernels
+// that every other package in this repository builds on: row-major float
+// matrices, dot products, norms, per-segment statistics, and a bounded
+// top-k heap used by the kNN algorithms.
+//
+// All floating-point data is held as float64 for accumulation accuracy;
+// the architecture model (internal/arch) separately accounts for the
+// modeled operand width (32 bits, matching the paper's setup).
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of N rows by D columns. It is the
+// canonical in-memory representation of a dataset: one row per object.
+type Matrix struct {
+	N, D int
+	Data []float64 // len == N*D
+}
+
+// NewMatrix allocates an N×D zero matrix.
+func NewMatrix(n, d int) *Matrix {
+	if n < 0 || d < 0 {
+		panic(fmt.Sprintf("vec: invalid matrix shape %dx%d", n, d))
+	}
+	return &Matrix{N: n, D: d, Data: make([]float64, n*d)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows, copying the
+// values.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 {
+		return &Matrix{}, nil
+	}
+	d := len(rows[0])
+	m := NewMatrix(len(rows), d)
+	for i, r := range rows {
+		if len(r) != d {
+			return nil, fmt.Errorf("vec: row %d has length %d, want %d", i, len(r), d)
+		}
+		copy(m.Row(i), r)
+	}
+	return m, nil
+}
+
+// Row returns row i as a slice sharing the matrix's storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D]
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.N, m.D)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Bytes reports the modeled storage size of the matrix assuming the given
+// operand width in bits (the paper models 32-bit operands regardless of the
+// in-memory Go representation).
+func (m *Matrix) Bytes(operandBits int) int64 {
+	return int64(m.N) * int64(m.D) * int64(operandBits) / 8
+}
+
+// Dot returns the inner product of a and b. It panics if the lengths differ,
+// because a length mismatch is always a programming error in this codebase.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: dot of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// IntDot returns the inner product of two non-negative integer vectors as
+// an int64, mirroring what the ReRAM crossbar computes in the analog domain.
+func IntDot(a, b []uint32) int64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vec: intdot of mismatched lengths %d and %d", len(a), len(b)))
+	}
+	var s int64
+	for i := range a {
+		s += int64(a[i]) * int64(b[i])
+	}
+	return s
+}
+
+// SqNorm returns the squared L2 norm Σ aᵢ².
+func SqNorm(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return s
+}
+
+// Norm returns the L2 norm.
+func Norm(a []float64) float64 { return math.Sqrt(SqNorm(a)) }
+
+// Sum returns Σ aᵢ.
+func Sum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// Std returns the population standard deviation of a (σ with 1/n), or 0 for
+// an empty slice. The population form matches the LB_FNN definition in the
+// paper, where σ(p̂ᵢ) is computed over the fixed-length segment.
+func Std(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	mu := Mean(a)
+	var s float64
+	for _, v := range a {
+		dv := v - mu
+		s += dv * dv
+	}
+	return math.Sqrt(s / float64(len(a)))
+}
+
+// SegmentStats divides a d-dimensional vector into segs equal segments and
+// returns the per-segment means and population standard deviations. It is
+// the Φ precomputation used by LB_FNN (Hwang et al., CVPR 2012): the vector
+// is split into d′ = segs segments of length l = d/segs.
+//
+// d must be divisible by segs; callers pick segment counts accordingly
+// (the dataset generators use power-of-two-friendly dimensionalities).
+func SegmentStats(v []float64, segs int) (mu, sigma []float64, err error) {
+	d := len(v)
+	if segs <= 0 || d%segs != 0 {
+		return nil, nil, fmt.Errorf("vec: cannot split %d dims into %d equal segments", d, segs)
+	}
+	l := d / segs
+	mu = make([]float64, segs)
+	sigma = make([]float64, segs)
+	for i := 0; i < segs; i++ {
+		seg := v[i*l : (i+1)*l]
+		mu[i] = Mean(seg)
+		sigma[i] = Std(seg)
+	}
+	return mu, sigma, nil
+}
+
+// Scale multiplies every element of a by f in place.
+func Scale(a []float64, f float64) {
+	for i := range a {
+		a[i] *= f
+	}
+}
+
+// AddTo accumulates src into dst element-wise. It panics on length mismatch.
+func AddTo(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("vec: addto of mismatched lengths %d and %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		dst[i] += src[i]
+	}
+}
+
+// Equal reports whether a and b have the same length and all elements within
+// tol of each other.
+func Equal(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}

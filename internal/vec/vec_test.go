@@ -1,0 +1,286 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.N != 3 || m.D != 4 || len(m.Data) != 12 {
+		t.Fatalf("NewMatrix(3,4) = %dx%d with %d values", m.N, m.D, len(m.Data))
+	}
+	m.Row(1)[2] = 7
+	if m.Data[1*4+2] != 7 {
+		t.Fatal("Row must alias matrix storage")
+	}
+}
+
+func TestMatrixRowBounds(t *testing.T) {
+	m := NewMatrix(2, 3)
+	row := m.Row(0)
+	if len(row) != 3 || cap(row) != 3 {
+		t.Fatalf("Row(0) len=%d cap=%d, want 3/3 (full slice expression)", len(row), cap(row))
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 3 || m.D != 2 || m.Row(2)[1] != 6 {
+		t.Fatalf("FromRows built %dx%d, row2=%v", m.N, m.D, m.Row(2))
+	}
+	if _, err := FromRows([][]float64{{1}, {2, 3}}); err == nil {
+		t.Fatal("FromRows must reject ragged rows")
+	}
+	empty, err := FromRows(nil)
+	if err != nil || empty.N != 0 {
+		t.Fatalf("FromRows(nil) = %v, %v", empty, err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Row(0)[0] = 1
+	c := m.Clone()
+	c.Row(0)[0] = 9
+	if m.Row(0)[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestBytes(t *testing.T) {
+	m := NewMatrix(10, 8)
+	if got := m.Bytes(32); got != 320 {
+		t.Fatalf("Bytes(32) = %d, want 320", got)
+	}
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot must panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestIntDot(t *testing.T) {
+	// Fig 1's example: [3,1,0]·[3,1,2] = 10, [1,2,3]·[3,1,2] = 11,
+	// [2,0,1]·[3,1,2] = 8.
+	q := []uint32{3, 1, 2}
+	for _, tc := range []struct {
+		p    []uint32
+		want int64
+	}{
+		{[]uint32{3, 1, 0}, 10},
+		{[]uint32{1, 2, 3}, 11},
+		{[]uint32{2, 0, 1}, 8},
+	} {
+		if got := IntDot(tc.p, q); got != tc.want {
+			t.Errorf("IntDot(%v, %v) = %d, want %d", tc.p, q, got, tc.want)
+		}
+	}
+}
+
+func TestIntDotNoOverflow(t *testing.T) {
+	// Values at the paper's α=10⁶ scale must accumulate in int64 without
+	// overflow even at Trevi's d=4096 (max dot ≈ 4·10¹⁵ < 2⁶³).
+	a := make([]uint32, 4096)
+	for i := range a {
+		a[i] = 1_000_000
+	}
+	want := int64(4096) * 1_000_000 * 1_000_000
+	if got := IntDot(a, a); got != want {
+		t.Fatalf("IntDot overflow: got %d, want %d", got, want)
+	}
+}
+
+func TestNormsAndStats(t *testing.T) {
+	v := []float64{3, 4}
+	if SqNorm(v) != 25 || Norm(v) != 5 {
+		t.Fatalf("SqNorm/Norm of %v = %v/%v", v, SqNorm(v), Norm(v))
+	}
+	if Sum(v) != 7 || Mean(v) != 3.5 {
+		t.Fatalf("Sum/Mean of %v = %v/%v", v, Sum(v), Mean(v))
+	}
+	if Std([]float64{2, 2, 2}) != 0 {
+		t.Fatal("Std of constant vector must be 0")
+	}
+	if got := Std([]float64{1, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("population Std of {1,3} = %v, want 1", got)
+	}
+	if Mean(nil) != 0 || Std(nil) != 0 {
+		t.Fatal("Mean/Std of empty slice must be 0")
+	}
+}
+
+func TestSegmentStats(t *testing.T) {
+	v := []float64{1, 3, 2, 2, 0, 4}
+	mu, sigma, err := SegmentStats(v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMu := []float64{2, 2, 2}
+	wantSg := []float64{1, 0, 2}
+	if !Equal(mu, wantMu, 1e-12) || !Equal(sigma, wantSg, 1e-12) {
+		t.Fatalf("SegmentStats = %v/%v, want %v/%v", mu, sigma, wantMu, wantSg)
+	}
+	if _, _, err := SegmentStats(v, 4); err == nil {
+		t.Fatal("SegmentStats must reject non-divisible segment counts")
+	}
+}
+
+func TestScaleAddTo(t *testing.T) {
+	a := []float64{1, 2}
+	Scale(a, 3)
+	if a[0] != 3 || a[1] != 6 {
+		t.Fatalf("Scale = %v", a)
+	}
+	AddTo(a, []float64{1, 1})
+	if a[0] != 4 || a[1] != 7 {
+		t.Fatalf("AddTo = %v", a)
+	}
+}
+
+// Property: Dot is symmetric and linear in its first argument.
+func TestDotPropertiesQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true // keep the check numerically meaningful
+			}
+		}
+		sym := math.Abs(Dot(a, b)-Dot(b, a)) <= 1e-9*(1+math.Abs(Dot(a, b)))
+		a2 := make([]float64, n)
+		for i := range a {
+			a2[i] = 2 * a[i]
+		}
+		lin := math.Abs(Dot(a2, b)-2*Dot(a, b)) <= 1e-6*(1+math.Abs(Dot(a, b)))
+		return sym && lin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cauchy–Schwarz, |a·b| ≤ ‖a‖‖b‖.
+func TestCauchySchwarzQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		n := len(raw) / 2
+		a, b := raw[:n], raw[n:2*n]
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		return math.Abs(Dot(a, b)) <= Norm(a)*Norm(b)*(1+1e-9)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKBasic(t *testing.T) {
+	top := NewTopK(3)
+	if !math.IsInf(top.Threshold(), 1) {
+		t.Fatal("empty TopK threshold must be +Inf")
+	}
+	for i, d := range []float64{5, 1, 4, 2, 3} {
+		top.Push(i, d)
+	}
+	res := top.Results()
+	if len(res) != 3 || res[0].Dist != 1 || res[1].Dist != 2 || res[2].Dist != 3 {
+		t.Fatalf("TopK results = %v", res)
+	}
+	if top.Threshold() != 3 {
+		t.Fatalf("threshold = %v, want 3", top.Threshold())
+	}
+}
+
+func TestTopKRejectsWorse(t *testing.T) {
+	top := NewTopK(2)
+	top.Push(0, 1)
+	top.Push(1, 2)
+	if top.Push(2, 2) {
+		t.Fatal("equal-to-threshold candidate must be rejected")
+	}
+	if !top.Push(3, 1.5) {
+		t.Fatal("better candidate must be accepted")
+	}
+}
+
+func TestTopKTiesDeterministic(t *testing.T) {
+	top := NewTopK(2)
+	top.Push(5, 1)
+	top.Push(3, 1)
+	res := top.Results()
+	if res[0].Index != 3 || res[1].Index != 5 {
+		t.Fatalf("tie order = %v, want ascending index", res)
+	}
+}
+
+// Property: TopK matches a full sort-and-truncate reference.
+func TestTopKMatchesSortQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(200)
+		k := 1 + rng.Intn(n)
+		dists := make([]float64, n)
+		for i := range dists {
+			dists[i] = math.Floor(rng.Float64()*100) / 10 // force ties
+		}
+		top := NewTopK(k)
+		for i, d := range dists {
+			top.Push(i, d)
+		}
+		got := top.Results()
+		ref := make([]Neighbor, n)
+		for i, d := range dists {
+			ref[i] = Neighbor{i, d}
+		}
+		// reference: stable selection of k smallest by (dist, index)
+		for i := 0; i < k; i++ {
+			minJ := i
+			for j := i + 1; j < n; j++ {
+				if ref[j].Dist < ref[minJ].Dist ||
+					(ref[j].Dist == ref[minJ].Dist && ref[j].Index < ref[minJ].Index) {
+					minJ = j
+				}
+			}
+			ref[i], ref[minJ] = ref[minJ], ref[i]
+		}
+		for i := 0; i < k; i++ {
+			if got[i].Dist != ref[i].Dist {
+				t.Fatalf("trial %d: k=%d pos=%d got dist %v want %v", trial, k, i, got[i].Dist, ref[i].Dist)
+			}
+		}
+	}
+}
+
+func TestTopKPanicsOnZeroK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTopK(0) must panic")
+		}
+	}()
+	NewTopK(0)
+}

@@ -1,0 +1,308 @@
+// Package pimmine accelerates similarity-based mining tasks (kNN
+// classification, k-means clustering) on high-dimensional data with a
+// simulated ReRAM processing-in-memory (PIM) substrate, reproducing
+// Wang, Yiu & Shao, "Accelerating Similarity-based Mining Tasks on
+// High-dimensional Data by Processing-in-memory" (ICDE 2021).
+//
+// The package is a facade over the focused internal packages; the types
+// exposed here cover the full user journey:
+//
+//	cfg  := pimmine.DefaultConfig()            // Table 5 hardware model
+//	fw,_ := pimmine.NewFramework(cfg, 1e6)     // §III-B framework, α=10⁶
+//	ds   := pimmine.GenerateDataset(prof, n, seed)
+//	acc,_ := fw.AccelerateKNN(ds.X, pimmine.KNNOptions{Pilot: ...})
+//	nn   := acc.Optimized.Search(q, 10, pimmine.NewMeter())
+//
+// Everything runs for real — results are exact, verified against plain
+// linear scans — while activity meters feed the architecture timing model
+// that reproduces the paper's evaluation (see bench_test.go and
+// EXPERIMENTS.md).
+package pimmine
+
+import (
+	"pimmine/internal/arch"
+	"pimmine/internal/core"
+	"pimmine/internal/dataset"
+	"pimmine/internal/dbscan"
+	"pimmine/internal/join"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/knn"
+	"pimmine/internal/lsh"
+	"pimmine/internal/measure"
+	"pimmine/internal/motif"
+	"pimmine/internal/outlier"
+	"pimmine/internal/pim"
+	"pimmine/internal/plan"
+	"pimmine/internal/profile"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// Hardware model and activity accounting.
+type (
+	// Config is the Table 5 hardware description (host + ReRAM PIM).
+	Config = arch.Config
+	// Meter accumulates modeled activity per function.
+	Meter = arch.Meter
+	// Breakdown is Eq. 1's time decomposition plus the PIM component.
+	Breakdown = arch.Breakdown
+)
+
+// Data containers.
+type (
+	// Matrix is a dense row-major dataset (one row per object).
+	Matrix = vec.Matrix
+	// Neighbor is one kNN result.
+	Neighbor = vec.Neighbor
+	// BitVector is a packed binary code for Hamming workloads.
+	BitVector = measure.BitVector
+	// DatasetProfile describes one synthetic Table 6 dataset family.
+	DatasetProfile = dataset.Profile
+	// Dataset is a generated dataset with labels and query sampling.
+	Dataset = dataset.Dataset
+)
+
+// The framework (§III-B) and its outputs.
+type (
+	// Framework wires profiling, Theorem 4 sizing, PIM-aware bounds and
+	// plan optimization for a given hardware model.
+	Framework = core.Framework
+	// KNNOptions configures Framework.AccelerateKNN.
+	KNNOptions = core.KNNOptions
+	// KNNAcceleration is AccelerateKNN's result bundle.
+	KNNAcceleration = core.KNNAcceleration
+	// KMeansOptions configures Framework.AccelerateKMeans.
+	KMeansOptions = core.KMeansOptions
+	// KMeansAcceleration is AccelerateKMeans's result bundle.
+	KMeansAcceleration = core.KMeansAcceleration
+	// KMeansVariant names a base k-means algorithm.
+	KMeansVariant = core.KMeansVariant
+	// Profile is a §IV profiling report.
+	Profile = profile.Report
+	// Plan is a §V-D execution plan.
+	Plan = plan.Plan
+	// Quantizer is the §V-B float→integer pipeline.
+	Quantizer = quant.Quantizer
+	// Engine is the PIM array (programming + batched dot products).
+	Engine = pim.Engine
+)
+
+// The k-means variants accepted by AccelerateKMeans (the paper's four
+// plus Hamerly).
+const (
+	Standard = core.VariantStandard
+	Elkan    = core.VariantElkan
+	Hamerly  = core.VariantHamerly
+	Drake    = core.VariantDrake
+	Yinyang  = core.VariantYinyang
+)
+
+// DefaultAlpha is the paper's quantization scaling factor (10⁶).
+const DefaultAlpha = quant.DefaultAlpha
+
+// DefaultConfig returns the paper's Table 5 hardware configuration.
+func DefaultConfig() Config { return arch.Default() }
+
+// NewMeter returns an empty activity meter.
+func NewMeter() *Meter { return arch.NewMeter() }
+
+// NewFramework builds the §III-B framework over a hardware model with
+// scaling factor alpha (use DefaultAlpha for the paper's setting).
+func NewFramework(cfg Config, alpha float64) (*Framework, error) {
+	return core.New(cfg, alpha, pim.ModeExact)
+}
+
+// NewSimulatedFramework is NewFramework with every PIM dot product routed
+// through the bit-sliced functional crossbar simulator — slow, intended
+// for demos and verification.
+func NewSimulatedFramework(cfg Config, alpha float64) (*Framework, error) {
+	return core.New(cfg, alpha, pim.ModeSimulate)
+}
+
+// DatasetProfiles lists the eight Table 6 synthetic dataset families.
+func DatasetProfiles() []DatasetProfile { return dataset.Profiles }
+
+// DatasetByName returns a Table 6 profile by name (e.g. "MSD").
+func DatasetByName(name string) (DatasetProfile, error) { return dataset.ByName(name) }
+
+// GenerateDataset draws n rows from a profile's mixture (seeded,
+// deterministic) normalized into [0,1].
+func GenerateDataset(p DatasetProfile, n int, seed int64) *Dataset {
+	return dataset.Generate(p, n, seed)
+}
+
+// NewEngine builds a PIM array for direct (non-framework) use.
+func NewEngine(cfg Config) (*Engine, error) { return pim.NewEngine(cfg, pim.ModeExact) }
+
+// NewQuantizer builds the §V-B quantizer.
+func NewQuantizer(alpha float64) (Quantizer, error) { return quant.New(alpha) }
+
+// NewProfile profiles a meter under a hardware configuration (§IV).
+func NewProfile(algorithm string, cfg Config, m *Meter) *Profile {
+	return profile.New(algorithm, cfg, m)
+}
+
+// kNN searchers for direct use (the framework builds these internally).
+type (
+	// KNNSearcher is any kNN algorithm bound to a dataset.
+	KNNSearcher = knn.Searcher
+	// HDSearcher is a kNN algorithm over binary codes.
+	HDSearcher = knn.HDSearcher
+)
+
+// NewExactKNN builds the exact ED linear scan baseline.
+func NewExactKNN(data *Matrix) KNNSearcher { return knn.NewStandard(data) }
+
+// NewHDExact builds the exact Hamming-scan baseline over binary codes.
+func NewHDExact(codes []BitVector) HDSearcher { return knn.NewHDStandard(codes) }
+
+// NewHDPIM builds the PIM-accelerated exact Hamming scan. capacityN is
+// the full-scale code count for the capacity check.
+func NewHDPIM(eng *Engine, codes []BitVector, capacityN int) (HDSearcher, error) {
+	return knn.NewHDPIM(eng, codes, capacityN)
+}
+
+// SimHash returns bits-length random-hyperplane binary codes for every
+// row of m (Charikar's LSH, used by the Hamming workloads).
+func SimHash(m *Matrix, bits int, seed int64) []BitVector {
+	return lsh.NewHasher(m.D, bits, seed).HashAll(m)
+}
+
+// k-means algorithms for direct use.
+type KMeansAlgorithm = kmeans.Algorithm
+
+// KMeansInitCenters picks k distinct rows as shared initial centers.
+func KMeansInitCenters(data *Matrix, k int, seed int64) (*Matrix, error) {
+	return kmeans.InitCenters(data, k, seed)
+}
+
+// KMeansInitPlusPlus picks k initial centers with k-means++ seeding
+// (Arthur & Vassilvitskii), deterministic per seed.
+func KMeansInitPlusPlus(data *Matrix, k int, seed int64) (*Matrix, error) {
+	return kmeans.InitCentersPlusPlus(data, k, seed)
+}
+
+// NewLloyd builds the Standard (Lloyd) baseline.
+func NewLloyd(data *Matrix) KMeansAlgorithm { return kmeans.NewLloyd(data) }
+
+// ErrorBound returns Theorem 3's bound on the LB_PIM-ED quantization gap
+// for d dimensions under quantizer q.
+func ErrorBound(q Quantizer, d int) float64 { return q.ErrorBound(d) }
+
+// ---------------------------------------------------------------------------
+// Extension tasks: the other similarity-based mining workloads the
+// paper's introduction names (outlier detection, motif discovery) plus
+// similarity joins, each with a PIM-optimized variant.
+// ---------------------------------------------------------------------------
+
+// Outlier detection (Knorr–Ng DB outliers and top-n kNN-distance).
+type (
+	// OutlierDetector finds distance-based outliers.
+	OutlierDetector = outlier.Detector
+	// Outlier is one top-n kNN-distance result.
+	Outlier = outlier.Outlier
+)
+
+// NewOutlierDetector builds the host-only detector.
+func NewOutlierDetector(data *Matrix) *OutlierDetector { return outlier.NewDetector(data) }
+
+// NewOutlierDetectorPIM builds the PIM-optimized detector.
+func NewOutlierDetectorPIM(eng *Engine, data *Matrix, q Quantizer, capacityN int) (*OutlierDetector, error) {
+	return outlier.NewDetectorPIM(eng, data, q, capacityN)
+}
+
+// Time-series motif discovery.
+type (
+	// MotifFinder locates the closest non-overlapping subsequence pair.
+	MotifFinder = motif.Finder
+	// Motif is one discovered pair.
+	Motif = motif.Motif
+)
+
+// MotifWindows expands a series into normalized sliding windows.
+func MotifWindows(series []float64, w int) (*Matrix, float64, error) {
+	return motif.Windows(series, w)
+}
+
+// NewMotifFinder builds the host-only finder.
+func NewMotifFinder(windows *Matrix) *MotifFinder { return motif.NewFinder(windows) }
+
+// NewMotifFinderPIM builds the PIM-optimized finder.
+func NewMotifFinderPIM(eng *Engine, windows *Matrix, q Quantizer, capacityN int) (*MotifFinder, error) {
+	return motif.NewFinderPIM(eng, windows, q, capacityN)
+}
+
+// Density-based clustering (DBSCAN; §II-C names density-based
+// clustering among the framework's target tasks).
+type (
+	// DBSCANClusterer runs DBSCAN with host or PIM range queries.
+	DBSCANClusterer = dbscan.Clusterer
+	// DBSCANResult is one clustering outcome.
+	DBSCANResult = dbscan.Result
+)
+
+// NewDBSCAN builds the host-only clusterer.
+func NewDBSCAN(data *Matrix) *DBSCANClusterer { return dbscan.New(data) }
+
+// NewDBSCANPIM builds the PIM-optimized clusterer.
+func NewDBSCANPIM(eng *Engine, data *Matrix, q Quantizer, capacityN int) (*DBSCANClusterer, error) {
+	return dbscan.NewPIM(eng, data, q, capacityN)
+}
+
+// Similarity joins (kNN join and ε range join).
+type (
+	// Joiner joins an outer relation against a fixed inner relation.
+	Joiner = join.Joiner
+	// JoinPair is one ε-join result.
+	JoinPair = join.Pair
+)
+
+// NewJoiner builds the host-only joiner over the inner relation.
+func NewJoiner(s *Matrix) *Joiner { return join.NewJoiner(s) }
+
+// NewJoinerPIM builds the PIM-optimized joiner.
+func NewJoinerPIM(eng *Engine, s *Matrix, q Quantizer, capacityN int) (*Joiner, error) {
+	return join.NewJoinerPIM(eng, s, q, capacityN)
+}
+
+// KNNClassifier turns any searcher into a majority-vote classifier.
+type KNNClassifier = knn.Classifier
+
+// NewKNNClassifier builds a classifier over a labeled dataset.
+func NewKNNClassifier(s KNNSearcher, labels []int, k int) (*KNNClassifier, error) {
+	return knn.NewClassifier(s, labels, k)
+}
+
+// DynamicKNN is the insert-capable PIM index (§VII future-work
+// exploration): crossbar headroom is reserved up front, inserts program
+// only fresh cells (endurance-free), and searches stay exact.
+type DynamicKNN = knn.DynamicPIM
+
+// NewDynamicKNN indexes initial rows and reserves headroom for
+// reserveRows total rows.
+func NewDynamicKNN(eng *Engine, initial *Matrix, q Quantizer, reserveRows int) (*DynamicKNN, error) {
+	return knn.NewDynamicPIM(eng, initial, q, reserveRows)
+}
+
+// KNNBatchResult is the outcome of a concurrent batch search.
+type KNNBatchResult = knn.BatchResult
+
+// SearchKNNBatch answers a query matrix concurrently with per-worker
+// searchers (see knn.SearchBatch).
+func SearchKNNBatch(newSearcher func() (KNNSearcher, error), queries *Matrix, k, workers int) (*KNNBatchResult, error) {
+	return knn.SearchBatch(newSearcher, queries, k, workers)
+}
+
+// HammingDistance is the exact HD between two codes.
+func HammingDistance(a, b BitVector) int { return measure.Hamming(a, b) }
+
+// SqEuclidean is the paper's (squared) ED similarity measure.
+func SqEuclidean(p, q []float64) float64 { return measure.SqEuclidean(p, q) }
+
+// Compile-time checks that the PIM searchers satisfy the public
+// interfaces.
+var (
+	_ KNNSearcher = (*knn.StandardPIM)(nil)
+	_ KNNSearcher = (*knn.FNNPIM)(nil)
+	_ HDSearcher  = (*knn.HDPIM)(nil)
+)

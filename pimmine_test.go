@@ -1,0 +1,150 @@
+package pimmine_test
+
+import (
+	"testing"
+
+	"pimmine"
+)
+
+// The public facade supports the full documented user journey.
+func TestFacadeUserJourney(t *testing.T) {
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 500, 42)
+	queries := ds.Queries(3, 43)
+
+	fw, err := pimmine.NewFramework(pimmine.DefaultConfig(), pimmine.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := fw.AccelerateKNN(ds.X, pimmine.KNNOptions{
+		CapacityN: prof.FullN,
+		K:         10,
+		Pilot:     queries,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.S != 105 {
+		t.Fatalf("MSD Theorem 4 s = %d, want 105", acc.S)
+	}
+	exact := pimmine.NewExactKNN(ds.X)
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		want := exact.Search(q, 10, pimmine.NewMeter())
+		got := acc.Optimized.Search(q, 10, pimmine.NewMeter())
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("facade search inexact at query %d pos %d", qi, i)
+			}
+		}
+	}
+}
+
+func TestFacadeKMeans(t *testing.T) {
+	prof, err := pimmine.DatasetByName("Year")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 400, 7)
+	fw, err := pimmine.NewFramework(pimmine.DefaultConfig(), pimmine.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := fw.AccelerateKMeans(ds.X, pimmine.Yinyang, pimmine.KMeansOptions{K: 8, MaxIters: 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := pimmine.KMeansInitCenters(ds.X, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lloyd := pimmine.NewLloyd(ds.X).Run(initial, 20, pimmine.NewMeter())
+	got := acc.PIM.Run(initial, 20, pimmine.NewMeter())
+	for i := range lloyd.Assign {
+		if lloyd.Assign[i] != got.Assign[i] {
+			t.Fatalf("facade k-means diverges from Lloyd at point %d", i)
+		}
+	}
+}
+
+func TestFacadeHamming(t *testing.T) {
+	prof, _ := pimmine.DatasetByName("GIST")
+	ds := pimmine.GenerateDataset(prof, 300, 5)
+	codes := pimmine.SimHash(ds.X, 256, 6)
+	eng, err := pimmine.NewEngine(pimmine.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pimScan, err := pimmine.NewHDPIM(eng, codes, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostScan := pimmine.NewHDExact(codes)
+	q := pimmine.SimHash(ds.Queries(1, 9), 256, 6)[0]
+	want := hostScan.Search(q, 5, pimmine.NewMeter())
+	got := pimScan.Search(q, 5, pimmine.NewMeter())
+	for i := range want {
+		if want[i].Dist != got[i].Dist {
+			t.Fatalf("HD facade mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+	if pimmine.HammingDistance(codes[0], codes[0]) != 0 {
+		t.Fatal("HD(x,x) != 0")
+	}
+}
+
+func TestFacadeHelpers(t *testing.T) {
+	if len(pimmine.DatasetProfiles()) != 8 {
+		t.Fatalf("want 8 Table 6 profiles")
+	}
+	q, err := pimmine.NewQuantizer(pimmine.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eb := pimmine.ErrorBound(q, 420); eb <= 0 {
+		t.Fatalf("ErrorBound = %v", eb)
+	}
+	if pimmine.SqEuclidean([]float64{0, 0}, []float64{3, 4}) != 25 {
+		t.Fatal("SqEuclidean wrong")
+	}
+	m := pimmine.NewMeter()
+	m.C("ED").Ops = 42
+	r := pimmine.NewProfile("x", pimmine.DefaultConfig(), m)
+	if r.Bottleneck() != "ED" {
+		t.Fatalf("profile bottleneck = %q", r.Bottleneck())
+	}
+}
+
+// Full-stack check: with the simulated (bit-sliced crossbar) engine, the
+// framework's accelerated searcher still returns exactly the linear
+// scan's neighbors — the deepest end-to-end path in the repository.
+func TestSimulatedEngineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulate mode is slow")
+	}
+	prof, _ := pimmine.DatasetByName("Year") // smallest d keeps tiles cheap
+	ds := pimmine.GenerateDataset(prof, 120, 11)
+	queries := ds.Queries(2, 12)
+	fw, err := pimmine.NewSimulatedFramework(pimmine.DefaultConfig(), pimmine.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := fw.AccelerateKNN(ds.X, pimmine.KNNOptions{K: 5, Pilot: queries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := pimmine.NewExactKNN(ds.X)
+	for qi := 0; qi < queries.N; qi++ {
+		q := queries.Row(qi)
+		want := exact.Search(q, 5, pimmine.NewMeter())
+		got := acc.PIM.Search(q, 5, pimmine.NewMeter())
+		for i := range want {
+			if got[i].Dist != want[i].Dist {
+				t.Fatalf("simulated engine inexact at query %d pos %d", qi, i)
+			}
+		}
+	}
+}

@@ -6,7 +6,10 @@
 //	pimbench [-scale N] [-queries Q] [-seed S] [-full] [ids...]
 //
 // With no ids, every registered experiment runs. Available ids:
-// table1 table5 table6 table7 fig5 fig6 fig7 fig13a-fig13d fig14-fig18.
+// table1 table5 table6 table7 fig5 fig6 fig7 fig13a-fig13d fig14-fig18,
+// plus extensions (ext-*). The serving mode, `pimbench ext-serve`,
+// sweeps the sharded concurrent query engine from 1 shard up to -shards
+// and reports wall-clock throughput alongside the modeled per-query time.
 package main
 
 import (
@@ -24,6 +27,7 @@ func main() {
 	queries := flag.Int("queries", 5, "query batch size for kNN experiments")
 	seed := flag.Int64("seed", 1, "generation seed")
 	full := flag.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
+	shards := flag.Int("shards", 8, "max shard count for the ext-serve sweep")
 	format := flag.String("format", "text", "output format: text|markdown|csv")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
@@ -38,6 +42,7 @@ func main() {
 	suite.Queries = *queries
 	suite.Seed = *seed
 	suite.Full = *full
+	suite.Shards = *shards
 
 	ids := flag.Args()
 	if len(ids) == 0 {

@@ -96,6 +96,15 @@ func (m *Meter) Merge(other *Meter) {
 	}
 }
 
+// Clone returns a deep copy of the meter — a consistent snapshot that the
+// caller may read while the original keeps accumulating (under whatever
+// lock guards the original; meters themselves stay single-owner).
+func (m *Meter) Clone() *Meter {
+	c := NewMeter()
+	c.Merge(m)
+	return c
+}
+
 // Reset drops all recorded activity.
 func (m *Meter) Reset() { m.funcs = make(map[string]*Counters) }
 

@@ -19,6 +19,7 @@ func randMatrix(rng *rand.Rand, n, d int) *vec.Matrix {
 }
 
 func TestBuildOSTValidation(t *testing.T) {
+	t.Parallel()
 	m := randMatrix(rand.New(rand.NewSource(1)), 4, 8)
 	for _, bad := range []int{0, 8, -1} {
 		if _, err := BuildOST(m, bad); err == nil {
@@ -32,6 +33,7 @@ func TestBuildOSTValidation(t *testing.T) {
 
 // Property: LB_OST(p,q) ≤ ED(p,q) for all head splits.
 func TestOSTLowerBoundsED(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 30; trial++ {
 		d := 2 + rng.Intn(62)
@@ -55,6 +57,7 @@ func TestOSTLowerBoundsED(t *testing.T) {
 
 // Property: LB_SM(p,q) ≤ ED(p,q).
 func TestSMLowerBoundsED(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(8))
 	for trial := 0; trial < 30; trial++ {
 		segs := 1 + rng.Intn(8)
@@ -83,6 +86,7 @@ func TestSMLowerBoundsED(t *testing.T) {
 // Property: LB_FNN(p,q) ≤ ED(p,q), and LB_FNN ≥ LB_SM at equal granularity
 // (FNN adds the non-negative σ term).
 func TestFNNLowerBoundsED(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 30; trial++ {
 		segs := 1 + rng.Intn(8)
@@ -118,6 +122,7 @@ func TestFNNLowerBoundsED(t *testing.T) {
 // Finer FNN granularity gives a tighter (or equal) bound on average; at
 // full granularity (segs=d) the bound equals ED exactly.
 func TestFNNFullGranularityIsExact(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(10))
 	m := randMatrix(rng, 10, 16)
 	ix, err := BuildFNN(m, 16)
@@ -136,6 +141,7 @@ func TestFNNFullGranularityIsExact(t *testing.T) {
 }
 
 func TestFNNLevels(t *testing.T) {
+	t.Parallel()
 	// MSD's d=420 must yield the paper's granularities 7, 28, 105.
 	if got := FNNLevels(420); got != [3]int{7, 28, 105} {
 		t.Fatalf("FNNLevels(420) = %v, want [7 28 105]", got)
@@ -156,6 +162,7 @@ func TestFNNLevels(t *testing.T) {
 
 // Property: UB_part(p,q) ≥ p·q.
 func TestPartUpperBoundsDot(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 30; trial++ {
 		d := 2 + rng.Intn(62)
@@ -178,6 +185,7 @@ func TestPartUpperBoundsDot(t *testing.T) {
 }
 
 func TestTransferDims(t *testing.T) {
+	t.Parallel()
 	m := randMatrix(rand.New(rand.NewSource(12)), 4, 16)
 	ost, _ := BuildOST(m, 8)
 	if ost.TransferDims() != 9 {
@@ -198,6 +206,7 @@ func TestTransferDims(t *testing.T) {
 }
 
 func TestNearestDivisor(t *testing.T) {
+	t.Parallel()
 	for _, tc := range []struct {
 		d      int
 		target float64

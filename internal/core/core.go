@@ -55,9 +55,11 @@ func Default() (*Framework, error) {
 	return New(arch.Default(), quant.DefaultAlpha, pim.ModeExact)
 }
 
-// newEngine creates a fresh PIM array for one acceleration (payload names
-// are scoped per engine, and §V-C forbids re-programming).
-func (f *Framework) newEngine() (*pim.Engine, error) {
+// NewEngine creates a fresh PIM array under the framework's hardware
+// model. Payload names are scoped per engine and §V-C forbids
+// re-programming, so every acceleration — and every shard of a sharded
+// serving engine (internal/serve) — owns its own array.
+func (f *Framework) NewEngine() (*pim.Engine, error) {
 	return pim.NewEngine(f.Cfg, f.Mode)
 }
 
@@ -124,7 +126,7 @@ func (f *Framework) AccelerateKNN(data *vec.Matrix, opt KNNOptions) (*KNNAcceler
 	}
 
 	// 2–3. Build the default PIM plan (Theorem 4 sizing happens inside).
-	eng, err := f.newEngine()
+	eng, err := f.NewEngine()
 	if err != nil {
 		return nil, err
 	}
@@ -151,7 +153,7 @@ func (f *Framework) AccelerateKNN(data *vec.Matrix, opt KNNOptions) (*KNNAcceler
 			}
 		}
 	}
-	optEng, err := f.newEngine()
+	optEng, err := f.NewEngine()
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +310,7 @@ func (f *Framework) AccelerateKMeans(data *vec.Matrix, variant KMeansVariant, op
 	base.Run(initial, opt.MaxIters, meter)
 	prof := profile.New(base.Name(), f.Cfg, meter)
 
-	eng, err := f.newEngine()
+	eng, err := f.NewEngine()
 	if err != nil {
 		return nil, err
 	}

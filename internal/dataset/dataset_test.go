@@ -8,6 +8,7 @@ import (
 )
 
 func TestProfilesMatchTable6(t *testing.T) {
+	t.Parallel()
 	// Table 6's (N, d) pairs must be preserved exactly.
 	want := map[string][2]int{
 		"ImageNet": {2340173, 150},
@@ -35,6 +36,7 @@ func TestProfilesMatchTable6(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
+	t.Parallel()
 	p, err := ByName("MSD")
 	if err != nil || p.D != 420 {
 		t.Fatalf("ByName(MSD) = %+v, %v", p, err)
@@ -45,6 +47,7 @@ func TestByName(t *testing.T) {
 }
 
 func TestGenerateNormalizedAndDeterministic(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("Year")
 	ds1 := Generate(p, 200, 5)
 	ds2 := Generate(p, 200, 5)
@@ -72,6 +75,7 @@ func TestGenerateNormalizedAndDeterministic(t *testing.T) {
 }
 
 func TestQueriesDifferFromData(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("Notre")
 	ds := Generate(p, 100, 5)
 	q := ds.Queries(10, 5)
@@ -88,6 +92,7 @@ func TestQueriesDifferFromData(t *testing.T) {
 // segment means than white-noise (GIST-like) data relative to its total
 // variance — this is what drives the pruning-power differences in §VI-C.
 func TestCorrelationControlsSegmentStructure(t *testing.T) {
+	t.Parallel()
 	segRatio := func(corr float64) float64 {
 		p := Profile{Name: "x", FullN: 1000, D: 256, Clusters: 4, Correlation: corr, Spread: 0.2}
 		ds := Generate(p, 100, 11)
@@ -110,6 +115,7 @@ func TestCorrelationControlsSegmentStructure(t *testing.T) {
 }
 
 func TestSizeBytes(t *testing.T) {
+	t.Parallel()
 	p, _ := ByName("Trevi")
 	// 100000 × 4096 × 4B ≈ 1.56 GB (Table 6 lists 3.0GB for float64 /
 	// original storage; we model 32-bit operands).
@@ -119,6 +125,7 @@ func TestSizeBytes(t *testing.T) {
 }
 
 func TestGeneratePanicsOnBadN(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Generate(n<=0) must panic")

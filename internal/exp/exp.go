@@ -37,6 +37,8 @@ type Suite struct {
 	// Full enables the expensive sweeps (k up to 1024 in Table 7);
 	// default runs keep k ≤ 64 so the whole suite stays fast.
 	Full bool
+	// Shards caps the ext-serve shard sweep (1,2,4,… up to Shards).
+	Shards int
 
 	cache map[string]*dataset.Dataset
 }
@@ -53,6 +55,7 @@ func NewSuite() *Suite {
 		ScaleN:  2000,
 		Queries: 5,
 		Seed:    1,
+		Shards:  8,
 		cache:   make(map[string]*dataset.Dataset),
 	}
 }

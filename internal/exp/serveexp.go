@@ -1,0 +1,118 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/knn"
+	"pimmine/internal/serve"
+	"pimmine/internal/vec"
+)
+
+func init() {
+	register("ext-serve", ExtServe)
+}
+
+// ExtServe measures the sharded concurrent query engine (internal/serve):
+// shard-scaling throughput on MSD with the FNN-PIM searcher per shard.
+// Real PIM evaluations show throughput comes from keeping many PIM units
+// busy concurrently; here every shard owns an independent array and
+// queries pipeline across shards. Results are verified exact against the
+// sequential linear scan on every run. The shard sweep is 1,2,4,… up to
+// Suite.Shards (pimbench -shards).
+func ExtServe(s *Suite) (*Table, error) {
+	t := &Table{
+		ID:     "ext-serve",
+		Title:  "Sharded concurrent query engine (MSD, FNN-PIM per shard, k=10)",
+		Header: []string{"Shards", "Modeled latency ms/query", "Latency speedup", "Modeled work ms/query", "Wall qps", "Degraded"},
+	}
+	const k = 10
+	w, err := s.knnWorkloadFor("MSD")
+	if err != nil {
+		return nil, err
+	}
+	// A serving workload needs more queries than the pilot batch.
+	nq := 8 * s.Queries
+	queries := w.queries
+	if queries.N < nq {
+		ds, err := s.Data("MSD")
+		if err != nil {
+			return nil, err
+		}
+		queries = ds.Queries(nq, s.Seed+101)
+	}
+	exact := knn.NewStandard(w.data)
+	truth := make([][]vec.Neighbor, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		truth[qi] = exact.Search(queries.Row(qi), k, arch.NewMeter())
+	}
+
+	fw, err := newFramework(s)
+	if err != nil {
+		return nil, err
+	}
+	maxShards := s.Shards
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	var baseMs float64
+	for shards := 1; shards <= maxShards; shards *= 2 {
+		eng, err := serve.New(w.data, serve.Options{
+			Shards:    shards,
+			Variant:   serve.VariantFNNPIM,
+			Framework: fw,
+			CapacityN: w.fullN,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res, err := eng.SearchBatch(context.Background(), queries, k)
+		if err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		for qi := range truth {
+			got := res.Results[qi].Neighbors
+			for i := range truth[qi] {
+				if got[i] != truth[qi][i] {
+					return nil, fmt.Errorf("ext-serve: shards=%d query %d inexact", shards, qi)
+				}
+			}
+		}
+		// Shards answer in parallel, so a query's modeled latency is its
+		// slowest shard; the merged meter models total work (the host-side
+		// cost a single-socket deployment would still pay).
+		var latencyNs, workMs float64
+		for _, r := range res.Results {
+			qMax := 0.0
+			for _, m := range r.ShardMeters {
+				if m == nil {
+					continue
+				}
+				_, b := s.Cfg.TimeMeter(m)
+				if ns := b.Total(); ns > qMax {
+					qMax = ns
+				}
+			}
+			latencyNs += qMax
+		}
+		latencyMs := latencyNs / 1e6 / float64(queries.N)
+		workMs = s.modeledMs(res.Meter) / float64(queries.N)
+		if shards == 1 {
+			baseMs = latencyMs
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", shards),
+			ms(latencyMs),
+			speedup(baseMs, latencyMs),
+			ms(workMs),
+			fmt.Sprintf("%.0f", float64(queries.N)/wall.Seconds()),
+			fmt.Sprintf("%d", len(eng.DegradedShards())),
+		)
+	}
+	t.Note("results verified exact against the sequential scan over %d queries; latency takes the slowest shard per query (shards fan out in parallel), work sums all shards", queries.N)
+	return t, nil
+}

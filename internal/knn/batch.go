@@ -1,11 +1,12 @@
 package knn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"pimmine/internal/arch"
+	"pimmine/internal/pool"
 	"pimmine/internal/vec"
 )
 
@@ -21,6 +22,11 @@ type BatchResult struct {
 // a private Searcher built by newSearcher and a private meter; meters are
 // merged into the result. Results are deterministic and identical to
 // sequential execution (queries are independent).
+//
+// Dispatch delegates to the shared bounded pool (internal/pool), so when
+// several workers fail the returned error joins every failure — check
+// with errors.Is — instead of keeping only the first. Sharded serving on
+// top of this layer lives in internal/serve.
 //
 // workers ≤ 0 selects GOMAXPROCS.
 func SearchBatch(newSearcher func() (Searcher, error), queries *vec.Matrix, k, workers int) (*BatchResult, error) {
@@ -41,38 +47,21 @@ func SearchBatch(newSearcher func() (Searcher, error), queries *vec.Matrix, k, w
 		Neighbors: make([][]vec.Neighbor, queries.N),
 		Meter:     arch.NewMeter(),
 	}
-	jobs := make(chan int)
-	errs := make([]error, workers)
 	meters := make([]*arch.Meter, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s, err := newSearcher()
-			if err != nil {
-				errs[w] = err
-				// Drain so the dispatcher never blocks.
-				for range jobs {
-				}
-				return
-			}
-			m := arch.NewMeter()
-			meters[w] = m
-			for qi := range jobs {
-				res.Neighbors[qi] = s.Search(queries.Row(qi), k, m)
-			}
-		}(w)
-	}
-	for qi := 0; qi < queries.N; qi++ {
-		jobs <- qi
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+	err := pool.Run(context.Background(), queries.N, workers, func(w int) (pool.Worker, error) {
+		s, err := newSearcher()
 		if err != nil {
 			return nil, fmt.Errorf("knn: batch worker: %w", err)
 		}
+		m := arch.NewMeter()
+		meters[w] = m
+		return func(qi int) error {
+			res.Neighbors[qi] = s.Search(queries.Row(qi), k, m)
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	for _, m := range meters {
 		if m != nil {

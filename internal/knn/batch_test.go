@@ -2,6 +2,7 @@ package knn
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"pimmine/internal/arch"
@@ -84,5 +85,27 @@ func TestSearchBatchErrors(t *testing.T) {
 	res, err := SearchBatch(nil, nil, 5, 2)
 	if err != nil || len(res.Neighbors) != 0 {
 		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}
+
+// TestSearchBatchJoinsWorkerErrors: when several workers fail, every
+// failure must survive into the returned (joined) error — historically
+// only the first non-nil entry was kept.
+func TestSearchBatchJoinsWorkerErrors(t *testing.T) {
+	_, queries := testData(t, 50, 16)
+	errA := errors.New("worker A broke")
+	errB := errors.New("worker B broke")
+	var calls int32
+	_, err := SearchBatch(func() (Searcher, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return nil, errA
+		}
+		return nil, errB
+	}, queries, 5, 2)
+	if err == nil {
+		t.Fatal("two failed workers produced no error")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error must carry both failures, got: %v", err)
 	}
 }

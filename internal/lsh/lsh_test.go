@@ -10,6 +10,7 @@ import (
 )
 
 func TestHasherShapeAndDeterminism(t *testing.T) {
+	t.Parallel()
 	h1 := NewHasher(32, 128, 1)
 	h2 := NewHasher(32, 128, 1)
 	v := make([]float64, 32)
@@ -30,6 +31,7 @@ func TestHasherShapeAndDeterminism(t *testing.T) {
 }
 
 func TestHashWrongDimsPanics(t *testing.T) {
+	t.Parallel()
 	h := NewHasher(8, 16, 1)
 	defer func() {
 		if recover() == nil {
@@ -42,6 +44,7 @@ func TestHashWrongDimsPanics(t *testing.T) {
 // SimHash's defining property: expected Hamming distance grows with the
 // angle between inputs, so near vectors get nearer codes than far ones.
 func TestLocalitySensitivity(t *testing.T) {
+	t.Parallel()
 	prof := dataset.Profile{Name: "t", FullN: 100, D: 64, Clusters: 4, Correlation: 0.5, Spread: 0.1}
 	ds := dataset.Generate(prof, 60, 3)
 	h := NewHasher(prof.D, 512, 4)
@@ -74,6 +77,7 @@ func TestLocalitySensitivity(t *testing.T) {
 
 // The angle ↔ Hamming relation is roughly linear: HD/bits ≈ θ/π.
 func TestAngleEstimate(t *testing.T) {
+	t.Parallel()
 	d := 48
 	a := make([]float64, d)
 	b := make([]float64, d)

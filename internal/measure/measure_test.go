@@ -8,6 +8,7 @@ import (
 )
 
 func TestKindString(t *testing.T) {
+	t.Parallel()
 	for k, want := range map[Kind]string{ED: "ED", CS: "CS", PCC: "PCC", HD: "HD"} {
 		if k.String() != want {
 			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
@@ -19,6 +20,7 @@ func TestKindString(t *testing.T) {
 }
 
 func TestSqEuclidean(t *testing.T) {
+	t.Parallel()
 	if got := SqEuclidean([]float64{1, 2}, []float64{4, 6}); got != 25 {
 		t.Fatalf("ED = %v, want 25", got)
 	}
@@ -28,6 +30,7 @@ func TestSqEuclidean(t *testing.T) {
 }
 
 func TestCosine(t *testing.T) {
+	t.Parallel()
 	if got := Cosine([]float64{1, 0}, []float64{0, 1}); got != 0 {
 		t.Fatalf("CS orthogonal = %v", got)
 	}
@@ -40,6 +43,7 @@ func TestCosine(t *testing.T) {
 }
 
 func TestPearson(t *testing.T) {
+	t.Parallel()
 	// Perfect positive linear relation.
 	p := []float64{1, 2, 3, 4}
 	q := []float64{2, 4, 6, 8}
@@ -60,6 +64,7 @@ func TestPearson(t *testing.T) {
 // Property: CS and PCC are bounded in [-1, 1], ED is non-negative and
 // symmetric.
 func TestMeasurePropertiesQuick(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		if len(raw) < 4 {
 			return true
@@ -84,6 +89,7 @@ func TestMeasurePropertiesQuick(t *testing.T) {
 }
 
 func TestBitVector(t *testing.T) {
+	t.Parallel()
 	b := NewBitVector(130)
 	b.Set(0, true)
 	b.Set(64, true)
@@ -101,6 +107,7 @@ func TestBitVector(t *testing.T) {
 }
 
 func TestBitVectorBoundsPanics(t *testing.T) {
+	t.Parallel()
 	b := NewBitVector(8)
 	defer func() {
 		if recover() == nil {
@@ -111,6 +118,7 @@ func TestBitVectorBoundsPanics(t *testing.T) {
 }
 
 func TestHamming(t *testing.T) {
+	t.Parallel()
 	p := NewBitVector(8)
 	q := NewBitVector(8)
 	p.Set(0, true)
@@ -128,6 +136,7 @@ func TestHamming(t *testing.T) {
 // Property: Hamming is a metric on bit vectors (symmetry, identity,
 // triangle inequality) and matches the naive per-bit count.
 func TestHammingPropertiesQuick(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(2))
 	randBV := func(bits int) BitVector {
 		b := NewBitVector(bits)

@@ -1,0 +1,102 @@
+package pimbound
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// fuzzUnitVec reinterprets raw bytes as float64s and folds each finite
+// value into [0,1), keeping at most maxD dims.
+func fuzzUnitVec(raw []byte, maxD int) []float64 {
+	out := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 && len(out) < maxD {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[:8]))
+		raw = raw[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Abs(v)-math.Floor(math.Abs(v)))
+	}
+	return out
+}
+
+// FuzzLBAdmissible fuzzes the admissibility of both PIM-aware lower
+// bounds: for arbitrary [0,1] vectors, any α from the tested spread and
+// any segmentation granularity dividing d,
+//
+//	LB_PIM-ED(p,q)  ≤ ED(p,q)   (Theorem 1, within Theorem 3's slack)
+//	LB_PIM-FNN(p,q) ≤ ED(p,q)   (Theorem 2)
+//
+// An inadmissible bound would silently drop true neighbors in the
+// filter-and-refinement searchers, so this is the property the whole
+// exactness story rests on.
+func FuzzLBAdmissible(f *testing.F) {
+	enc := func(vals ...float64) []byte {
+		raw := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+		}
+		return raw
+	}
+	f.Add(enc(0.5, 0.25, 0.75, 0.125), enc(0.1, 0.9, 0.0, 1.0), byte(3), byte(1))
+	f.Add(enc(1, 1, 1, 1, 1, 1), enc(0, 0, 0, 0, 0, 0), byte(0), byte(2))
+	f.Add([]byte("segment means and deviations"), []byte("floored onto the crossbars!!"), byte(2), byte(0))
+
+	f.Fuzz(func(t *testing.T, rawP, rawQ []byte, alphaSel, segSel byte) {
+		p := fuzzUnitVec(rawP, 256)
+		qv := fuzzUnitVec(rawQ, 256)
+		n := min(len(p), len(qv))
+		if n == 0 {
+			t.Skip("no finite dims")
+		}
+		p, qv = p[:n], qv[:n]
+		alpha := []float64{2, 37, 1e3, 1e6}[alphaSel%4]
+		qz, err := quant.New(alpha)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := vec.FromRows([][]float64{p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ed := measure.SqEuclidean(p, qv)
+
+		// Theorem 1 + 3.
+		ix := BuildED(m, qz)
+		qf := ix.Query(qv)
+		lb := ix.LB(0, qf, ix.HostDot(0, qf))
+		if lb > ed+1e-9 {
+			t.Fatalf("LB_PIM-ED inadmissible: %v > ED %v (alpha=%v d=%d)", lb, ed, alpha, n)
+		}
+		if gap, bound := ed-lb, qz.ErrorBound(n); gap > bound+1e-9 {
+			t.Fatalf("Theorem 3 violated: gap %v > bound %v (alpha=%v d=%d)", gap, bound, alpha, n)
+		}
+
+		// Theorem 2 at a fuzz-chosen granularity: segs must divide d.
+		var divs []int
+		for s := 1; s <= n; s++ {
+			if n%s == 0 {
+				divs = append(divs, s)
+			}
+		}
+		segs := divs[int(segSel)%len(divs)]
+		fx, err := BuildFNN(m, qz, segs)
+		if err != nil {
+			t.Fatalf("BuildFNN(d=%d, segs=%d): %v", n, segs, err)
+		}
+		fq, err := fx.Query(qv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dotMu, dotSigma := fx.HostDots(0, fq)
+		flb := fx.LB(0, fq, dotMu, dotSigma)
+		if flb > ed+1e-9 {
+			t.Fatalf("LB_PIM-FNN inadmissible: %v > ED %v (alpha=%v d=%d segs=%d)", flb, ed, alpha, n, segs)
+		}
+	})
+}

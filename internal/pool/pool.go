@@ -1,0 +1,95 @@
+// Package pool provides the bounded worker pool shared by the batch and
+// serving layers: a fixed number of workers drain an indexed job stream,
+// each worker owning private state (searchers reuse internal buffers and
+// activity meters are not goroutine-safe, so per-worker state is the
+// pattern that keeps the whole suite race-detector clean).
+//
+// The pool honors context cancellation — dispatch stops and pending jobs
+// are skipped once the context is done — and reports every failure: all
+// worker errors are combined with errors.Join, so a caller inspecting the
+// returned error with errors.Is sees each distinct failure, not just the
+// first one.
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Worker processes one job index.
+type Worker func(job int) error
+
+// Setup builds worker w's private state and returns its job function.
+// Setup runs on the worker goroutine, so expensive construction (e.g.
+// programming a PIM payload) happens concurrently across workers.
+type Setup func(w int) (Worker, error)
+
+// Run executes jobs 0..jobs-1 across at most workers goroutines.
+//
+// Dispatch order is 0..jobs-1 but assignment to workers is nondeterministic;
+// jobs must be independent. A worker whose Setup fails records its error
+// and exits without consuming any jobs — its share goes to the surviving
+// workers; if every worker fails setup, dispatch aborts. A worker whose
+// Worker call fails records the first error and drains its remaining jobs
+// without processing. When ctx is done, dispatch stops and not-yet-started
+// jobs are skipped.
+//
+// The returned error joins the context error (if any) with every worker
+// error via errors.Join; nil means every job ran to completion.
+func Run(ctx context.Context, jobs, workers int, setup Setup) error {
+	if jobs <= 0 {
+		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > jobs {
+		workers = jobs
+	}
+
+	ch := make(chan int)
+	errs := make([]error, workers)
+	var dead int32
+	allDead := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			work, err := setup(w)
+			if err != nil {
+				errs[w] = err
+				if int(atomic.AddInt32(&dead, 1)) == workers {
+					close(allDead) // no receivers left: unblock the dispatcher
+				}
+				return
+			}
+			for job := range ch {
+				if errs[w] != nil || ctx.Err() != nil {
+					continue // failed or canceled: drain without processing
+				}
+				if err := work(job); err != nil {
+					errs[w] = err
+				}
+			}
+		}(w)
+	}
+dispatch:
+	for job := 0; job < jobs; job++ {
+		select {
+		case ch <- job:
+		case <-ctx.Done():
+			break dispatch
+		case <-allDead:
+			break dispatch
+		}
+	}
+	close(ch)
+	wg.Wait()
+	return errors.Join(append([]error{ctx.Err()}, errs...)...)
+}

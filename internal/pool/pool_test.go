@@ -1,0 +1,156 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunProcessesEveryJob(t *testing.T) {
+	t.Parallel()
+	const jobs = 100
+	var done [jobs]int32
+	err := Run(context.Background(), jobs, 7, func(w int) (Worker, error) {
+		return func(job int) error {
+			atomic.AddInt32(&done[job], 1)
+			return nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for job, n := range done {
+		if n != 1 {
+			t.Fatalf("job %d ran %d times", job, n)
+		}
+	}
+}
+
+func TestRunPerWorkerState(t *testing.T) {
+	t.Parallel()
+	const jobs, workers = 50, 4
+	counts := make([]int, workers) // written only by worker w: no races
+	err := Run(context.Background(), jobs, workers, func(w int) (Worker, error) {
+		return func(job int) error {
+			counts[w]++
+			return nil
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != jobs {
+		t.Fatalf("processed %d jobs, want %d", total, jobs)
+	}
+}
+
+func TestRunJoinsAllWorkerErrors(t *testing.T) {
+	t.Parallel()
+	errA := errors.New("worker A failed")
+	errB := errors.New("worker B failed")
+	var calls int32
+	err := Run(context.Background(), 10, 2, func(w int) (Worker, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return nil, errA
+		}
+		return nil, errB
+	})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error must contain both failures, got: %v", err)
+	}
+}
+
+func TestRunSurvivingWorkersFinishJobs(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("setup boom")
+	var processed int32
+	var calls int32
+	err := Run(context.Background(), 20, 3, func(w int) (Worker, error) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			return nil, boom // one dead worker must not stall the pool
+		}
+		return func(job int) error {
+			atomic.AddInt32(&processed, 1)
+			return nil
+		}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("setup error lost: %v", err)
+	}
+	// A dead worker consumes no jobs, so the survivors handle all of them.
+	if n := atomic.LoadInt32(&processed); n != 20 {
+		t.Fatalf("surviving workers processed %d of 20 jobs", n)
+	}
+}
+
+func TestRunAllWorkersDeadDoesNotDeadlock(t *testing.T) {
+	t.Parallel()
+	boom := errors.New("setup boom")
+	err := Run(context.Background(), 1000, 4, func(w int) (Worker, error) {
+		return nil, boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("setup error lost: %v", err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	var processed int32
+	var once sync.Once
+	err := Run(ctx, 10000, 2, func(w int) (Worker, error) {
+		return func(job int) error {
+			atomic.AddInt32(&processed, 1)
+			once.Do(cancel) // cancel after the first job
+			return nil
+		}, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := atomic.LoadInt32(&processed); n == 10000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	err := Run(ctx, 1000000, 1, func(w int) (Worker, error) {
+		return func(job int) error {
+			time.Sleep(100 * time.Microsecond)
+			return nil
+		}, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunEmptyAndClamped(t *testing.T) {
+	t.Parallel()
+	if err := Run(context.Background(), 0, 4, nil); err != nil {
+		t.Fatalf("zero jobs: %v", err)
+	}
+	// More workers than jobs: workers clamp; setup must run at most jobs times.
+	var setups int32
+	err := Run(context.Background(), 2, 16, func(w int) (Worker, error) {
+		atomic.AddInt32(&setups, 1)
+		return func(job int) error { return nil }, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt32(&setups); n > 2 {
+		t.Fatalf("%d worker setups for 2 jobs", n)
+	}
+}

@@ -1,0 +1,89 @@
+package quant_test
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/pimbound"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// fuzzMaxD caps the fuzzed dimensionality so d·α² stays far below the
+// int64 range of the host reference dot product.
+const fuzzMaxD = 512
+
+// unitVec reinterprets raw bytes as float64s and folds each finite value
+// into [0,1) — the quantizer's input domain — keeping at most maxD dims.
+func unitVec(raw []byte, maxD int) []float64 {
+	out := make([]float64, 0, len(raw)/8)
+	for len(raw) >= 8 && len(out) < maxD {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(raw[:8]))
+		raw = raw[8:]
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Abs(v)-math.Floor(math.Abs(v)))
+	}
+	return out
+}
+
+// encVec is the inverse seed helper: packs float64s little-endian.
+func encVec(vals ...float64) []byte {
+	raw := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(raw[i*8:], math.Float64bits(v))
+	}
+	return raw
+}
+
+// FuzzQuantizeErrorBound fuzzes Theorem 3 end to end: quantize two
+// arbitrary [0,1] vectors with an arbitrary scaling factor, run the
+// integer quantize→dot→reconstruct pipeline (LB_PIM-ED, Theorem 1), and
+// assert the reconstruction never over-estimates the true squared
+// Euclidean distance and never lags it by more than 4d/α + 2d/α².
+func FuzzQuantizeErrorBound(f *testing.F) {
+	f.Add(encVec(0.5, 0.25, 0.75), encVec(0.1, 0.9, 0.0), float64(quant.DefaultAlpha))
+	f.Add(encVec(1, 1, 1, 1), encVec(0, 0, 0, 0), 2.0)
+	f.Add(encVec(0.123456789), encVec(0.987654321), 37.0)
+	f.Add([]byte("arbitrary byte soup, reinterpreted"), []byte("as float64 bit patterns"), 1e3)
+
+	f.Fuzz(func(t *testing.T, rawP, rawQ []byte, alphaRaw float64) {
+		if math.IsNaN(alphaRaw) || math.IsInf(alphaRaw, 0) {
+			t.Skip("alpha out of domain")
+		}
+		// Fold alpha into [1, 1e8]: below 1 quant.New rejects by contract,
+		// above ~1e8 the host int64 reference dot could overflow, which is
+		// outside the theorem's exact-integer-arithmetic precondition.
+		alpha := 1 + math.Mod(math.Abs(alphaRaw), 1e8)
+		qz, err := quant.New(alpha)
+		if err != nil {
+			t.Fatalf("folded alpha %v rejected: %v", alpha, err)
+		}
+		p := unitVec(rawP, fuzzMaxD)
+		qv := unitVec(rawQ, fuzzMaxD)
+		n := min(len(p), len(qv))
+		if n == 0 {
+			t.Skip("no finite dims")
+		}
+		p, qv = p[:n], qv[:n]
+
+		m, err := vec.FromRows([][]float64{p})
+		if err != nil {
+			t.Fatalf("FromRows: %v", err)
+		}
+		ix := pimbound.BuildED(m, qz)
+		qf := ix.Query(qv)
+		lb := ix.LB(0, qf, ix.HostDot(0, qf))
+		ed := measure.SqEuclidean(p, qv)
+		gap := ed - lb
+		if gap < -1e-9 {
+			t.Fatalf("Theorem 1 violated: LB %v > ED %v (alpha=%v d=%d)", lb, ed, alpha, n)
+		}
+		if bound := qz.ErrorBound(n); gap > bound+1e-9 {
+			t.Fatalf("Theorem 3 violated: gap %v > bound %v (alpha=%v d=%d)", gap, bound, alpha, n)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
+	t.Parallel()
 	if _, err := New(0.5); err == nil {
 		t.Fatal("alpha < 1 must be rejected")
 	}
@@ -25,6 +26,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestOperandBits(t *testing.T) {
+	t.Parallel()
 	q, _ := New(1e6)
 	if got := q.OperandBits(); got != 20 {
 		t.Fatalf("OperandBits(1e6) = %d, want 20", got)
@@ -36,6 +38,7 @@ func TestOperandBits(t *testing.T) {
 }
 
 func TestFloor(t *testing.T) {
+	t.Parallel()
 	q, _ := New(1000)
 	for _, tc := range []struct {
 		v    float64
@@ -50,6 +53,7 @@ func TestFloor(t *testing.T) {
 }
 
 func TestFloorPanicsOutOfRange(t *testing.T) {
+	t.Parallel()
 	q, _ := New(10)
 	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
 		func() {
@@ -64,6 +68,7 @@ func TestFloorPanicsOutOfRange(t *testing.T) {
 }
 
 func TestFloorVec(t *testing.T) {
+	t.Parallel()
 	q, _ := New(1000)
 	// Fig 9's example vector.
 	got := q.FloorVec([]float64{0.5532, 0.9742, 0.7375, 0.6557}, nil)
@@ -82,6 +87,7 @@ func TestFloorVec(t *testing.T) {
 }
 
 func TestErrorBound(t *testing.T) {
+	t.Parallel()
 	q, _ := New(1e6)
 	d := 420
 	want := 4*float64(d)/1e6 + 2*float64(d)/1e12
@@ -97,6 +103,7 @@ func TestErrorBound(t *testing.T) {
 
 // Property: the floor never exceeds the scaled value and is within 1 of it.
 func TestFloorPropertyQuick(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(3))
 	q, _ := New(1e6)
 	for i := 0; i < 1000; i++ {

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/pool"
+	"pimmine/internal/vec"
+)
+
+// BatchResult is the outcome of a batch submission.
+type BatchResult struct {
+	// Results holds one Result per query row, in query order.
+	Results []*Result
+	// Meter merges every query's activity.
+	Meter *arch.Meter
+}
+
+// Neighbors flattens the per-query neighbor lists (convenience for
+// callers porting from knn.SearchBatch).
+func (b *BatchResult) Neighbors() [][]vec.Neighbor {
+	out := make([][]vec.Neighbor, len(b.Results))
+	for i, r := range b.Results {
+		if r != nil {
+			out[i] = r.Neighbors
+		}
+	}
+	return out
+}
+
+// SearchBatch answers a whole query matrix through the engine's bounded
+// worker pool: at most Options.Workers queries are in flight at once,
+// each fanning out to the shards, so shards stay busy while no single
+// batch monopolizes the engine. Cancellation of ctx (or a per-query
+// deadline) aborts the batch with the context's error. Results are
+// deterministic and identical to issuing the queries sequentially.
+func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*BatchResult, error) {
+	if queries == nil || queries.N == 0 {
+		return &BatchResult{Meter: arch.NewMeter()}, nil
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: batch needs k >= 1, got %d", k)
+	}
+	res := &BatchResult{
+		Results: make([]*Result, queries.N),
+		Meter:   arch.NewMeter(),
+	}
+	err := pool.Run(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
+		return func(qi int) error {
+			r, err := e.Search(ctx, queries.Row(qi), k)
+			if err != nil {
+				return fmt.Errorf("serve: query %d: %w", qi, err)
+			}
+			res.Results[qi] = r
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Results {
+		res.Meter.Merge(r.Meter)
+	}
+	return res, nil
+}

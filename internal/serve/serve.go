@@ -1,0 +1,392 @@
+// Package serve implements the sharded concurrent query engine: the
+// serving layer that turns the per-query searchers of internal/knn into
+// a multi-tenant kNN service.
+//
+// The dataset is partitioned row-wise into S shards. Each shard owns an
+// independent searcher — for the PIM variants, an independent PIM array
+// sized with Theorem 4 against the shard's slice of the full-scale
+// cardinality, mirroring how near-data systems partition a corpus across
+// memory modules and merge per-partition top-k results (Lee et al.,
+// "Application-Driven Near-Data Processing for Similarity Search"). A
+// query fans out to all shards, each shard computes its local top-k under
+// its own activity meter, and the per-shard heaps are merged into the
+// exact global top-k: every global neighbor is in its shard's local top-k
+// under the same (distance, index) total order, so the merge loses
+// nothing and sharded results are bit-identical to a sequential scan
+// (property-tested in serve_test.go).
+//
+// Shard searchers reuse internal buffers and meters are not
+// goroutine-safe, so each shard serializes access with a mutex; queries
+// pipeline across shards, which is where batch throughput comes from.
+// A shard whose searcher construction fails degrades gracefully to the
+// host-side exact scan for that shard — results stay exact, the
+// degradation is reported on every Result, and the engine keeps serving.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/bound"
+	"pimmine/internal/core"
+	"pimmine/internal/knn"
+	"pimmine/internal/vec"
+)
+
+// Variant names the per-shard searcher algorithm.
+type Variant string
+
+// The ED searcher variants of internal/knn. PIM variants require
+// Options.Framework; each shard then programs its own PIM array.
+const (
+	VariantStandard    Variant = "standard"
+	VariantOST         Variant = "ost"
+	VariantSM          Variant = "sm"
+	VariantFNN         Variant = "fnn"
+	VariantStandardPIM Variant = "standard-pim"
+	VariantOSTPIM      Variant = "ost-pim"
+	VariantSMPIM       Variant = "sm-pim"
+	VariantFNNPIM      Variant = "fnn-pim"
+)
+
+// Variants lists every supported variant (host variants first).
+func Variants() []Variant {
+	return []Variant{
+		VariantStandard, VariantOST, VariantSM, VariantFNN,
+		VariantStandardPIM, VariantOSTPIM, VariantSMPIM, VariantFNNPIM,
+	}
+}
+
+// Factory builds the searcher for one shard. Custom factories override
+// Options.Variant (tests use them to force the degraded path; callers can
+// plug in searchers the stock variants don't cover).
+type Factory func(shard *vec.Matrix, shardID int) (knn.Searcher, error)
+
+// Options configures New.
+type Options struct {
+	// Shards is the partition count S; defaults to GOMAXPROCS, clamped to
+	// the dataset cardinality.
+	Shards int
+	// Variant selects the per-shard searcher (default VariantStandard).
+	Variant Variant
+	// Framework supplies the hardware model and quantizer for the PIM
+	// variants; each shard gets its own array via Framework.NewEngine.
+	Framework *core.Framework
+	// CapacityN is the full-scale cardinality for Theorem 4 sizing,
+	// divided evenly across shards (each shard's integer vectors must fit
+	// its own crossbar budget); defaults to the dataset's N.
+	CapacityN int
+	// Workers bounds the batch worker pool (how many queries are in
+	// flight at once); defaults to GOMAXPROCS.
+	Workers int
+	// QueryTimeout, when positive, is the per-query deadline applied on
+	// top of the caller's context.
+	QueryTimeout time.Duration
+	// Factory overrides Variant when non-nil.
+	Factory Factory
+}
+
+// shard is one row-range of the dataset with its private searcher.
+// searcher, meter and the searcher's internal buffers are guarded by mu:
+// one query at a time per shard, with queries pipelining across shards.
+type shard struct {
+	id     int
+	offset int // global index of local row 0
+	data   *vec.Matrix
+
+	mu       sync.Mutex
+	searcher knn.Searcher
+	meter    *arch.Meter // cumulative shard activity
+	degraded bool
+}
+
+// search runs one query on the shard and returns neighbors translated to
+// global indices plus the query's private meter.
+func (sh *shard) search(q []float64, k int) ([]vec.Neighbor, *arch.Meter) {
+	m := arch.NewMeter()
+	sh.mu.Lock()
+	nn := sh.searcher.Search(q, k, m)
+	sh.meter.Merge(m)
+	sh.mu.Unlock()
+	for i := range nn {
+		nn[i].Index += sh.offset
+	}
+	return nn, m
+}
+
+// Engine is the sharded concurrent query engine. It is safe for
+// concurrent use by multiple goroutines.
+type Engine struct {
+	data     *vec.Matrix
+	shards   []*shard
+	degraded []int // shard ids that fell back to the host exact scan
+	opts     Options
+}
+
+// New partitions data row-wise and builds one searcher per shard. A shard
+// whose construction fails falls back to the exact host scan and is
+// reported by DegradedShards (and on every Result); only configuration
+// errors — unknown variant, missing framework, empty data — fail New.
+func New(data *vec.Matrix, opts Options) (*Engine, error) {
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("serve: empty dataset")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards > data.N {
+		opts.Shards = data.N
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CapacityN <= 0 {
+		opts.CapacityN = data.N
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantStandard
+	}
+	factory := opts.Factory
+	if factory == nil {
+		var err error
+		factory, err = variantFactory(opts)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	e := &Engine{data: data, opts: opts}
+	s := opts.Shards
+	base, rem := data.N/s, data.N%s
+	lo := 0
+	for id := 0; id < s; id++ {
+		rows := base
+		if id < rem {
+			rows++
+		}
+		sh := &shard{id: id, offset: lo, data: data.Slice(lo, lo+rows), meter: arch.NewMeter()}
+		searcher, err := factory(sh.data, id)
+		if err != nil {
+			// Graceful degradation: this shard serves the exact host
+			// scan; results stay exact, throughput modeling degrades.
+			searcher = knn.NewStandard(sh.data)
+			sh.degraded = true
+			e.degraded = append(e.degraded, id)
+		}
+		sh.searcher = searcher
+		e.shards = append(e.shards, sh)
+		lo += rows
+	}
+	return e, nil
+}
+
+// variantFactory maps a Variant to a per-shard searcher constructor.
+func variantFactory(opts Options) (Factory, error) {
+	fw := opts.Framework
+	needFW := func(v Variant) error {
+		if fw == nil {
+			return fmt.Errorf("serve: variant %q needs Options.Framework", v)
+		}
+		return nil
+	}
+	// Theorem 4 sizing per shard: each shard answers for an even share of
+	// the full-scale cardinality on its own array.
+	shardCap := (opts.CapacityN + opts.Shards - 1) / opts.Shards
+	switch v := opts.Variant; v {
+	case VariantStandard:
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			return knn.NewStandard(m), nil
+		}, nil
+	case VariantOST:
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			return knn.NewOST(m, m.D/2)
+		}, nil
+	case VariantSM:
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			return knn.NewSM(m, bound.FNNLevels(m.D)[2])
+		}, nil
+	case VariantFNN:
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			return knn.NewFNN(m)
+		}, nil
+	case VariantStandardPIM:
+		if err := needFW(v); err != nil {
+			return nil, err
+		}
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			eng, err := fw.NewEngine()
+			if err != nil {
+				return nil, err
+			}
+			return knn.NewStandardPIM(eng, m, fw.Quant, shardCap)
+		}, nil
+	case VariantOSTPIM:
+		if err := needFW(v); err != nil {
+			return nil, err
+		}
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			eng, err := fw.NewEngine()
+			if err != nil {
+				return nil, err
+			}
+			return knn.NewOSTPIM(eng, m, fw.Quant, m.D/2, shardCap)
+		}, nil
+	case VariantSMPIM:
+		if err := needFW(v); err != nil {
+			return nil, err
+		}
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			eng, err := fw.NewEngine()
+			if err != nil {
+				return nil, err
+			}
+			return knn.NewSMPIM(eng, m, fw.Quant, bound.FNNLevels(m.D)[2], shardCap)
+		}, nil
+	case VariantFNNPIM:
+		if err := needFW(v); err != nil {
+			return nil, err
+		}
+		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			eng, err := fw.NewEngine()
+			if err != nil {
+				return nil, err
+			}
+			return knn.NewFNNPIM(eng, m, fw.Quant, shardCap)
+		}, nil
+	default:
+		return nil, fmt.Errorf("serve: unknown variant %q", opts.Variant)
+	}
+}
+
+// NumShards returns the partition count in effect.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// ShardSizes returns the row count of every shard.
+func (e *Engine) ShardSizes() []int {
+	sizes := make([]int, len(e.shards))
+	for i, sh := range e.shards {
+		sizes[i] = sh.data.N
+	}
+	return sizes
+}
+
+// DegradedShards returns the ids of shards serving the host fallback
+// (nil when every shard built its configured searcher).
+func (e *Engine) DegradedShards() []int {
+	if len(e.degraded) == 0 {
+		return nil
+	}
+	out := make([]int, len(e.degraded))
+	copy(out, e.degraded)
+	return out
+}
+
+// Meter returns a merged snapshot of the cumulative per-shard activity
+// since the engine was built.
+func (e *Engine) Meter() *arch.Meter {
+	total := arch.NewMeter()
+	for _, sh := range e.shards {
+		sh.mu.Lock()
+		total.Merge(sh.meter)
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Result is one query's answer.
+type Result struct {
+	// Neighbors is the exact global top-k, ascending by (distance, index).
+	Neighbors []vec.Neighbor
+	// Meter merges the per-shard activity this query caused.
+	Meter *arch.Meter
+	// ShardMeters holds each shard's private activity for this query
+	// (indexed by shard id). Shards run in parallel, so the query's
+	// modeled latency is the maximum over shards — the merged Meter
+	// models total work, not the critical path.
+	ShardMeters []*arch.Meter
+	// Degraded lists shards that served the host fallback for this query.
+	Degraded []int
+}
+
+// shardOut carries one shard's contribution back to the query goroutine.
+type shardOut struct {
+	id    int
+	nn    []vec.Neighbor
+	meter *arch.Meter
+}
+
+// Search answers one kNN query by fanning out to every shard and merging
+// the per-shard top-k heaps into the exact global top-k. It honors ctx
+// cancellation and, when Options.QueryTimeout is set, a per-query
+// deadline; a canceled query returns the context's error. Search is safe
+// to call concurrently.
+func (e *Engine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
+	if len(q) != e.data.D {
+		return nil, fmt.Errorf("serve: query has %d dims, dataset has %d", len(q), e.data.D)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: need k >= 1, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if e.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.opts.QueryTimeout)
+		defer cancel()
+	}
+
+	// Fan out. The channel is buffered so a shard goroutine can always
+	// deliver and exit, even when the query gave up on the deadline.
+	out := make(chan shardOut, len(e.shards))
+	for _, sh := range e.shards {
+		go func(sh *shard) {
+			if ctx.Err() != nil {
+				out <- shardOut{id: sh.id}
+				return
+			}
+			nn, m := sh.search(q, k)
+			out <- shardOut{id: sh.id, nn: nn, meter: m}
+		}(sh)
+	}
+
+	// Collect and merge.
+	meters := make([]*arch.Meter, len(e.shards))
+	merged := make([]vec.Neighbor, 0, len(e.shards)*k)
+	for range e.shards {
+		select {
+		case o := <-out:
+			merged = append(merged, o.nn...)
+			meters[o.id] = o.meter
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // a shard may have skipped its work
+	}
+	// Global top-k = k minimum under the (distance, index) total order —
+	// the same order every searcher's TopK heap resolves ties with, which
+	// is what makes the merge exactly equal to a sequential scan.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].Index < merged[j].Index
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	meter := arch.NewMeter()
+	for _, m := range meters {
+		if m != nil {
+			meter.Merge(m)
+		}
+	}
+	return &Result{Neighbors: merged, Meter: meter, ShardMeters: meters, Degraded: e.DegradedShards()}, nil
+}

@@ -1,0 +1,316 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/core"
+	"pimmine/internal/dataset"
+	"pimmine/internal/knn"
+	"pimmine/internal/vec"
+)
+
+// testData builds a small smooth dataset (same recipe as internal/knn's
+// tests: clustered, so the bounds have real pruning power) plus queries.
+func testData(t testing.TB, n, d, nq int) (*vec.Matrix, *vec.Matrix) {
+	t.Helper()
+	prof := dataset.Profile{Name: "serve-test", FullN: n, D: d, Clusters: 8, Correlation: 0.8, Spread: 0.1}
+	ds := dataset.Generate(prof, n, 42)
+	return ds.X, ds.Queries(nq, 43)
+}
+
+func testFramework(t testing.TB) *core.Framework {
+	t.Helper()
+	fw, err := core.Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// oracle computes the sequential linear-scan ground truth.
+func oracle(data, queries *vec.Matrix, k int) [][]vec.Neighbor {
+	exact := knn.NewStandard(data)
+	out := make([][]vec.Neighbor, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		out[qi] = exact.Search(queries.Row(qi), k, arch.NewMeter())
+	}
+	return out
+}
+
+// assertExact requires got to match want in both IDs and distances.
+func assertExact(t *testing.T, label string, got, want []vec.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d neighbors, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Index != want[i].Index || got[i].Dist != want[i].Dist {
+			t.Fatalf("%s: neighbor %d = {%d %v}, want {%d %v}",
+				label, i, got[i].Index, got[i].Dist, want[i].Index, want[i].Dist)
+		}
+	}
+}
+
+// TestShardedMatchesSequentialOracle is the differential determinism
+// test: for shard counts {1, 2, 7} and every ED searcher variant, the
+// sharded engine's merged top-k must be identical — IDs and distances —
+// to the sequential knn.Standard scan.
+func TestShardedMatchesSequentialOracle(t *testing.T) {
+	t.Parallel()
+	const k = 10
+	data, queries := testData(t, 240, 64, 6)
+	fw := testFramework(t)
+	want := oracle(data, queries, k)
+
+	for _, shards := range []int{1, 2, 7} {
+		for _, variant := range Variants() {
+			label := fmt.Sprintf("shards=%d/%s", shards, variant)
+			e, err := New(data, Options{
+				Shards:    shards,
+				Variant:   variant,
+				Framework: fw,
+				CapacityN: data.N,
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", label, err)
+			}
+			if got := e.NumShards(); got != shards {
+				t.Fatalf("%s: %d shards built", label, got)
+			}
+			if deg := e.DegradedShards(); deg != nil {
+				t.Fatalf("%s: unexpected degraded shards %v", label, deg)
+			}
+			for qi := 0; qi < queries.N; qi++ {
+				res, err := e.Search(context.Background(), queries.Row(qi), k)
+				if err != nil {
+					t.Fatalf("%s query %d: %v", label, qi, err)
+				}
+				assertExact(t, fmt.Sprintf("%s query %d", label, qi), res.Neighbors, want[qi])
+			}
+		}
+	}
+}
+
+// TestDegradedShardStaysExact forces construction failures on some shards
+// and checks the engine reports them while still answering exactly.
+func TestDegradedShardStaysExact(t *testing.T) {
+	t.Parallel()
+	const k = 7
+	data, queries := testData(t, 150, 32, 4)
+	want := oracle(data, queries, k)
+	fail := errors.New("shard hardware unavailable")
+
+	e, err := New(data, Options{
+		Shards: 3,
+		Factory: func(m *vec.Matrix, shardID int) (knn.Searcher, error) {
+			if shardID == 1 {
+				return nil, fail // middle shard degrades to the host scan
+			}
+			return knn.NewFNN(m)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := e.DegradedShards()
+	if len(deg) != 1 || deg[0] != 1 {
+		t.Fatalf("degraded shards = %v, want [1]", deg)
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		res, err := e.Search(context.Background(), queries.Row(qi), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExact(t, fmt.Sprintf("degraded query %d", qi), res.Neighbors, want[qi])
+		if len(res.Degraded) != 1 || res.Degraded[0] != 1 {
+			t.Fatalf("result reports degraded %v, want [1]", res.Degraded)
+		}
+	}
+}
+
+// TestBatchMatchesSequentialAndMeters checks batch answers and that the
+// merged shard meters carry exactly the sequential scan's activity (the
+// standard variant touches every object once regardless of sharding).
+func TestBatchMatchesSequentialAndMeters(t *testing.T) {
+	t.Parallel()
+	const k = 5
+	data, queries := testData(t, 200, 32, 12)
+	seq := knn.NewStandard(data)
+	seqMeter := arch.NewMeter()
+	want := make([][]vec.Neighbor, queries.N)
+	for qi := 0; qi < queries.N; qi++ {
+		want[qi] = seq.Search(queries.Row(qi), k, seqMeter)
+	}
+
+	e, err := New(data, Options{Shards: 4, Variant: VariantStandard, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.SearchBatch(context.Background(), queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := range want {
+		assertExact(t, fmt.Sprintf("batch query %d", qi), res.Results[qi].Neighbors, want[qi])
+	}
+	if got, want := res.Meter.Total(), seqMeter.Total(); got != want {
+		t.Fatalf("batch meter %+v != sequential %+v", got, want)
+	}
+	if got := e.Meter().Total(); got != seqMeter.Total() {
+		t.Fatalf("engine cumulative meter %+v != sequential %+v", got, seqMeter.Total())
+	}
+}
+
+// slowSearcher delays each search so deadline tests are deterministic.
+type slowSearcher struct {
+	inner knn.Searcher
+	delay time.Duration
+}
+
+func (s *slowSearcher) Name() string { return "slow-" + s.inner.Name() }
+
+func (s *slowSearcher) Search(q []float64, k int, m *arch.Meter) []vec.Neighbor {
+	time.Sleep(s.delay)
+	return s.inner.Search(q, k, m)
+}
+
+func TestCancellationAndDeadline(t *testing.T) {
+	t.Parallel()
+	data, queries := testData(t, 100, 16, 3)
+
+	// Already-canceled context: fail fast, no partial results.
+	e, err := New(data, Options{Shards: 2, Variant: VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.Search(canceled, queries.Row(0), 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled search: %v", err)
+	}
+	if _, err := e.SearchBatch(canceled, queries, 3); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch: %v", err)
+	}
+
+	// Per-query deadline against a slow shard searcher.
+	slow, err := New(data, Options{
+		Shards:       2,
+		QueryTimeout: 5 * time.Millisecond,
+		Factory: func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+			return &slowSearcher{inner: knn.NewStandard(m), delay: 200 * time.Millisecond}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := slow.Search(context.Background(), queries.Row(0), 3); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline search: %v", err)
+	}
+
+	// A generous per-query deadline must not interfere.
+	ok, err := New(data, Options{Shards: 2, Variant: VariantStandard, QueryTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ok.Search(context.Background(), queries.Row(0), 3); err != nil {
+		t.Fatalf("generous deadline: %v", err)
+	}
+}
+
+// TestConcurrentQueriesRaceClean hammers one engine from many goroutines
+// (single queries and batches at once) — the race detector is the judge,
+// and every answer must still be exact.
+func TestConcurrentQueriesRaceClean(t *testing.T) {
+	t.Parallel()
+	const k = 5
+	data, queries := testData(t, 180, 32, 10)
+	fw := testFramework(t)
+	want := oracle(data, queries, k)
+
+	e, err := New(data, Options{Shards: 3, Variant: VariantFNNPIM, Framework: fw, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			if g%2 == 0 {
+				for qi := 0; qi < queries.N; qi++ {
+					res, err := e.Search(context.Background(), queries.Row(qi), k)
+					if err != nil {
+						errc <- err
+						return
+					}
+					for i := range want[qi] {
+						if res.Neighbors[i] != want[qi][i] {
+							errc <- fmt.Errorf("goroutine %d query %d inexact under concurrency", g, qi)
+							return
+						}
+					}
+				}
+				errc <- nil
+				return
+			}
+			res, err := e.SearchBatch(context.Background(), queries, k)
+			if err != nil {
+				errc <- err
+				return
+			}
+			for qi := range want {
+				for i := range want[qi] {
+					if res.Results[qi].Neighbors[i] != want[qi][i] {
+						errc <- fmt.Errorf("goroutine %d batch query %d inexact", g, qi)
+						return
+					}
+				}
+			}
+			errc <- nil
+		}(g)
+	}
+	for g := 0; g < goroutines; g++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	t.Parallel()
+	data, queries := testData(t, 50, 16, 1)
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	if _, err := New(data, Options{Variant: "nope"}); err == nil {
+		t.Fatal("unknown variant accepted")
+	}
+	if _, err := New(data, Options{Variant: VariantFNNPIM}); err == nil {
+		t.Fatal("PIM variant without framework accepted")
+	}
+	// More shards than rows clamp to one row per shard.
+	e, err := New(data, Options{Shards: 500, Variant: VariantStandard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.NumShards() != data.N {
+		t.Fatalf("shards = %d, want %d", e.NumShards(), data.N)
+	}
+	total := 0
+	for _, n := range e.ShardSizes() {
+		total += n
+	}
+	if total != data.N {
+		t.Fatalf("shard sizes cover %d rows, want %d", total, data.N)
+	}
+	if _, err := e.Search(context.Background(), queries.Row(0)[:4], 3); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+	if _, err := e.Search(context.Background(), queries.Row(0), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}

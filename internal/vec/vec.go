@@ -50,6 +50,17 @@ func (m *Matrix) Row(i int) []float64 {
 	return m.Data[i*m.D : (i+1)*m.D : (i+1)*m.D]
 }
 
+// Slice returns rows [lo,hi) as a matrix view sharing m's storage — the
+// zero-copy row-wise partitioning used by the sharded query engine. It
+// panics on an invalid range, because shard boundaries are computed, not
+// user input.
+func (m *Matrix) Slice(lo, hi int) *Matrix {
+	if lo < 0 || hi < lo || hi > m.N {
+		panic(fmt.Sprintf("vec: slice [%d,%d) outside matrix of %d rows", lo, hi, m.N))
+	}
+	return &Matrix{N: hi - lo, D: m.D, Data: m.Data[lo*m.D : hi*m.D : hi*m.D]}
+}
+
 // Clone returns a deep copy of the matrix.
 func (m *Matrix) Clone() *Matrix {
 	c := NewMatrix(m.N, m.D)

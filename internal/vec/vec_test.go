@@ -8,6 +8,7 @@ import (
 )
 
 func TestMatrixShape(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(3, 4)
 	if m.N != 3 || m.D != 4 || len(m.Data) != 12 {
 		t.Fatalf("NewMatrix(3,4) = %dx%d with %d values", m.N, m.D, len(m.Data))
@@ -19,6 +20,7 @@ func TestMatrixShape(t *testing.T) {
 }
 
 func TestMatrixRowBounds(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(2, 3)
 	row := m.Row(0)
 	if len(row) != 3 || cap(row) != 3 {
@@ -27,6 +29,7 @@ func TestMatrixRowBounds(t *testing.T) {
 }
 
 func TestFromRows(t *testing.T) {
+	t.Parallel()
 	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	if err != nil {
 		t.Fatal(err)
@@ -44,6 +47,7 @@ func TestFromRows(t *testing.T) {
 }
 
 func TestClone(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(2, 2)
 	m.Row(0)[0] = 1
 	c := m.Clone()
@@ -54,6 +58,7 @@ func TestClone(t *testing.T) {
 }
 
 func TestBytes(t *testing.T) {
+	t.Parallel()
 	m := NewMatrix(10, 8)
 	if got := m.Bytes(32); got != 320 {
 		t.Fatalf("Bytes(32) = %d, want 320", got)
@@ -61,12 +66,14 @@ func TestBytes(t *testing.T) {
 }
 
 func TestDot(t *testing.T) {
+	t.Parallel()
 	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
 		t.Fatalf("Dot = %v, want 32", got)
 	}
 }
 
 func TestDotMismatchPanics(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Dot must panic on length mismatch")
@@ -76,6 +83,7 @@ func TestDotMismatchPanics(t *testing.T) {
 }
 
 func TestIntDot(t *testing.T) {
+	t.Parallel()
 	// Fig 1's example: [3,1,0]·[3,1,2] = 10, [1,2,3]·[3,1,2] = 11,
 	// [2,0,1]·[3,1,2] = 8.
 	q := []uint32{3, 1, 2}
@@ -94,6 +102,7 @@ func TestIntDot(t *testing.T) {
 }
 
 func TestIntDotNoOverflow(t *testing.T) {
+	t.Parallel()
 	// Values at the paper's α=10⁶ scale must accumulate in int64 without
 	// overflow even at Trevi's d=4096 (max dot ≈ 4·10¹⁵ < 2⁶³).
 	a := make([]uint32, 4096)
@@ -107,6 +116,7 @@ func TestIntDotNoOverflow(t *testing.T) {
 }
 
 func TestNormsAndStats(t *testing.T) {
+	t.Parallel()
 	v := []float64{3, 4}
 	if SqNorm(v) != 25 || Norm(v) != 5 {
 		t.Fatalf("SqNorm/Norm of %v = %v/%v", v, SqNorm(v), Norm(v))
@@ -126,6 +136,7 @@ func TestNormsAndStats(t *testing.T) {
 }
 
 func TestSegmentStats(t *testing.T) {
+	t.Parallel()
 	v := []float64{1, 3, 2, 2, 0, 4}
 	mu, sigma, err := SegmentStats(v, 3)
 	if err != nil {
@@ -142,6 +153,7 @@ func TestSegmentStats(t *testing.T) {
 }
 
 func TestScaleAddTo(t *testing.T) {
+	t.Parallel()
 	a := []float64{1, 2}
 	Scale(a, 3)
 	if a[0] != 3 || a[1] != 6 {
@@ -155,6 +167,7 @@ func TestScaleAddTo(t *testing.T) {
 
 // Property: Dot is symmetric and linear in its first argument.
 func TestDotPropertiesQuick(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		if len(raw) < 2 {
 			return true
@@ -181,6 +194,7 @@ func TestDotPropertiesQuick(t *testing.T) {
 
 // Property: Cauchy–Schwarz, |a·b| ≤ ‖a‖‖b‖.
 func TestCauchySchwarzQuick(t *testing.T) {
+	t.Parallel()
 	f := func(raw []float64) bool {
 		if len(raw) < 2 {
 			return true
@@ -200,6 +214,7 @@ func TestCauchySchwarzQuick(t *testing.T) {
 }
 
 func TestTopKBasic(t *testing.T) {
+	t.Parallel()
 	top := NewTopK(3)
 	if !math.IsInf(top.Threshold(), 1) {
 		t.Fatal("empty TopK threshold must be +Inf")
@@ -217,6 +232,7 @@ func TestTopKBasic(t *testing.T) {
 }
 
 func TestTopKRejectsWorse(t *testing.T) {
+	t.Parallel()
 	top := NewTopK(2)
 	top.Push(0, 1)
 	top.Push(1, 2)
@@ -229,6 +245,7 @@ func TestTopKRejectsWorse(t *testing.T) {
 }
 
 func TestTopKTiesDeterministic(t *testing.T) {
+	t.Parallel()
 	top := NewTopK(2)
 	top.Push(5, 1)
 	top.Push(3, 1)
@@ -240,6 +257,7 @@ func TestTopKTiesDeterministic(t *testing.T) {
 
 // Property: TopK matches a full sort-and-truncate reference.
 func TestTopKMatchesSortQuick(t *testing.T) {
+	t.Parallel()
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 50; trial++ {
 		n := 1 + rng.Intn(200)
@@ -277,6 +295,7 @@ func TestTopKMatchesSortQuick(t *testing.T) {
 }
 
 func TestTopKPanicsOnZeroK(t *testing.T) {
+	t.Parallel()
 	defer func() {
 		if recover() == nil {
 			t.Fatal("NewTopK(0) must panic")

@@ -35,6 +35,7 @@ import (
 	"pimmine/internal/plan"
 	"pimmine/internal/profile"
 	"pimmine/internal/quant"
+	"pimmine/internal/serve"
 	"pimmine/internal/vec"
 )
 
@@ -291,6 +292,46 @@ type KNNBatchResult = knn.BatchResult
 // searchers (see knn.SearchBatch).
 func SearchKNNBatch(newSearcher func() (KNNSearcher, error), queries *Matrix, k, workers int) (*KNNBatchResult, error) {
 	return knn.SearchBatch(newSearcher, queries, k, workers)
+}
+
+// The sharded concurrent query engine (internal/serve): the serving layer
+// for sustained multi-tenant traffic. The dataset is partitioned row-wise
+// across shards, each shard owns an independent (PIM-accelerated)
+// searcher, and queries fan out and merge into the exact global top-k.
+type (
+	// QueryEngine serves concurrent kNN queries over a sharded dataset.
+	QueryEngine = serve.Engine
+	// QueryEngineOptions configures NewQueryEngine.
+	QueryEngineOptions = serve.Options
+	// QueryResult is one query's neighbors plus merged activity.
+	QueryResult = serve.Result
+	// QueryBatchResult is a batch submission's outcome.
+	QueryBatchResult = serve.BatchResult
+	// SearcherVariant names the per-shard searcher algorithm.
+	SearcherVariant = serve.Variant
+)
+
+// The per-shard searcher variants accepted by QueryEngineOptions.Variant.
+const (
+	ServeStandard    = serve.VariantStandard
+	ServeOST         = serve.VariantOST
+	ServeSM          = serve.VariantSM
+	ServeFNN         = serve.VariantFNN
+	ServeStandardPIM = serve.VariantStandardPIM
+	ServeOSTPIM      = serve.VariantOSTPIM
+	ServeSMPIM       = serve.VariantSMPIM
+	ServeFNNPIM      = serve.VariantFNNPIM
+)
+
+// SearcherVariants lists every supported per-shard variant.
+func SearcherVariants() []SearcherVariant { return serve.Variants() }
+
+// NewQueryEngine partitions data across shards and builds one searcher
+// per shard. PIM variants need Options.Framework; a shard whose searcher
+// construction fails degrades to the exact host scan and is reported by
+// the engine (results stay exact).
+func NewQueryEngine(data *Matrix, opts QueryEngineOptions) (*QueryEngine, error) {
+	return serve.New(data, opts)
 }
 
 // HammingDistance is the exact HD between two codes.

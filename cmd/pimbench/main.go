@@ -10,6 +10,9 @@
 // plus extensions (ext-*). The serving mode, `pimbench ext-serve`,
 // sweeps the sharded concurrent query engine from 1 shard up to -shards
 // and reports wall-clock throughput alongside the modeled per-query time.
+// `pimbench ext-fault` sweeps injected crossbar fault severity and prints
+// the degradation curve: recall stays exact at every severity while
+// faulty/recovered dot counts and modeled latency grow.
 package main
 
 import (

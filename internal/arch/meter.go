@@ -25,6 +25,14 @@ type Counters struct {
 	PIMBufBytes int64
 	// PIMWriteNs accumulates crossbar programming time (offline stage).
 	PIMWriteNs float64
+	// PIMFaults counts PIM dot products that passed through faulty
+	// hardware (stuck cells, drifted cells, read noise) and were returned
+	// with their error envelope applied (internal/fault).
+	PIMFaults int64
+	// PIMRecovered counts PIM dot products lost to dead crossbars and
+	// recovered by the never-prune fallback (the object is refined
+	// exactly on the host instead).
+	PIMRecovered int64
 	// Calls counts invocations, for reporting.
 	Calls int64
 }
@@ -39,6 +47,8 @@ func (c *Counters) Add(other Counters) {
 	c.PIMCycles += other.PIMCycles
 	c.PIMBufBytes += other.PIMBufBytes
 	c.PIMWriteNs += other.PIMWriteNs
+	c.PIMFaults += other.PIMFaults
+	c.PIMRecovered += other.PIMRecovered
 	c.Calls += other.Calls
 }
 

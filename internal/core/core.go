@@ -17,9 +17,11 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/bound"
+	"pimmine/internal/fault"
 	"pimmine/internal/kmeans"
 	"pimmine/internal/knn"
 	"pimmine/internal/pim"
@@ -36,18 +38,36 @@ type Framework struct {
 	Cfg   arch.Config
 	Quant quant.Quantizer
 	Mode  pim.Mode
+	// Fault, when non-nil, equips every engine the framework creates with
+	// a fault injector (internal/fault): dot products pass through the
+	// configured hardware faults, bounds are widened by the error envelope
+	// so results stay exact, and dead crossbars trigger host fallbacks.
+	Fault *fault.Model
+
+	engSeq int64 // engines created so far, for per-engine fault seeds
 }
 
 // New builds a framework for the given architecture and scaling factor α.
 func New(cfg arch.Config, alpha float64, mode pim.Mode) (*Framework, error) {
+	return NewFaulty(cfg, alpha, mode, nil)
+}
+
+// NewFaulty builds a framework whose PIM arrays suffer the given injected
+// faults (nil model behaves exactly like New).
+func NewFaulty(cfg arch.Config, alpha float64, mode pim.Mode, model *fault.Model) (*Framework, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if model != nil {
+		if err := model.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	q, err := quant.New(alpha)
 	if err != nil {
 		return nil, err
 	}
-	return &Framework{Cfg: cfg, Quant: q, Mode: mode}, nil
+	return &Framework{Cfg: cfg, Quant: q, Mode: mode, Fault: model}, nil
 }
 
 // Default builds a framework with the paper's Table 5 hardware and α=10⁶.
@@ -58,9 +78,20 @@ func Default() (*Framework, error) {
 // NewEngine creates a fresh PIM array under the framework's hardware
 // model. Payload names are scoped per engine and §V-C forbids
 // re-programming, so every acceleration — and every shard of a sharded
-// serving engine (internal/serve) — owns its own array.
+// serving engine (internal/serve) — owns its own array. Under a fault
+// model, each engine draws an independent fault universe derived from the
+// model seed and the engine's creation sequence number.
 func (f *Framework) NewEngine() (*pim.Engine, error) {
-	return pim.NewEngine(f.Cfg, f.Mode)
+	if f.Fault == nil {
+		return pim.NewEngine(f.Cfg, f.Mode)
+	}
+	m := *f.Fault
+	m.Seed = fault.DeriveSeed(m.Seed, int(atomic.AddInt64(&f.engSeq, 1)))
+	inj, err := fault.NewInjector(m, f.Cfg.Crossbar)
+	if err != nil {
+		return nil, err
+	}
+	return pim.NewFaultyEngine(f.Cfg, f.Mode, inj)
 }
 
 // ---------------------------------------------------------------------------

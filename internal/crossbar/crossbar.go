@@ -88,7 +88,22 @@ type Crossbar struct {
 	opBits int // bits per stored operand (0 until first program)
 	dims   int // dimensionality of stored vectors
 	nvecs  int // number of vectors currently programmed
+
+	// readFault, when set, models cell-level non-idealities: every read
+	// of a cell during DotAll observes readFault(row, col, programmed)
+	// instead of the programmed level (internal/fault injects stuck-at
+	// and drifted cells through this hook). Programming and endurance
+	// accounting always see the true cells.
+	readFault ReadFault
 }
+
+// ReadFault maps a programmed cell level to the level the analog read
+// actually observes. row/col are cell coordinates within the tile; the
+// returned level must stay within the cell's range [0, 2^CellBits).
+type ReadFault func(row, col int, programmed uint16) uint16
+
+// SetReadFault installs (or, with nil, removes) the cell-read fault hook.
+func (c *Crossbar) SetReadFault(f ReadFault) { c.readFault = f }
 
 // New creates an empty crossbar. It panics on an invalid spec, since specs
 // come from static configuration.
@@ -193,7 +208,11 @@ func (c *Crossbar) DotAll(input []uint32, inputBits int) ([]int64, int, error) {
 					if slice == 0 {
 						continue
 					}
-					colSum += int64(slice) * int64(c.cells[row*c.spec.M+col0+k])
+					level := c.cells[row*c.spec.M+col0+k]
+					if c.readFault != nil {
+						level = c.readFault(row, col0+k, level)
+					}
+					colSum += int64(slice) * int64(level)
 				}
 				// S&A: shift by input-cycle position and weight-slice position.
 				wShift := uint((cpo - 1 - k) * c.spec.CellBits)

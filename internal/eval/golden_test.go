@@ -1,0 +1,324 @@
+package eval_test
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/dbscan"
+	"pimmine/internal/fault"
+	"pimmine/internal/join"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/knn"
+	"pimmine/internal/motif"
+	"pimmine/internal/outlier"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+)
+
+// The differential golden layer: every mining task runs three ways —
+// host-exact, clean PIM, and fault-injected PIM — and all three must
+// render to the same byte string, which is also pinned against a
+// committed golden file so cross-machine / cross-version drift is caught.
+// Floats are serialized as hex (strconv 'x'), so "equal" means
+// bit-identical, not approximately close.
+//
+// Regenerate with: go test ./internal/eval -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite the golden files from the host-exact run")
+
+// goldenFaultModel is aggressive enough to touch most dot products
+// (stuck cells, drift, read noise, the odd dead crossbar) while staying
+// within the bounded-fault envelope that keeps filter-and-refine exact.
+func goldenFaultModel(seed int64) fault.Model {
+	return fault.Model{
+		Seed: seed, StuckAt0: 0.003, StuckAt1: 0.003,
+		Drift: 0.006, DriftLevels: 2, ReadNoise: 4, CrossbarFail: 0.02,
+	}
+}
+
+func cleanEngine(t *testing.T) *pim.Engine {
+	t.Helper()
+	eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func faultyEngine(t *testing.T, seed int64) *pim.Engine {
+	t.Helper()
+	inj, err := fault.NewInjector(goldenFaultModel(seed), arch.Default().Crossbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pim.NewFaultyEngine(arch.Default(), pim.ModeExact, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func goldenQuant(t *testing.T) quant.Quantizer {
+	t.Helper()
+	q, err := quant.New(quant.DefaultAlpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func goldenDataset(t *testing.T, n, d, clusters int, spread float64) *dataset.Dataset {
+	t.Helper()
+	prof := dataset.Profile{Name: "golden", FullN: n, D: d, Clusters: clusters, Correlation: 0.4, Spread: spread}
+	return dataset.Generate(prof, n, 42)
+}
+
+// hexF renders a float bit-exactly.
+func hexF(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  a: %s\n  b: %s", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}
+
+// assertTriple checks PIM and faulty-PIM renderings against the
+// host-exact one, then pins the host rendering to the golden file.
+func assertTriple(t *testing.T, name, host, clean, faulty string) {
+	t.Helper()
+	if clean != host {
+		t.Fatalf("%s: clean PIM output diverges from host-exact path\n%s", name, firstDiff(host, clean))
+	}
+	if faulty != host {
+		t.Fatalf("%s: fault-injected PIM output diverges from host-exact path\n%s", name, firstDiff(host, faulty))
+	}
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(host), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: missing golden file (regenerate with -update): %v", name, err)
+	}
+	if string(want) != host {
+		t.Fatalf("%s: output drifted from committed golden file\n%s", name, firstDiff(string(want), host))
+	}
+}
+
+func TestGoldenKNN(t *testing.T) {
+	ds := goldenDataset(t, 400, 32, 5, 0.15)
+	queries := ds.Queries(5, 43)
+	q := goldenQuant(t)
+	const k = 10
+
+	render := func(s knn.Searcher) string {
+		var b strings.Builder
+		for qi := 0; qi < queries.N; qi++ {
+			for _, n := range s.Search(queries.Row(qi), k, arch.NewMeter()) {
+				fmt.Fprintf(&b, "q%d i=%d d=%s\n", qi, n.Index, hexF(n.Dist))
+			}
+		}
+		return b.String()
+	}
+
+	host := render(knn.NewStandard(ds.X))
+	cs, err := knn.NewFNNPIM(cleanEngine(t), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := knn.NewFNNPIM(faultyEngine(t, 1), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "knn", host, render(cs), render(fs))
+}
+
+func TestGoldenKMeans(t *testing.T) {
+	ds := goldenDataset(t, 300, 24, 6, 0.15)
+	q := goldenQuant(t)
+	initial, err := kmeans.InitCenters(ds.X, 6, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(a kmeans.Algorithm) string {
+		res := a.Run(initial, 50, arch.NewMeter())
+		var b strings.Builder
+		fmt.Fprintf(&b, "iterations=%d converged=%v sse=%s\n", res.Iterations, res.Converged, hexF(res.SSE))
+		for i, c := range res.Assign {
+			fmt.Fprintf(&b, "assign %d %d\n", i, c)
+		}
+		for ci := 0; ci < res.Centers.N; ci++ {
+			row := res.Centers.Row(ci)
+			parts := make([]string, len(row))
+			for j, v := range row {
+				parts[j] = hexF(v)
+			}
+			fmt.Fprintf(&b, "center %d %s\n", ci, strings.Join(parts, " "))
+		}
+		return b.String()
+	}
+
+	host := render(kmeans.NewLloyd(ds.X))
+	ca, err := kmeans.NewAssist(cleanEngine(t), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fa, err := kmeans.NewAssist(faultyEngine(t, 2), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "kmeans", host, render(kmeans.NewLloydPIM(ds.X, ca)), render(kmeans.NewLloydPIM(ds.X, fa)))
+}
+
+func TestGoldenDBSCAN(t *testing.T) {
+	ds := goldenDataset(t, 300, 16, 4, 0.03)
+	q := goldenQuant(t)
+
+	render := func(c *dbscan.Clusterer) string {
+		res, err := c.Run(0.25, 4, arch.NewMeter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "clusters=%d core=%d\n", res.Clusters, res.CorePoints)
+		for i, l := range res.Labels {
+			fmt.Fprintf(&b, "label %d %d\n", i, l)
+		}
+		return b.String()
+	}
+
+	host := render(dbscan.New(ds.X))
+	cc, err := dbscan.NewPIM(cleanEngine(t), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := dbscan.NewPIM(faultyEngine(t, 3), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "dbscan", host, render(cc), render(fc))
+}
+
+func TestGoldenOutlier(t *testing.T) {
+	ds := goldenDataset(t, 350, 24, 5, 0.2)
+	q := goldenQuant(t)
+
+	render := func(d *outlier.Detector) string {
+		top, err := d.TopN(10, 5, arch.NewMeter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, o := range top {
+			fmt.Fprintf(&b, "i=%d score=%s\n", o.Index, hexF(o.Score))
+		}
+		return b.String()
+	}
+
+	host := render(outlier.NewDetector(ds.X))
+	cd, err := outlier.NewDetectorPIM(cleanEngine(t), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := outlier.NewDetectorPIM(faultyEngine(t, 4), ds.X, q, ds.X.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "outlier", host, render(cd), render(fd))
+}
+
+func TestGoldenMotif(t *testing.T) {
+	// Noisy random walk with a planted near-identical pattern pair.
+	const n, w = 600, 16
+	rng := rand.New(rand.NewSource(11))
+	series := make([]float64, n)
+	v := 0.0
+	for i := range series {
+		v += rng.NormFloat64()
+		series[i] = v
+	}
+	for i := 0; i < w; i++ {
+		p := 10 * math.Sin(float64(i)/3)
+		series[100+i] = p
+		series[400+i] = p + rng.NormFloat64()*0.01
+	}
+	windows, _, err := motif.Windows(series, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := goldenQuant(t)
+
+	render := func(f *motif.Finder) string {
+		top, err := f.TopK(3, arch.NewMeter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, m := range top {
+			fmt.Fprintf(&b, "i=%d j=%d d=%s\n", m.I, m.J, hexF(m.Dist))
+		}
+		return b.String()
+	}
+
+	host := render(motif.NewFinder(windows))
+	cf, err := motif.NewFinderPIM(cleanEngine(t), windows, q, windows.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, err := motif.NewFinderPIM(faultyEngine(t, 5), windows, q, windows.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "motif", host, render(cf), render(ff))
+}
+
+func TestGoldenJoin(t *testing.T) {
+	ds := goldenDataset(t, 240, 16, 4, 0.2)
+	s := ds.X.Slice(0, 220)
+	r := ds.X.Slice(220, 240)
+	q := goldenQuant(t)
+	const eps = 0.22
+
+	render := func(j *join.Joiner) string {
+		pairs, err := j.Eps(r, eps, false, arch.NewMeter())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "r=%d s=%d d2=%s\n", p.R, p.S, hexF(p.DistSq))
+		}
+		return b.String()
+	}
+
+	host := render(join.NewJoiner(s))
+	cj, err := join.NewJoinerPIM(cleanEngine(t), s, q, s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fj, err := join.NewJoinerPIM(faultyEngine(t, 6), s, q, s.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertTriple(t, "join", host, render(cj), render(fj))
+}

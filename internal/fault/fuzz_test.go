@@ -1,0 +1,102 @@
+package fault_test
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/fault"
+	"pimmine/internal/pim"
+	"pimmine/internal/vec"
+)
+
+// FuzzFaultAdmissible fuzzes the exactness-preservation invariant: under
+// ANY bounded stuck-at/drift/noise fault pattern — rates, magnitudes, data
+// and query all attacker-chosen — every corrected dot product is either
+// the DeadDot sentinel or ≥ the true integer dot product. Since every
+// PIM lower bound consumes −2·dot and every upper bound +dot, this is
+// precisely the property that keeps filter-and-refine exact under faults
+// (the widened LB never exceeds the true distance).
+//
+// It is also a differential fuzzer: the analytic exact-mode fault path
+// must agree bit-for-bit with the physical simulate-mode path.
+func FuzzFaultAdmissible(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(5), uint8(12), uint8(2), uint8(9), uint8(0), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Add(int64(99), uint8(0), uint8(255), uint8(0), uint8(1), uint8(0), uint8(30), []byte{255, 0, 255, 0, 128, 64, 32, 16})
+	f.Add(int64(-7), uint8(255), uint8(0), uint8(255), uint8(127), uint8(255), uint8(255), []byte{0, 0, 0, 0, 7, 7, 7, 7, 200, 200})
+	f.Add(int64(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), uint8(0), []byte{42})
+
+	f.Fuzz(func(t *testing.T, seed int64, s0, s1, dr, drLvl, noise, xfail uint8, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		model := fault.Model{
+			Seed:         seed,
+			StuckAt0:     float64(s0) / 255 / 3, // rates sum ≤ 1
+			StuckAt1:     float64(s1) / 255 / 3,
+			Drift:        float64(dr) / 255 / 3,
+			DriftLevels:  int(drLvl%127) + 1,
+			ReadNoise:    int64(noise),
+			CrossbarFail: float64(xfail) / 255,
+		}
+		if err := model.Validate(); err != nil {
+			t.Fatalf("constructed model invalid: %v", err)
+		}
+
+		cfg := arch.Default()
+		cfg.Crossbar.M = 8 // tiny tiles: fuzz crosses chunk/group borders cheaply
+		const opBits = 8
+		dims := len(data)
+		if dims > 24 {
+			dims = 24
+		}
+		n := len(data) / dims
+		if n < 1 {
+			n = 1
+		}
+		if n > 16 {
+			n = 16
+		}
+		rows := make([]uint32, n*dims)
+		for i := range rows {
+			rows[i] = uint32(data[i%len(data)])
+		}
+		input := make([]uint32, dims)
+		for i := range input {
+			// A distinct-but-derived query exercises noise hashing.
+			input[i] = uint32(data[(i*7+3)%len(data)])
+		}
+
+		dots := map[string][]int64{}
+		for name, mode := range map[string]pim.Mode{"exact": pim.ModeExact, "simulate": pim.ModeSimulate} {
+			inj, err := fault.NewInjector(model, cfg.Crossbar)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng, err := pim.NewFaultyEngine(cfg, mode, inj)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := eng.ProgramWidth("fuzz", n, dims, 1, opBits, func(i int) []uint32 {
+				return rows[i*dims : (i+1)*dims]
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst, err := eng.QueryAll(arch.NewMeter(), arch.FuncED, p, input, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dots[name] = append([]int64(nil), dst...)
+		}
+
+		for i := 0; i < n; i++ {
+			if dots["exact"][i] != dots["simulate"][i] {
+				t.Fatalf("vector %d: exact %d != simulate %d", i, dots["exact"][i], dots["simulate"][i])
+			}
+			truth := vec.IntDot(rows[i*dims:(i+1)*dims], input)
+			if got := dots["exact"][i]; got < truth {
+				t.Fatalf("vector %d: corrected dot %d below true %d (LB would over-prune)", i, got, truth)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package knn
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/fault"
+	"pimmine/internal/lsh"
+	"pimmine/internal/pim"
+)
+
+// faultyEngine builds an exact-mode engine with an aggressive cell-fault
+// model (no dead crossbars: those are covered by the serve tests).
+func faultyEngine(t *testing.T, seed int64) *pim.Engine {
+	t.Helper()
+	inj, err := fault.NewInjector(fault.Model{
+		Seed: seed, StuckAt0: 0.005, StuckAt1: 0.005, Drift: 0.01, DriftLevels: 1, ReadNoise: 5,
+	}, arch.Default().Crossbar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := pim.NewFaultyEngine(arch.Default(), pim.ModeExact, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// Exactness under faults (the extended Theorem 3 claim): every ED PIM
+// searcher built on a faulty engine still returns exactly the host scan's
+// neighbors, because corrected dots only widen the lower bounds.
+func TestEDSearchersExactUnderFaults(t *testing.T) {
+	data, queries := testData(t, 400, 64)
+	q := defaultQuant(t)
+	std := NewStandard(data)
+
+	builds := []struct {
+		name  string
+		build func(eng *pim.Engine) (Searcher, error)
+	}{
+		{"Standard-PIM", func(eng *pim.Engine) (Searcher, error) {
+			return NewStandardPIM(eng, data, q, data.N)
+		}},
+		{"FNN-PIM", func(eng *pim.Engine) (Searcher, error) {
+			return NewFNNPIM(eng, data, q, data.N)
+		}},
+		{"OST-PIM", func(eng *pim.Engine) (Searcher, error) {
+			return NewOSTPIM(eng, data, q, data.D/2, data.N)
+		}},
+	}
+	for bi, b := range builds {
+		s, err := b.build(faultyEngine(t, int64(100+bi)))
+		if err != nil {
+			t.Fatalf("%s: %v", b.name, err)
+		}
+		for qi := 0; qi < queries.N; qi++ {
+			qv := queries.Row(qi)
+			want := std.Search(qv, 10, arch.NewMeter())
+			meter := arch.NewMeter()
+			got := s.Search(qv, 10, meter)
+			assertSameNeighbors(t, b.name+"/faulty", got, want)
+		}
+	}
+}
+
+// HD-PIM under faults switches from exact PIM distances to
+// filter-and-refine; results stay bit-identical to the XOR+popcount scan
+// and the refinement shows up as random-access traffic.
+func TestHDPIMExactUnderFaults(t *testing.T) {
+	prof := dataset.Profile{Name: "hd-fault", FullN: 500, D: 64, Clusters: 8, Correlation: 0.1, Spread: 0.3}
+	ds := dataset.Generate(prof, 300, 7)
+	hasher := lsh.NewHasher(prof.D, 128, 8)
+	codes := hasher.HashAll(ds.X)
+	qCodes := hasher.HashAll(ds.Queries(4, 9))
+
+	std := NewHDStandard(codes)
+	eng := faultyEngine(t, 55)
+	hp, err := NewHDPIM(eng, codes, len(codes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults int64
+	for _, qc := range qCodes {
+		want := std.Search(qc, 10, arch.NewMeter())
+		meter := arch.NewMeter()
+		got := hp.Search(qc, 10, meter)
+		assertSameNeighbors(t, "HD-PIM/faulty", got, want)
+		c := meter.Get(arch.FuncHD)
+		if c.RandBytes == 0 {
+			t.Fatal("faulty HD-PIM did not refine any candidate")
+		}
+		faults += c.PIMFaults
+	}
+	if faults == 0 {
+		t.Fatal("fault model active but PIMFaults = 0 across all queries")
+	}
+}

@@ -111,6 +111,12 @@ func (a *HDPIM) RecordPreprocessing(meter *arch.Meter) {
 }
 
 // Search computes exact Hamming distances entirely from PIM dot products.
+//
+// Under a fault injector (pim.Engine.Faulty) the corrected dots
+// overestimate the true dot products, so HD1 degrades from an exact value
+// to a lower bound; the search then switches to filter-and-refine — prune
+// with the bound, recompute survivors' Hamming distances on the host —
+// which keeps results bit-identical to the exact scan.
 func (a *HDPIM) Search(q measure.BitVector, k int, meter *arch.Meter) []vec.Neighbor {
 	qf := a.Ix.Query(q)
 	qOnes := q.Ones()
@@ -121,8 +127,26 @@ func (a *HDPIM) Search(q measure.BitVector, k int, meter *arch.Meter) []vec.Neig
 	}
 	top := vec.NewTopK(k)
 	n := len(a.dots)
-	for i := 0; i < n; i++ {
-		top.Push(i, float64(a.Ix.HD1(i, qOnes, a.dots[i])))
+	if a.eng.Faulty() {
+		var refined int64
+		words := int64((a.Ix.D + 63) / 64)
+		for i := 0; i < n; i++ {
+			lb := float64(a.Ix.HD1(i, qOnes, a.dots[i]))
+			if lb >= top.Threshold() {
+				continue
+			}
+			top.Push(i, float64(measure.Hamming(a.Ix.Codes[i], q)))
+			refined++
+		}
+		// Refinement cost: survivors' codes are fetched with random access
+		// and re-scanned on the host.
+		c := meter.C(arch.FuncHD)
+		c.RandBytes += refined * int64(a.Ix.D) / 8
+		c.Ops += refined * words * 3
+	} else {
+		for i := 0; i < n; i++ {
+			top.Push(i, float64(a.Ix.HD1(i, qOnes, a.dots[i])))
+		}
 	}
 	// Host combine: two 32-bit operands per object — the dot product and
 	// Φ(p)=Ones(p) (the paper's "data transfer of 64-bit" for HD) — plus

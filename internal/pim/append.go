@@ -77,6 +77,12 @@ func (a *AppendablePayload) Append(count int, rows func(i int) []uint32) (float6
 		}
 	}
 	a.N = newN
+	// Extend the fault injector over any tiles the append grew into (it
+	// is extend-only: existing tiles keep their fault maps) and hook the
+	// freshly allocated simulate-mode tiles.
+	if err := a.eng.installFaults(a.Payload); err != nil {
+		return 0, err
+	}
 	delta := a.eng.programCost(count, a.Dims, a.OpBits)
 	a.appendNs += delta.TotalNs()
 	a.cost.WriteNs += delta.WriteNs

@@ -2,6 +2,7 @@ package pim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/crossbar"
@@ -23,6 +24,39 @@ const (
 	ModeSimulate
 )
 
+// DeadDot is the sentinel dot product reported for a vector whose crossbar
+// is dead (whole-tile failure, internal/fault). It is a huge positive
+// value, so every bound built from it keeps the object: lower bounds use
+// −2·dot and collapse far below any threshold, similarity upper bounds use
+// +dot and stay far above. The object is then refined exactly on the host
+// — the never-prune recovery path. Admissible whenever true |dot| < 2^60,
+// which the quantizer's value range guarantees with huge margin.
+const DeadDot = int64(1) << 60
+
+// FaultInjector is the hook internal/fault implements to model hardware
+// faults (stuck-at cells, conductance drift, read noise, dead crossbars)
+// while keeping filter-and-refine exact. The engine calls Attach once per
+// payload (and again after appends), installs the per-tile read faults in
+// simulate mode, and routes every dot-product batch through Apply.
+type FaultInjector interface {
+	// Attach derives the deterministic fault map covering the payload's
+	// current tile grid. It is idempotent and extend-only: tiles already
+	// mapped keep their faults, so appends never reshuffle history.
+	Attach(p *Payload) error
+	// TileFault returns the cell-read fault hook for tile (group, chunk)
+	// of an attached payload, or nil for a fault-free tile.
+	TileFault(p *Payload, g, c int) crossbar.ReadFault
+	// Apply post-processes one dot-product batch in place: in exact mode
+	// it adds the analytic fault delta (bit-identical to what the faulty
+	// crossbar simulation produces), in both modes it adds the error
+	// envelope that restores bound admissibility, and it replaces dots
+	// lost to dead crossbars with DeadDot. It reports how many dots were
+	// fault-corrected and how many were dead-recovered.
+	Apply(p *Payload, simulated bool, input []uint32, dst []int64) (faulty, recovered int64)
+	// DeadCrossbars reports how many attached tiles failed entirely.
+	DeadCrossbars() int
+}
+
 // Engine owns the PIM array of one architecture instance: payload
 // programming (offline) and batched dot-product queries (online).
 type Engine struct {
@@ -30,10 +64,23 @@ type Engine struct {
 	model    CapacityModel
 	mode     Mode
 	payloads map[string]*Payload
+
+	inj FaultInjector
+	// Cumulative fault activity, kept on the engine (atomically, since
+	// serve-layer shards may query concurrently) so QueryAllParallel and
+	// callers without a meter still observe fault counts.
+	faultDots     int64
+	recoveredDots int64
 }
 
 // NewEngine creates an engine for the given architecture.
 func NewEngine(cfg arch.Config, mode Mode) (*Engine, error) {
+	return NewFaultyEngine(cfg, mode, nil)
+}
+
+// NewFaultyEngine creates an engine whose dot products pass through the
+// given fault injector (nil behaves exactly like NewEngine).
+func NewFaultyEngine(cfg arch.Config, mode Mode, inj FaultInjector) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -41,8 +88,30 @@ func NewEngine(cfg arch.Config, mode Mode) (*Engine, error) {
 		cfg:      cfg,
 		model:    ModelFor(cfg),
 		mode:     mode,
+		inj:      inj,
 		payloads: make(map[string]*Payload),
 	}, nil
+}
+
+// Faulty reports whether a fault injector is installed. Searchers that
+// treat PIM dots as exact values (HD-PIM) switch to filter-and-refine
+// when this is true.
+func (e *Engine) Faulty() bool { return e.inj != nil }
+
+// DeadCrossbars reports how many of the engine's tiles failed entirely
+// (0 without an injector). The serve layer checks this after building a
+// shard's searcher to decide whether to degrade to a host scan.
+func (e *Engine) DeadCrossbars() int {
+	if e.inj == nil {
+		return 0
+	}
+	return e.inj.DeadCrossbars()
+}
+
+// FaultCounts returns the cumulative number of fault-corrected and
+// dead-recovered dot products served by this engine.
+func (e *Engine) FaultCounts() (faulty, recovered int64) {
+	return atomic.LoadInt64(&e.faultDots), atomic.LoadInt64(&e.recoveredDots)
 }
 
 // Model exposes the Theorem 4 capacity model in effect.
@@ -70,6 +139,23 @@ type Payload struct {
 
 	gatherLevels int
 	cost         ProgramCost
+}
+
+// Row returns vector i (the fault injector's analytic path reads the
+// programmed levels through this in exact mode).
+func (p *Payload) Row(i int) []uint32 { return p.rows(i) }
+
+// Layout returns the payload's tile geometry: vectors per crossbar group
+// and dimension chunks per group. It is defined in both modes — exact
+// mode computes the same layout the simulator would allocate.
+func (p *Payload) Layout() (perGroup, chunks int) { return p.perGroup, p.chunks }
+
+// Groups returns how many crossbar groups cover the payload's current N.
+func (p *Payload) Groups() int {
+	if p.perGroup == 0 {
+		return 0
+	}
+	return (p.N + p.perGroup - 1) / p.perGroup
 }
 
 // ProgramCost reports the modeled offline cost of programming a payload.
@@ -117,13 +203,45 @@ func (e *Engine) ProgramWidth(name string, n, dims, vectorsPerObject, opBits int
 	}
 	p := &Payload{Name: name, N: n, Dims: dims, OpBits: opBits, rows: rows, gatherLevels: e.model.GatherLevels(dims)}
 	p.cost = e.programCost(n, dims, opBits)
+	// The tile layout is defined in every mode: exact mode needs it for
+	// the fault injector's cell→vector geometry, simulate mode for tile
+	// allocation.
+	spec := e.cfg.Crossbar
+	p.chunks = (p.Dims + spec.M - 1) / spec.M
+	p.perGroup = spec.VectorsPerCrossbar(minInt(p.Dims, spec.M), p.OpBits)
+	if p.perGroup == 0 && (e.mode == ModeSimulate || e.inj != nil) {
+		return nil, fmt.Errorf("pim: operand width %d leaves no room in %d-wide crossbar", p.OpBits, spec.M)
+	}
 	if e.mode == ModeSimulate {
 		if err := e.buildTiles(p); err != nil {
 			return nil, err
 		}
 	}
+	if err := e.installFaults(p); err != nil {
+		return nil, err
+	}
 	e.payloads[name] = p
 	return p, nil
+}
+
+// installFaults (re-)attaches the fault injector to a payload — deriving
+// fault maps for any tiles not yet covered (a power-on self test: dead
+// crossbars are known before the first query) — and, in simulate mode,
+// installs the cell-read hooks on every allocated tile. Idempotent; called
+// at Program time and again after appends extend the tile grid.
+func (e *Engine) installFaults(p *Payload) error {
+	if e.inj == nil {
+		return nil
+	}
+	if err := e.inj.Attach(p); err != nil {
+		return fmt.Errorf("pim: attaching fault injector to payload %q: %w", p.Name, err)
+	}
+	for g, tiles := range p.xbars {
+		for c, xb := range tiles {
+			xb.SetReadFault(e.inj.TileFault(p, g, c))
+		}
+	}
+	return nil
 }
 
 // WriteVerifyPulses models ReRAM cell programming as iterative
@@ -154,12 +272,10 @@ func (e *Engine) programCost(n, dims, opBits int) ProgramCost {
 }
 
 // buildTiles allocates and programs real crossbar tiles (simulate mode).
+// Layout (perGroup, chunks) was computed by ProgramWidth.
 func (e *Engine) buildTiles(p *Payload) error {
 	spec := e.cfg.Crossbar
 	m := spec.M
-	p.chunks = (p.Dims + m - 1) / m
-	chunkDims := minInt(p.Dims, m)
-	p.perGroup = spec.VectorsPerCrossbar(chunkDims, p.OpBits)
 	if p.perGroup == 0 {
 		return fmt.Errorf("pim: operand width %d leaves no room in %d-wide crossbar", p.OpBits, m)
 	}
@@ -229,10 +345,18 @@ func (e *Engine) QueryAll(meter *arch.Meter, fn string, p *Payload, input []uint
 	default:
 		return nil, fmt.Errorf("pim: unknown mode %d", e.mode)
 	}
+	var faulty, recovered int64
+	if e.inj != nil {
+		faulty, recovered = e.inj.Apply(p, e.mode == ModeSimulate, input, dst)
+		atomic.AddInt64(&e.faultDots, faulty)
+		atomic.AddInt64(&e.recoveredDots, recovered)
+	}
 	if meter != nil {
 		c := meter.C(fn)
 		c.PIMCycles += int64(e.cfg.Crossbar.InputCycles(p.OpBits) + p.gatherLevels)
 		c.PIMBufBytes += int64(p.N) * 8
+		c.PIMFaults += faulty
+		c.PIMRecovered += recovered
 		c.Calls++
 	}
 	return dst, nil

@@ -28,6 +28,7 @@ func (e *Engine) QueryAllParallel(meter *arch.Meter, fn string, ps []*Payload, i
 	if len(dsts) != len(ps) {
 		return nil, fmt.Errorf("pim: %d payloads with %d result buffers", len(ps), len(dsts))
 	}
+	f0, r0 := e.FaultCounts()
 	var maxCycles, bufBytes int64
 	for i, p := range ps {
 		// Run each pass without metering, accounting jointly below.
@@ -46,6 +47,11 @@ func (e *Engine) QueryAllParallel(meter *arch.Meter, fn string, ps []*Payload, i
 		c := meter.C(fn)
 		c.PIMCycles += maxCycles // concurrent groups: critical path only
 		c.PIMBufBytes += bufBytes
+		// Fault activity of the joint pass, recovered from the engine's
+		// cumulative counters (the inner QueryAll calls ran meterless).
+		f1, r1 := e.FaultCounts()
+		c.PIMFaults += f1 - f0
+		c.PIMRecovered += r1 - r0
 		c.Calls++
 	}
 	return dsts, nil

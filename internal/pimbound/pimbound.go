@@ -17,6 +17,13 @@
 // The dot products themselves are produced by internal/pim; this package
 // only defines the offline features and the G combinators, plus host-side
 // reference dot products used by tests.
+//
+// Every G here consumes the PIM dot product monotonically: lower bounds
+// as −2·(p̄·q̄), upper bounds as +(p̄·q̄). internal/fault exploits that to
+// extend Theorem 3's error-envelope argument to hardware faults: a
+// faulty array returns dot + error + |envelope| ≥ dot, which can only
+// loosen these bounds — so filter-and-refine stays exact under bounded
+// stuck-at/drift/read-noise faults with no change to this package.
 package pimbound
 
 import (

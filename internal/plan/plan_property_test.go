@@ -1,0 +1,102 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// bruteForceBest is an independently-structured reference for Optimize:
+// recursive enumeration of every candidate subset (the 2^L plans of
+// §V-D), each evaluated under the canonical bound order. Written as
+// include/exclude recursion — not a bitmask loop — so a shared
+// enumeration bug can't hide in both implementations.
+func bruteForceBest(n, d int, cands []Bound) float64 {
+	best := Cost(n, d, nil)
+	var rec func(i int, chosen []Bound)
+	rec = func(i int, chosen []Bound) {
+		if i == len(cands) {
+			if len(chosen) == 0 {
+				return
+			}
+			seq := append([]Bound(nil), chosen...)
+			orderBounds(seq)
+			if c := Cost(n, d, seq); c < best {
+				best = c
+			}
+			return
+		}
+		rec(i+1, chosen)
+		chosen = append(chosen, cands[i])
+		rec(i+1, chosen)
+	}
+	rec(0, nil)
+	return best
+}
+
+// randomBounds draws a candidate set with randomized Tcost/Pr, mixed
+// families (including the independent empty family), out-of-range prune
+// ratios (Cost clamps them), and at most one PIM bound.
+func randomBounds(rng *rand.Rand) []Bound {
+	l := rng.Intn(9) // 0..8 candidates → up to 256 plans
+	out := make([]Bound, 0, l)
+	pimAt := -1
+	if l > 0 && rng.Intn(2) == 0 {
+		pimAt = rng.Intn(l)
+	}
+	for i := 0; i < l; i++ {
+		pr := rng.Float64() * 1.2 // deliberately exceeds 1 sometimes
+		if rng.Intn(10) == 0 {
+			pr = 1 // exact-edge: bound prunes everything
+		}
+		fam := ""
+		if f := rng.Intn(4); f > 0 {
+			fam = string(rune('A' + f - 1))
+		}
+		out = append(out, Bound{
+			Name:         fmt.Sprintf("b%02d", i),
+			Family:       fam,
+			TransferDims: rng.Intn(64),
+			PruneRatio:   pr,
+			PIM:          i == pimAt,
+		})
+	}
+	return out
+}
+
+// The optimizer property (§V-D, Eq. 13): on any randomized candidate
+// set, Optimize returns exactly the minimum over the brute-force
+// enumeration of all 2^L subset plans — and the plan it reports is
+// internally consistent (cost recomputes, PIM bound leads, every bound
+// came from the candidate list).
+func TestOptimizeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20240805))
+	for trial := 0; trial < 400; trial++ {
+		cands := randomBounds(rng)
+		n := rng.Intn(1_000_000) + 1
+		d := rng.Intn(4096) + 1
+		best, err := Optimize(n, d, cands)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if want := bruteForceBest(n, d, cands); best.Cost != want {
+			t.Fatalf("trial %d (n=%d d=%d L=%d): Optimize cost %v, brute force %v",
+				trial, n, d, len(cands), best.Cost, want)
+		}
+		if got := Cost(n, d, best.Bounds); got != best.Cost {
+			t.Fatalf("trial %d: reported cost %v does not recompute (%v)", trial, best.Cost, got)
+		}
+		byName := map[string]Bound{}
+		for _, b := range cands {
+			byName[b.Name] = b
+		}
+		for i, b := range best.Bounds {
+			if byName[b.Name] != b {
+				t.Fatalf("trial %d: plan bound %q not among the candidates", trial, b.Name)
+			}
+			if b.PIM && i != 0 {
+				t.Fatalf("trial %d: PIM bound at position %d, must run first", trial, i)
+			}
+		}
+	}
+}

@@ -90,6 +90,51 @@ func TestRunSurvivingWorkersFinishJobs(t *testing.T) {
 	}
 }
 
+// Per-job accounting on the setup-failure path: when some workers die in
+// setup, every job still runs exactly once — none dropped to the dead
+// workers, none double-dispatched to the survivors — and the dead workers
+// consume nothing. This pins the contract the serving layer relies on
+// when a shard's PIM programming fails: totals alone (as in
+// TestRunSurvivingWorkersFinishJobs) would not catch a drop+duplicate
+// pair that cancels out.
+func TestRunSetupFailureExactlyOncePerJob(t *testing.T) {
+	t.Parallel()
+	const jobs, workers = 200, 5
+	boom := errors.New("setup boom")
+	var ran [jobs]int32
+	byWorker := make([]int32, workers) // written only by worker w
+	err := Run(context.Background(), jobs, workers, func(w int) (Worker, error) {
+		if w == 1 || w == 3 { // deterministic by worker id, not call order
+			return nil, boom
+		}
+		return func(job int) error {
+			atomic.AddInt32(&ran[job], 1)
+			byWorker[w]++
+			return nil
+		}, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("setup error lost: %v", err)
+	}
+	for job, n := range ran {
+		if n != 1 {
+			t.Fatalf("job %d ran %d times, want exactly once", job, n)
+		}
+	}
+	for _, w := range []int{1, 3} {
+		if byWorker[w] != 0 {
+			t.Fatalf("dead worker %d consumed %d jobs", w, byWorker[w])
+		}
+	}
+	var total int32
+	for _, c := range byWorker {
+		total += c
+	}
+	if total != jobs {
+		t.Fatalf("survivors processed %d of %d jobs", total, jobs)
+	}
+}
+
 func TestRunAllWorkersDeadDoesNotDeadlock(t *testing.T) {
 	t.Parallel()
 	boom := errors.New("setup boom")

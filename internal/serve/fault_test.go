@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/core"
+	"pimmine/internal/fault"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+)
+
+// faultyFramework builds a framework whose engines suffer the given
+// injected faults.
+func faultyFramework(t testing.TB, m fault.Model) *core.Framework {
+	t.Helper()
+	fw, err := core.NewFaulty(arch.Default(), quant.DefaultAlpha, pim.ModeExact, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+// TestDeadCrossbarsDegradeToHostScan: with certain whole-crossbar failure
+// every PIM shard's power-on self test fails, so each shard falls back to
+// the host scan — New returns no error, every query succeeds, results are
+// exact, and the degradation is reported.
+func TestDeadCrossbarsDegradeToHostScan(t *testing.T) {
+	t.Parallel()
+	const k = 7
+	data, queries := testData(t, 150, 32, 4)
+	want := oracle(data, queries, k)
+	fw := faultyFramework(t, fault.Model{Seed: 3, CrossbarFail: 1})
+
+	for _, variant := range []Variant{VariantStandardPIM, VariantOSTPIM, VariantSMPIM, VariantFNNPIM} {
+		e, err := New(data, Options{Shards: 3, Variant: variant, Framework: fw})
+		if err != nil {
+			t.Fatalf("%s: New must not fail on dead crossbars: %v", variant, err)
+		}
+		if deg := e.DegradedShards(); len(deg) != 3 {
+			t.Fatalf("%s: degraded shards = %v, want all 3", variant, deg)
+		}
+		for qi := 0; qi < queries.N; qi++ {
+			res, err := e.Search(context.Background(), queries.Row(qi), k)
+			if err != nil {
+				t.Fatalf("%s query %d: %v", variant, qi, err)
+			}
+			assertExact(t, fmt.Sprintf("%s dead-crossbar query %d", variant, qi), res.Neighbors, want[qi])
+		}
+	}
+}
+
+// TestFaultyShardsStayExactAndMetered: cell-level faults (no dead
+// crossbars) keep the PIM searchers — no degradation — and the widened
+// bounds keep every answer bit-identical to the host oracle, with fault
+// activity surfacing in the per-shard meters.
+func TestFaultyShardsStayExactAndMetered(t *testing.T) {
+	t.Parallel()
+	const k = 7
+	data, queries := testData(t, 150, 32, 4)
+	want := oracle(data, queries, k)
+	fw := faultyFramework(t, fault.Model{
+		Seed: 4, StuckAt0: 0.002, StuckAt1: 0.002, Drift: 0.004, DriftLevels: 1, ReadNoise: 3,
+	})
+
+	e, err := New(data, Options{Shards: 3, Variant: VariantFNNPIM, Framework: fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deg := e.DegradedShards(); deg != nil {
+		t.Fatalf("cell faults alone must not degrade shards, got %v", deg)
+	}
+	for qi := 0; qi < queries.N; qi++ {
+		res, err := e.Search(context.Background(), queries.Row(qi), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertExact(t, fmt.Sprintf("faulty query %d", qi), res.Neighbors, want[qi])
+	}
+	if total := e.Meter().Total(); total.PIMFaults == 0 {
+		t.Fatal("fault model active but merged shard meters report PIMFaults = 0")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"pimmine/internal/bound"
 	"pimmine/internal/core"
 	"pimmine/internal/knn"
+	"pimmine/internal/pim"
 	"pimmine/internal/vec"
 )
 
@@ -185,6 +186,23 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 	return e, nil
 }
 
+// checkAlive gates a freshly built PIM shard searcher on its array's
+// power-on self test: a shard whose array has dead crossbars (fault
+// injection, internal/fault) reports an error here, which New turns into
+// the graceful host-scan fallback — the caller sees exact results and a
+// degraded-shard report, never an error. Shards whose arrays are healthy
+// but merely faulty (stuck/drifted cells) keep their PIM searcher: the
+// widened bounds already preserve exactness.
+func checkAlive(s knn.Searcher, eng *pim.Engine, err error) (knn.Searcher, error) {
+	if err != nil {
+		return nil, err
+	}
+	if n := eng.DeadCrossbars(); n > 0 {
+		return nil, fmt.Errorf("serve: shard PIM array has %d dead crossbars", n)
+	}
+	return s, nil
+}
+
 // variantFactory maps a Variant to a per-shard searcher constructor.
 func variantFactory(opts Options) (Factory, error) {
 	fw := opts.Framework
@@ -223,7 +241,8 @@ func variantFactory(opts Options) (Factory, error) {
 			if err != nil {
 				return nil, err
 			}
-			return knn.NewStandardPIM(eng, m, fw.Quant, shardCap)
+			s, err := knn.NewStandardPIM(eng, m, fw.Quant, shardCap)
+			return checkAlive(s, eng, err)
 		}, nil
 	case VariantOSTPIM:
 		if err := needFW(v); err != nil {
@@ -234,7 +253,8 @@ func variantFactory(opts Options) (Factory, error) {
 			if err != nil {
 				return nil, err
 			}
-			return knn.NewOSTPIM(eng, m, fw.Quant, m.D/2, shardCap)
+			s, err := knn.NewOSTPIM(eng, m, fw.Quant, m.D/2, shardCap)
+			return checkAlive(s, eng, err)
 		}, nil
 	case VariantSMPIM:
 		if err := needFW(v); err != nil {
@@ -245,7 +265,8 @@ func variantFactory(opts Options) (Factory, error) {
 			if err != nil {
 				return nil, err
 			}
-			return knn.NewSMPIM(eng, m, fw.Quant, bound.FNNLevels(m.D)[2], shardCap)
+			s, err := knn.NewSMPIM(eng, m, fw.Quant, bound.FNNLevels(m.D)[2], shardCap)
+			return checkAlive(s, eng, err)
 		}, nil
 	case VariantFNNPIM:
 		if err := needFW(v); err != nil {
@@ -256,7 +277,8 @@ func variantFactory(opts Options) (Factory, error) {
 			if err != nil {
 				return nil, err
 			}
-			return knn.NewFNNPIM(eng, m, fw.Quant, shardCap)
+			s, err := knn.NewFNNPIM(eng, m, fw.Quant, shardCap)
+			return checkAlive(s, eng, err)
 		}, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown variant %q", opts.Variant)

@@ -24,6 +24,7 @@ import (
 	"pimmine/internal/core"
 	"pimmine/internal/dataset"
 	"pimmine/internal/dbscan"
+	"pimmine/internal/fault"
 	"pimmine/internal/join"
 	"pimmine/internal/kmeans"
 	"pimmine/internal/knn"
@@ -118,6 +119,23 @@ func NewFramework(cfg Config, alpha float64) (*Framework, error) {
 // for demos and verification.
 func NewSimulatedFramework(cfg Config, alpha float64) (*Framework, error) {
 	return core.New(cfg, alpha, pim.ModeSimulate)
+}
+
+// FaultModel configures injected PIM hardware faults (internal/fault):
+// stuck-at-0/1 cells, bounded conductance drift, transient read noise,
+// and whole-crossbar failure, all deterministic per seed.
+type FaultModel = fault.Model
+
+// NewFaultyFramework is NewFramework with every PIM array suffering the
+// given injected faults. Mining results remain bit-identical to the
+// fault-free (and host-exact) path: cell-level errors are absorbed by
+// widening the PIM bounds with the injected error envelope, and vectors
+// behind dead crossbars are never pruned and refined exactly on the host
+// (the serve layer degrades whole shards with dead crossbars to host
+// scans). Fault activity is reported through Meter counters (PIMFaults,
+// PIMRecovered) and Engine.FaultCounts.
+func NewFaultyFramework(cfg Config, alpha float64, model FaultModel) (*Framework, error) {
+	return core.NewFaulty(cfg, alpha, pim.ModeExact, &model)
 }
 
 // DatasetProfiles lists the eight Table 6 synthetic dataset families.

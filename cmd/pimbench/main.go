@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	pimbench [-scale N] [-queries Q] [-seed S] [-full] [ids...]
+//	pimbench [-scale N] [-queries Q] [-seed S] [-full] [flags] [ids...]
 //
 // With no ids, every registered experiment runs. Available ids:
 // table1 table5 table6 table7 fig5 fig6 fig7 fig13a-fig13d fig14-fig18,
@@ -13,16 +13,30 @@
 // `pimbench ext-fault` sweeps injected crossbar fault severity and prints
 // the degradation curve: recall stays exact at every severity while
 // faulty/recovered dot counts and modeled latency grow.
+//
+// Observability: -metrics-addr starts an HTTP listener serving
+// Prometheus text format at /metrics, expvar JSON at /debug/vars and
+// sampled query traces at /debug/traces while experiments run;
+// -trace-sample R traces one query in R (default 1) and -hold keeps the
+// listener up after the experiments finish so the endpoints can be
+// scraped interactively.
+//
+// Machine-readable results: -format json prints JSON tables; -out DIR
+// additionally writes one BENCH_<id>.json artifact per experiment (CI
+// uploads these from the bench-smoke job).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"pimmine/internal/exp"
+	"pimmine/internal/obs"
 )
 
 func main() {
@@ -31,7 +45,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	full := flag.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
 	shards := flag.Int("shards", 8, "max shard count for the ext-serve sweep")
-	format := flag.String("format", "text", "output format: text|markdown|csv")
+	format := flag.String("format", "text", "output format: text|markdown|csv|json")
+	outDir := flag.String("out", "", "also write one BENCH_<id>.json artifact per experiment into this directory")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
+	traceSample := flag.Int("trace-sample", 1, "with -metrics-addr: trace one query in N (0 disables tracing)")
+	hold := flag.Duration("hold", 0, "with -metrics-addr: keep serving for this long after experiments finish")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -46,6 +64,27 @@ func main() {
 	suite.Seed = *seed
 	suite.Full = *full
 	suite.Shards = *shards
+
+	var observer *obs.Observer
+	if *metricsAddr != "" {
+		observer = obs.New(obs.Config{SampleRate: *traceSample})
+		suite.Obs = observer
+		srv := &http.Server{Addr: *metricsAddr, Handler: observer.Handler()}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "pimbench: metrics server: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pimbench: observability on http://%s (/metrics /debug/vars /debug/traces)\n", *metricsAddr)
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "pimbench:", err)
+			os.Exit(1)
+		}
+	}
 
 	ids := flag.Args()
 	if len(ids) == 0 {
@@ -73,5 +112,22 @@ func main() {
 			fmt.Printf("(wall clock %.1fs)\n", time.Since(start).Seconds())
 		}
 		fmt.Println()
+		if *outDir != "" {
+			js, err := tbl.JSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "pimbench:", err)
+				os.Exit(2)
+			}
+			path := filepath.Join(*outDir, "BENCH_"+id+".json")
+			if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "pimbench:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "pimbench: wrote %s\n", path)
+		}
+	}
+	if *metricsAddr != "" && *hold > 0 {
+		fmt.Fprintf(os.Stderr, "pimbench: holding metrics server for %s\n", *hold)
+		time.Sleep(*hold)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"pimmine"
@@ -34,15 +35,17 @@ func main() {
 	}
 
 	// 2. The engine: 4 shards, an FNN-PIM searcher (own PIM array) per
-	// shard, a per-query deadline, and a bounded batch pool.
-	eng, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{
+	// shard, a per-query deadline, and a bounded batch pool — observed:
+	// the Observer collects live metrics and traces one query in eight.
+	observer := pimmine.NewObserver(pimmine.ObserverConfig{SampleRate: 8})
+	eng, err := pimmine.NewObservedEngine(ds.X, pimmine.QueryEngineOptions{
 		Shards:       4,
 		Variant:      pimmine.ServeFNNPIM,
 		Framework:    fw,
 		CapacityN:    prof.FullN,
 		Workers:      4,
 		QueryTimeout: 2 * time.Second,
-	})
+	}, observer)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,4 +127,35 @@ func main() {
 	}
 	fmt.Printf("degradation: shard(s) %v fell back to the host scan, results still exact ✓\n",
 		res.Degraded)
+
+	// 7. Observability: the registry holds everything the batch did —
+	// Prometheus text for scrapers, and a sampled per-query trace showing
+	// where each query's time went (shard fan-out → PIM dot → bounds →
+	// refine). In a real deployment observer.Handler() would be mounted
+	// on an HTTP listener (see `pimbench -metrics-addr`).
+	fmt.Println("\nmetrics excerpt (/metrics):")
+	var prom strings.Builder
+	if err := observer.Registry().WritePrometheus(&prom); err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(prom.String(), "\n") {
+		if strings.HasPrefix(line, "pim_serve_queries_total") ||
+			strings.HasPrefix(line, "pim_serve_shard_queries_total") ||
+			strings.HasPrefix(line, "pim_faults_total") ||
+			strings.HasPrefix(line, "pim_serve_query_latency_seconds_count") {
+			fmt.Println("  " + line)
+		}
+	}
+	// Pick the deepest recent trace (the newest one is the canceled
+	// probe from step 5, which never reached a shard).
+	var best string
+	for _, tr := range observer.Tracer().Recent(8) {
+		if r := tr.Render(); strings.Count(r, "\n") > strings.Count(best, "\n") {
+			best = r
+		}
+	}
+	if best != "" {
+		fmt.Println("\nsampled query trace (/debug/traces):")
+		fmt.Print(best)
+	}
 }

@@ -24,6 +24,7 @@ import (
 	"pimmine/internal/fault"
 	"pimmine/internal/kmeans"
 	"pimmine/internal/knn"
+	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/pimbound"
 	"pimmine/internal/plan"
@@ -43,6 +44,9 @@ type Framework struct {
 	// configured hardware faults, bounds are widened by the error envelope
 	// so results stay exact, and dead crossbars trigger host fallbacks.
 	Fault *fault.Model
+	// Obs, when non-nil, receives framework-level observability events
+	// (which §V-D plan was chosen and why) on its event ring.
+	Obs *obs.Observer
 
 	engSeq int64 // engines created so far, for per-engine fault seeds
 }
@@ -126,6 +130,9 @@ type KNNAcceleration struct {
 	OracleNs float64
 	// Plan is the chosen §V-D execution plan.
 	Plan plan.Plan
+	// PlanDecision carries the Eq. 13 rationale behind Plan (costs of the
+	// alternatives, which candidate bounds were dropped).
+	PlanDecision plan.Decision
 	// S is the Theorem 4 compressed dimensionality.
 	S int
 }
@@ -171,10 +178,14 @@ func (f *Framework) AccelerateKNN(data *vec.Matrix, opt KNNOptions) (*KNNAcceler
 	if err != nil {
 		return nil, err
 	}
-	best, err := plan.Optimize(opt.CapacityN, data.D, candidates)
+	decision, err := plan.Decide(opt.CapacityN, data.D, candidates)
 	if err != nil {
 		return nil, err
 	}
+	best := decision.Chosen
+	f.Obs.Event("plan.chosen",
+		obs.A("plan", best.String()),
+		obs.A("reason", decision.Reason()))
 	var hostSegs []int
 	for _, b := range best.Bounds {
 		if !b.PIM {
@@ -200,6 +211,7 @@ func (f *Framework) AccelerateKNN(data *vec.Matrix, opt KNNOptions) (*KNNAcceler
 		BaselineProfile: prof,
 		OracleNs:        prof.PIMOracleAuto(),
 		Plan:            best,
+		PlanDecision:    decision,
 		S:               pimAlg.S(),
 	}, nil
 }

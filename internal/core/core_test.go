@@ -1,11 +1,13 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/dataset"
 	"pimmine/internal/kmeans"
+	"pimmine/internal/obs"
 	"pimmine/internal/vec"
 )
 
@@ -116,5 +118,44 @@ func TestAccelerateKMeansUnknownVariant(t *testing.T) {
 	data, _ := testData(t, 50, 16)
 	if _, err := f.AccelerateKMeans(data, "nope", KMeansOptions{}); err == nil {
 		t.Fatal("unknown variant must be rejected")
+	}
+}
+
+// TestAccelerateKNNPlanDecisionAndEvent checks the framework records the
+// Eq. 13 rationale and emits a plan.chosen event when observed.
+func TestAccelerateKNNPlanDecisionAndEvent(t *testing.T) {
+	f, err := Default()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Obs = obs.New(obs.Config{})
+	data, pilot := testData(t, 300, 128)
+	acc, err := f.AccelerateKNN(data, KNNOptions{Pilot: pilot, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := acc.PlanDecision
+	if dec.Chosen.Cost != acc.Plan.Cost {
+		t.Fatalf("decision cost %g != plan cost %g", dec.Chosen.Cost, acc.Plan.Cost)
+	}
+	if dec.BaselineCost <= dec.Chosen.Cost {
+		t.Fatalf("baseline %g must exceed chosen %g", dec.BaselineCost, dec.Chosen.Cost)
+	}
+	if dec.Considered < 2 {
+		t.Fatalf("considered = %d", dec.Considered)
+	}
+	if reason := dec.Reason(); !strings.Contains(reason, "Eq. 13") && !strings.Contains(reason, "plans enumerated") {
+		t.Fatalf("reason lacks rationale: %s", reason)
+	}
+
+	evs := f.Obs.Events()
+	found := false
+	for _, e := range evs {
+		if e.Name == "plan.chosen" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no plan.chosen event in %v", evs)
 	}
 }

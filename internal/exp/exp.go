@@ -19,6 +19,7 @@ import (
 	"pimmine/internal/arch"
 	"pimmine/internal/core"
 	"pimmine/internal/dataset"
+	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/quant"
 )
@@ -39,6 +40,9 @@ type Suite struct {
 	Full bool
 	// Shards caps the ext-serve shard sweep (1,2,4,… up to Shards).
 	Shards int
+	// Obs, when non-nil, wires the serving experiments into the
+	// observability subsystem (pimbench -metrics-addr).
+	Obs *obs.Observer
 
 	cache map[string]*dataset.Dataset
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -48,8 +49,25 @@ func writeCSVRow(b *strings.Builder, cells []string) {
 	b.WriteByte('\n')
 }
 
+// JSON renders the table as an indented machine-readable object — the
+// BENCH_*.json artifact format CI uploads from the bench-smoke job.
+func (t *Table) JSON() (string, error) {
+	out := struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Header, t.Rows, t.Notes}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("exp: render json: %w", err)
+	}
+	return string(b) + "\n", nil
+}
+
 // Render formats the table in the requested format: "text" (default),
-// "markdown" or "csv".
+// "markdown", "csv" or "json".
 func (t *Table) Render(format string) (string, error) {
 	switch format {
 	case "", "text":
@@ -58,6 +76,8 @@ func (t *Table) Render(format string) (string, error) {
 		return t.Markdown(), nil
 	case "csv":
 		return t.CSV(), nil
+	case "json":
+		return t.JSON()
 	}
-	return "", fmt.Errorf("exp: unknown format %q (text|markdown|csv)", format)
+	return "", fmt.Errorf("exp: unknown format %q (text|markdown|csv|json)", format)
 }

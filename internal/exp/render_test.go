@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -52,5 +53,37 @@ func TestRenderDispatch(t *testing.T) {
 	}
 	if _, err := tbl.Render("xml"); err == nil {
 		t.Fatal("unknown format must error")
+	}
+}
+
+func TestJSONRender(t *testing.T) {
+	js, err := sampleTable().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		ID     string     `json:"id"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(js), &parsed); err != nil {
+		t.Fatalf("JSON() produced invalid JSON: %v\n%s", err, js)
+	}
+	if parsed.ID != "x" || parsed.Title != "Sample" {
+		t.Fatalf("id/title = %q/%q", parsed.ID, parsed.Title)
+	}
+	if len(parsed.Rows) != 2 || parsed.Rows[0][1] != "two, with comma" {
+		t.Fatalf("rows = %v", parsed.Rows)
+	}
+	if len(parsed.Notes) != 1 || parsed.Notes[0] != "a note" {
+		t.Fatalf("notes = %v", parsed.Notes)
+	}
+	if !strings.HasSuffix(js, "\n") {
+		t.Fatal("artifact must end with a newline")
+	}
+	if _, err := sampleTable().Render("json"); err != nil {
+		t.Fatalf(`Render("json"): %v`, err)
 	}
 }

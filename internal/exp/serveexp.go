@@ -64,6 +64,7 @@ func ExtServe(s *Suite) (*Table, error) {
 			Variant:   serve.VariantFNNPIM,
 			Framework: fw,
 			CapacityN: w.fullN,
+			Obs:       s.Obs,
 		})
 		if err != nil {
 			return nil, err

@@ -1,11 +1,14 @@
 package knn
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/bound"
 	"pimmine/internal/measure"
+	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/pimbound"
 	"pimmine/internal/quant"
@@ -124,10 +127,25 @@ func (s *StandardPIM) RecordPreprocessing(meter *arch.Meter) { s.filter.recordPr
 
 // Search filters with LB_PIM-FNN and refines survivors exactly.
 func (s *StandardPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	return s.SearchCtx(context.Background(), q, k, meter)
+}
+
+// SearchCtx implements ContextSearcher: Search with per-phase spans
+// (pim-dot, bound-eval, refine) emitted into the context's trace.
+func (s *StandardPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+s.Name())
+	defer sp.End()
+	pd := sp.StartChild("pim-dot")
 	qf, err := s.filter.prepare(q, meter)
 	if err != nil {
 		panic(fmt.Sprintf("knn: Standard-PIM prepare: %v", err))
 	}
+	pd.SetAttr("func", s.filter.funcName())
+	pd.SetAttr("dots", 2*s.Data.N)
+	pd.End()
+	be := sp.StartChild("bound-eval")
+	traced := sp != nil
+	var refineDur time.Duration
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < s.Data.N; i++ {
@@ -135,9 +153,20 @@ func (s *StandardPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighb
 			continue
 		}
 		survivors++
-		top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+		if traced {
+			t0 := time.Now()
+			top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+			refineDur += time.Since(t0)
+		} else {
+			top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+		}
 	}
 	fn := s.filter.funcName()
+	if traced {
+		be.Annotate(fn, obs.A("in", s.Data.N), obs.A("out", survivors))
+		be.AddChild("refine", refineDur, obs.A("in", survivors), obs.A("out", k), obs.A("transfer_dims", s.Data.D))
+		be.End()
+	}
 	costPIMBound(meter.C(fn), int64(s.Data.N), s.filter.hostOperands())
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), s.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
@@ -216,10 +245,23 @@ func (a *FNNPIM) RecordPreprocessing(meter *arch.Meter) { a.filter.recordProgram
 // Search runs the PIM bound first (it is computed in one batch on the
 // array), then the retained host bounds, then exact refinement.
 func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	return a.SearchCtx(context.Background(), q, k, meter)
+}
+
+// SearchCtx implements ContextSearcher: Search with per-phase spans
+// (pim-dot, bound-eval with one event per cascade stage, refine) emitted
+// into the context's trace.
+func (a *FNNPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+a.variant)
+	defer sp.End()
+	pd := sp.StartChild("pim-dot")
 	qf, err := a.filter.prepare(q, meter)
 	if err != nil {
 		panic(fmt.Sprintf("knn: %s prepare: %v", a.variant, err))
 	}
+	pd.SetAttr("func", a.filter.funcName())
+	pd.SetAttr("dots", 2*a.Data.N)
+	pd.End()
 	type qstats struct{ mu, sigma []float64 }
 	qs := make([]qstats, len(a.HostLevels))
 	for li, ix := range a.HostLevels {
@@ -229,6 +271,9 @@ func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 		}
 		qs[li] = qstats{mu, sigma}
 	}
+	be := sp.StartChild("bound-eval")
+	traced := sp != nil
+	var refineDur time.Duration
 	top := vec.NewTopK(k)
 	entered := make([]int, len(a.HostLevels)+2) // [pim, host..., exact]
 	for i := 0; i < a.Data.N; i++ {
@@ -248,7 +293,13 @@ func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 			continue
 		}
 		entered[1+len(a.HostLevels)]++
-		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		if traced {
+			t0 := time.Now()
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+			refineDur += time.Since(t0)
+		} else {
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		}
 	}
 	fn := a.filter.funcName()
 	costPIMBound(meter.C(fn), int64(entered[0]), a.filter.hostOperands())
@@ -267,6 +318,13 @@ func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
 	a.stages = append(a.stages, StageStat{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D})
+	if traced {
+		for _, st := range a.stages[:len(a.stages)-1] {
+			be.Annotate(st.Name, stageAttrs(st)...)
+		}
+		be.AddChild("refine", refineDur, obs.A("in", survivors), obs.A("out", k), obs.A("transfer_dims", a.Data.D))
+		be.End()
+	}
 	return top.Results()
 }
 
@@ -328,15 +386,30 @@ func (a *SMPIM) RecordPreprocessing(meter *arch.Meter) {
 
 // Search filters with LB_PIM-SM and refines survivors exactly.
 func (a *SMPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	return a.SearchCtx(context.Background(), q, k, meter)
+}
+
+// SearchCtx implements ContextSearcher: Search with per-phase spans
+// emitted into the context's trace.
+func (a *SMPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+a.Name())
+	defer sp.End()
 	mu, _, err := vec.SegmentStats(q, a.Ix.D)
 	if err != nil {
 		panic(fmt.Sprintf("knn: SM-PIM query: %v", err))
 	}
 	qf := a.Ix.Query(mu)
+	pd := sp.StartChild("pim-dot")
 	a.dots, err = a.eng.QueryAll(meter, "LBPIM-SM", a.pay, qf.Floor, a.dots)
 	if err != nil {
 		panic(fmt.Sprintf("knn: SM-PIM query-all: %v", err))
 	}
+	pd.SetAttr("func", "LBPIM-SM")
+	pd.SetAttr("dots", a.Data.N)
+	pd.End()
+	be := sp.StartChild("bound-eval")
+	traced := sp != nil
+	var refineDur time.Duration
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
@@ -344,7 +417,18 @@ func (a *SMPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 			continue
 		}
 		survivors++
-		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		if traced {
+			t0 := time.Now()
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+			refineDur += time.Since(t0)
+		} else {
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		}
+	}
+	if traced {
+		be.Annotate("LBPIM-SM", obs.A("in", a.Data.N), obs.A("out", survivors))
+		be.AddChild("refine", refineDur, obs.A("in", survivors), obs.A("out", k), obs.A("transfer_dims", a.Data.D))
+		be.End()
 	}
 	costPIMBound(meter.C("LBPIM-SM"), int64(a.Data.N), 2)
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
@@ -418,13 +502,28 @@ func (a *OSTPIM) RecordPreprocessing(meter *arch.Meter) {
 
 // Search filters with LB_PIM-OST and refines survivors exactly.
 func (a *OSTPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	return a.SearchCtx(context.Background(), q, k, meter)
+}
+
+// SearchCtx implements ContextSearcher: Search with per-phase spans
+// emitted into the context's trace.
+func (a *OSTPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+a.Name())
+	defer sp.End()
 	qf := a.Ix.Query(q[:a.D0])
 	qTail := vec.Norm(q[a.D0:])
+	pd := sp.StartChild("pim-dot")
 	var err error
 	a.dots, err = a.eng.QueryAll(meter, "LBPIM-OST", a.pay, qf.Floor, a.dots)
 	if err != nil {
 		panic(fmt.Sprintf("knn: OST-PIM query-all: %v", err))
 	}
+	pd.SetAttr("func", "LBPIM-OST")
+	pd.SetAttr("dots", a.Data.N)
+	pd.End()
+	be := sp.StartChild("bound-eval")
+	traced := sp != nil
+	var refineDur time.Duration
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
@@ -433,7 +532,18 @@ func (a *OSTPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 			continue
 		}
 		survivors++
-		top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		if traced {
+			t0 := time.Now()
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+			refineDur += time.Since(t0)
+		} else {
+			top.Push(i, measure.SqEuclidean(a.Data.Row(i), q))
+		}
+	}
+	if traced {
+		be.Annotate("LBPIM-OST", obs.A("in", a.Data.N), obs.A("out", survivors))
+		be.AddChild("refine", refineDur, obs.A("in", survivors), obs.A("out", k), obs.A("transfer_dims", a.Data.D))
+		be.End()
 	}
 	// Per consultation: Φ(p_head), dot, ‖p_tail‖ → 3 operands.
 	costPIMBound(meter.C("LBPIM-OST"), int64(a.Data.N), 3)

@@ -1,0 +1,105 @@
+package knn
+
+import (
+	"context"
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/obs"
+	"pimmine/internal/vec"
+)
+
+// ContextSearcher is implemented by searchers that emit observability
+// spans into a context-carried trace (internal/obs): the per-query span
+// tree decomposes a search the same way §IV's profiling decomposes time —
+// bound evaluation, PIM dot products, exact refinement. SearchCtx returns
+// exactly what Search returns; with no active trace in ctx it degrades to
+// a plain Search.
+type ContextSearcher interface {
+	Searcher
+	SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor
+}
+
+// SearchTraced runs s under the context's trace when supported: the
+// serving layer calls this so per-shard spans gain searcher children
+// without every Searcher implementation changing.
+func SearchTraced(ctx context.Context, s Searcher, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	if cs, ok := s.(ContextSearcher); ok && obs.SpanFromContext(ctx) != nil {
+		return cs.SearchCtx(ctx, q, k, meter)
+	}
+	return s.Search(q, k, meter)
+}
+
+// stageAttrs renders one StageStat as span attributes.
+func stageAttrs(st StageStat) []obs.Attr {
+	return []obs.Attr{
+		obs.A("in", st.In), obs.A("out", st.Out),
+		obs.A("pruned", fmt.Sprintf("%.1f%%", 100*st.PruneRatio())),
+		obs.A("transfer_dims", st.TransferDims),
+	}
+}
+
+// hostStageSpans derives bound-eval and refine children from a completed
+// host search's stage statistics (the stages are interleaved in one scan
+// loop, so their wall time is not separable; counts and modeled transfer
+// dims carry the breakdown instead).
+func hostStageSpans(sp *obs.Span, stages []StageStat) {
+	if sp == nil || len(stages) == 0 {
+		return
+	}
+	be := sp.AddChild("bound-eval", 0)
+	for _, st := range stages[:len(stages)-1] {
+		be.Annotate(st.Name, stageAttrs(st)...)
+	}
+	last := stages[len(stages)-1]
+	be.AddChild("refine", 0, stageAttrs(last)...)
+}
+
+// SearchCtx implements ContextSearcher: the exact scan is pure
+// refinement.
+func (s *Standard) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+s.Name())
+	defer sp.End()
+	nn := s.Search(q, k, meter)
+	sp.AddChild("refine", 0, obs.A("in", s.Data.N), obs.A("out", k), obs.A("transfer_dims", s.Data.D))
+	return nn
+}
+
+// SearchCtx implements ContextSearcher.
+func (o *OST) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+o.Name())
+	defer sp.End()
+	nn := o.Search(q, k, meter)
+	hostStageSpans(sp, o.stages)
+	return nn
+}
+
+// SearchCtx implements ContextSearcher.
+func (s *SM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+s.Name())
+	defer sp.End()
+	nn := s.Search(q, k, meter)
+	hostStageSpans(sp, s.stages)
+	return nn
+}
+
+// SearchCtx implements ContextSearcher.
+func (f *FNN) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn."+f.Name())
+	defer sp.End()
+	nn := f.Search(q, k, meter)
+	hostStageSpans(sp, f.stages)
+	return nn
+}
+
+// Compile-time interface checks for the traced searchers.
+var (
+	_ ContextSearcher = (*Standard)(nil)
+	_ ContextSearcher = (*OST)(nil)
+	_ ContextSearcher = (*SM)(nil)
+	_ ContextSearcher = (*FNN)(nil)
+	_ ContextSearcher = (*StandardPIM)(nil)
+	_ ContextSearcher = (*FNNPIM)(nil)
+	_ ContextSearcher = (*SMPIM)(nil)
+	_ ContextSearcher = (*OSTPIM)(nil)
+)

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistogramQuantileProperties is the satellite property test: on random
+// samples, (1) quantile estimates are monotone non-decreasing in q, and
+// (2) every estimate is within one bucket width of the exact sample
+// quantile, as long as samples land in the bucketed range (uniform-width
+// buckets make "one bucket width" a single constant).
+func TestHistogramQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const (
+		lo, hi = 0.0, 100.0
+		nBuck  = 50
+		width  = (hi - lo) / nBuck
+	)
+	bounds := LinearBuckets(lo+width, width, nBuck) // 2,4,…,100: covers (0,100]
+	qs := []float64{0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}
+
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(500)
+		samples := make([]float64, n)
+		h := NewHistogram(bounds)
+		for i := range samples {
+			// Mix distributions so buckets are unevenly filled.
+			var v float64
+			switch trial % 3 {
+			case 0:
+				v = lo + (hi-lo)*rng.Float64() // uniform
+			case 1:
+				v = lo + (hi-lo)*rng.Float64()*rng.Float64() // skewed low
+			default:
+				v = math.Min(hi, lo+math.Abs(rng.NormFloat64())*15) // half-normal
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sort.Float64s(samples)
+
+		prev := math.Inf(-1)
+		for _, q := range qs {
+			got := h.Quantile(q)
+			if math.IsNaN(got) {
+				t.Fatalf("trial %d: Quantile(%g) = NaN with %d samples", trial, q, n)
+			}
+			if got < prev {
+				t.Fatalf("trial %d: quantiles not monotone: Quantile(%g)=%g < previous %g", trial, q, got, prev)
+			}
+			prev = got
+
+			// Exact sample quantile at rank ⌈q·n⌉ (same rank convention).
+			rank := int(math.Ceil(q * float64(n)))
+			if rank < 1 {
+				rank = 1
+			}
+			exact := samples[rank-1]
+			if diff := math.Abs(got - exact); diff > width+1e-9 {
+				t.Fatalf("trial %d n=%d: Quantile(%g)=%g vs exact %g: off by %g > bucket width %g",
+					trial, n, q, got, exact, diff, width)
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns an http.Handler exposing the observer:
+//
+//	/metrics       Prometheus text format
+//	/debug/vars    expvar JSON (stdlib vars plus this registry)
+//	/debug/traces  recent sampled traces as text flame views (?n=K)
+//
+// Returns a 503-only handler for a nil observer so callers can mount it
+// unconditionally.
+func (o *Observer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	if o == nil {
+		mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+			http.Error(w, "observability disabled", http.StatusServiceUnavailable)
+		})
+		return mux
+	}
+	o.publishExpvar()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = o.reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		n := 10
+		if v := r.URL.Query().Get("n"); v != "" {
+			if p, err := strconv.Atoi(v); err == nil {
+				n = p
+			}
+		}
+		if evs := o.Events(); len(evs) > 0 {
+			fmt.Fprintln(w, "== events ==")
+			for _, e := range evs {
+				fmt.Fprintf(w, "%s %s", e.Time.Format("15:04:05.000"), e.Name)
+				for _, a := range e.Attrs {
+					fmt.Fprintf(w, " %s=%s", a.Key, a.Value)
+				}
+				fmt.Fprintln(w)
+			}
+			fmt.Fprintln(w)
+		}
+		traces := o.tracer.Recent(n)
+		fmt.Fprintf(w, "== %d recent trace(s) ==\n", len(traces))
+		for _, t := range traces {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, t.Render())
+		}
+	})
+	return mux
+}
+
+// publishExpvar publishes the registry into the process-global expvar
+// namespace under "pimmine" (suffixed when several observers exist in one
+// process, e.g. in tests — expvar panics on duplicate names).
+func (o *Observer) publishExpvar() {
+	o.expvarOnce.Do(func() {
+		name := "pimmine"
+		for i := 2; expvar.Get(name) != nil; i++ {
+			name = fmt.Sprintf("pimmine_%d", i)
+		}
+		expvar.Publish(name, o.reg.ExpvarVar())
+	})
+}

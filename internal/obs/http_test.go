@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	body, err := io.ReadAll(rec.Result().Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec.Code, string(body)
+}
+
+func TestHandlerMetrics(t *testing.T) {
+	o := New(Config{SampleRate: 1})
+	o.Registry().Counter("pim_serve_queries_total", "queries").Add(5)
+	h := o.Handler()
+
+	code, body := get(t, h, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	if !strings.Contains(body, "pim_serve_queries_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+}
+
+func TestHandlerDebugVars(t *testing.T) {
+	o := New(Config{})
+	o.Registry().Gauge("g", "h").Set(7)
+	code, body := get(t, o.Handler(), "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars = %d", code)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(body), &parsed); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	// Our registry is published under a pimmine* key next to stdlib vars.
+	found := false
+	for k, v := range parsed {
+		if !strings.HasPrefix(k, "pimmine") {
+			continue
+		}
+		if m, ok := v.(map[string]any); ok && m["g"] == float64(7) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/vars missing pimmine registry with g=7:\n%s", body)
+	}
+}
+
+func TestHandlerDebugTraces(t *testing.T) {
+	o := New(Config{SampleRate: 1})
+	o.Event("plan.chosen", A("plan", "FNN-PIM"))
+	_, sp := o.Tracer().Start(context.Background(), "engine.search")
+	sp.StartChild("shard 0").End()
+	sp.End()
+
+	code, body := get(t, o.Handler(), "/debug/traces?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/traces = %d", code)
+	}
+	for _, want := range []string{"== events ==", "plan.chosen plan=FNN-PIM", "1 recent trace(s)", "engine.search", "└─ shard 0"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/traces missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestNilObserverHandler(t *testing.T) {
+	var o *Observer
+	code, _ := get(t, o.Handler(), "/metrics")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("nil observer /metrics = %d, want 503", code)
+	}
+}

@@ -1,0 +1,497 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. shard="3").
+type Label struct{ Key, Value string }
+
+// Counter is a monotonically increasing atomic counter. Methods are
+// nil-safe so uninstrumented paths cost only a nil check.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (negative deltas are a caller bug; they are not checked on
+// the hot path but render as non-monotonic scrapes).
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add adds d.
+func (g *Gauge) Add(d int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(d)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts; bounds
+// are ascending upper bounds with an implicit +Inf bucket at the end.
+// Observe is lock-free; quantiles are estimated by linear interpolation
+// inside the bucket holding the target rank, so any estimate is within
+// one bucket width of the exact sample quantile (property-tested).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64  // float64 bits, CAS-accumulated
+	count  atomic.Int64
+}
+
+// NewHistogram builds a histogram over ascending bounds. It panics on
+// unsorted or empty bounds — bucket layout is a programming decision, not
+// runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending at %d", i))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot copies bucket counts (a consistent-enough view: each bucket is
+// read atomically; concurrent Observes may straddle the loop, which only
+// shifts the estimate by in-flight samples).
+func (h *Histogram) snapshot() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by interpolating inside
+// the bucket holding rank ⌈q·count⌉. Returns NaN on an empty histogram.
+// The estimate is monotone in q and, for samples within the bucketed
+// range, within one bucket width of the exact sample quantile. Samples in
+// the +Inf overflow bucket clamp to the last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	counts := h.snapshot()
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		if i == len(h.bounds) { // overflow bucket: clamp
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		// Linear interpolation of the rank inside this bucket.
+		return lo + (hi-lo)*float64(rank-cum)/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1] // unreachable: rank <= total
+}
+
+// MetricType tags exposition output.
+type MetricType string
+
+// The exposition types.
+const (
+	TypeCounter   MetricType = "counter"
+	TypeGauge     MetricType = "gauge"
+	TypeHistogram MetricType = "histogram"
+)
+
+// Sample is one collector-produced reading: a metric that lives outside
+// the registry (e.g. a cumulative arch.Meter counter snapshotted at
+// scrape time).
+type Sample struct {
+	Name   string
+	Help   string
+	Type   MetricType
+	Labels []Label
+	Value  float64
+}
+
+// CollectorFunc emits samples at scrape time.
+type CollectorFunc func(emit func(Sample))
+
+// series is one registered metric instance.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	typ    MetricType
+	series map[string]*series // keyed by rendered labels
+}
+
+// Registry holds named metrics and scrape-time collectors. Registration
+// takes a lock; the returned Counter/Gauge/Histogram handles are then
+// lock-free on the hot path. It is safe for concurrent use.
+type Registry struct {
+	mu         sync.RWMutex
+	families   map[string]*family
+	collectors []CollectorFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) getSeries(name, help string, typ MetricType, labels []Label) *series {
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	s := f.series[key]
+	if s == nil {
+		ls := make([]Label, len(labels))
+		copy(ls, labels)
+		s = &series{labels: ls}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter registers (or fetches) a counter. Nil-safe: a nil registry
+// returns a nil handle whose methods no-op.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.getSeries(name, help, TypeCounter, labels)
+	if s.ctr == nil {
+		s.ctr = &Counter{}
+	}
+	return s.ctr
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.getSeries(name, help, TypeGauge, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram registers (or fetches) a histogram over the given bounds; the
+// bounds of the first registration win.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.getSeries(name, help, TypeHistogram, labels)
+	if s.hist == nil {
+		s.hist = NewHistogram(bounds)
+	}
+	return s.hist
+}
+
+// RegisterCollector adds a scrape-time sample source (called on every
+// exposition). Collectors must be safe for concurrent invocation.
+func (r *Registry) RegisterCollector(c CollectorFunc) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// gather snapshots every family (registered + collected), sorted by name.
+func (r *Registry) gather() []*family {
+	r.mu.RLock()
+	fams := make(map[string]*family, len(r.families))
+	for name, f := range r.families {
+		cp := &family{name: f.name, help: f.help, typ: f.typ, series: make(map[string]*series, len(f.series))}
+		for k, s := range f.series {
+			cp.series[k] = s
+		}
+		fams[name] = cp
+	}
+	collectors := make([]CollectorFunc, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.RUnlock()
+
+	for _, c := range collectors {
+		c(func(s Sample) {
+			f := fams[s.Name]
+			if f == nil {
+				f = &family{name: s.Name, help: s.Help, typ: s.Type, series: make(map[string]*series)}
+				fams[s.Name] = f
+			}
+			sr := &series{labels: s.Labels}
+			switch s.Type {
+			case TypeCounter:
+				c := &Counter{}
+				c.Add(int64(s.Value))
+				sr.ctr = c
+			default:
+				gg := &Gauge{}
+				gg.Set(int64(s.Value))
+				sr.gauge = gg
+			}
+			f.series[labelKey(s.Labels)] = sr
+		})
+	}
+	out := make([]*family, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (histograms as _bucket/_sum/_count with cumulative le buckets).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.gather() {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case s.ctr != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(s.labels), s.ctr.Value())
+			case s.gauge != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, promLabels(s.labels), s.gauge.Value())
+			case s.hist != nil:
+				h := s.hist
+				counts := h.snapshot()
+				var cum int64
+				for i, bound := range h.bounds {
+					cum += counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, promLabels(append(s.labels, Label{"le", formatFloat(bound)})), cum)
+				}
+				cum += counts[len(h.bounds)]
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, promLabels(append(s.labels, Label{"le", "+Inf"})), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, promLabels(s.labels), formatFloat(h.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, promLabels(s.labels), h.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders every metric as one JSON object (the expvar
+// exposition): counters and gauges as numbers, histograms as
+// {count, sum, p50, p95, p99}. Keys are "name" or "name{labels}".
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{")
+	first := true
+	emit := func(key, val string) {
+		if !first {
+			b.WriteString(",")
+		}
+		first = false
+		fmt.Fprintf(&b, "\n  %q: %s", key, val)
+	}
+	for _, f := range r.gather() {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			key := f.name + promLabels(s.labels)
+			switch {
+			case s.ctr != nil:
+				emit(key, fmt.Sprintf("%d", s.ctr.Value()))
+			case s.gauge != nil:
+				emit(key, fmt.Sprintf("%d", s.gauge.Value()))
+			case s.hist != nil:
+				h := s.hist
+				emit(key, fmt.Sprintf(`{"count": %d, "sum": %s, "p50": %s, "p95": %s, "p99": %s}`,
+					h.Count(), jsonFloat(h.Sum()),
+					jsonFloat(h.Quantile(0.50)), jsonFloat(h.Quantile(0.95)), jsonFloat(h.Quantile(0.99))))
+			}
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ExpvarVar wraps the registry as an expvar.Var so callers can
+// expvar.Publish it next to the stdlib's cmdline/memstats vars.
+func (r *Registry) ExpvarVar() expvar.Var {
+	return expvar.Func(func() any {
+		var b strings.Builder
+		_ = r.WriteJSON(&b)
+		return rawJSON(b.String())
+	})
+}
+
+// rawJSON marshals as-is (the registry already rendered valid JSON).
+type rawJSON string
+
+func (j rawJSON) MarshalJSON() ([]byte, error) { return []byte(j), nil }
+
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = l.Key + "\x00" + l.Value
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, "\x01")
+}
+
+func promLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	parts := make([]string, len(ls))
+	for i, l := range ls {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func formatFloat(v float64) string {
+	s := fmt.Sprintf("%g", v)
+	return s
+}
+
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeNilSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("nil histogram quantile must be NaN")
+	}
+}
+
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	g := r.Gauge("g", "help")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 0 {
+		t.Fatalf("gauge = %d, want 0", g.Value())
+	}
+}
+
+func TestRegistryReusesSeries(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "h", Label{"shard", "1"})
+	b := r.Counter("x_total", "h", Label{"shard", "1"})
+	if a != b {
+		t.Fatal("same name+labels must return the same handle")
+	}
+	other := r.Counter("x_total", "h", Label{"shard", "2"})
+	if a == other {
+		t.Fatal("different labels must return distinct handles")
+	}
+}
+
+func TestRegistryTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("m", "h")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.7, 3, 3, 7, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1.5+1.7+3+3+7+100; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	// Rank 4 of 7 (median) lands in the (2,4] bucket.
+	if q := h.Quantile(0.5); q <= 2 || q > 4 {
+		t.Fatalf("p50 = %g, want in (2,4]", q)
+	}
+	// The overflow sample clamps the top quantile to the last bound.
+	if q := h.Quantile(1); q != 8 {
+		t.Fatalf("p100 = %g, want clamp to 8", q)
+	}
+	// Out-of-range q values clamp.
+	if q := h.Quantile(-1); math.IsNaN(q) {
+		t.Fatal("q<0 must clamp, not NaN")
+	}
+}
+
+func TestHistogramEmptyAndPanics(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+	for _, bounds := range [][]float64{nil, {}, {2, 1}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewHistogram(%v) must panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pim_q_total", "queries served").Add(3)
+	r.Gauge("pim_inflight", "in flight").Set(2)
+	h := r.Histogram("pim_lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.Counter("pim_shard_q_total", "per shard", Label{"shard", "0"}).Add(7)
+	r.RegisterCollector(func(emit func(Sample)) {
+		emit(Sample{Name: "pim_rows", Help: "rows", Type: TypeGauge, Value: 42})
+	})
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE pim_q_total counter",
+		"pim_q_total 3",
+		"# TYPE pim_inflight gauge",
+		"pim_inflight 2",
+		"# TYPE pim_lat_seconds histogram",
+		`pim_lat_seconds_bucket{le="0.1"} 1`,
+		`pim_lat_seconds_bucket{le="1"} 2`,
+		`pim_lat_seconds_bucket{le="+Inf"} 3`,
+		"pim_lat_seconds_sum 5.55",
+		"pim_lat_seconds_count 3",
+		`pim_shard_q_total{shard="0"} 7`,
+		"pim_rows 42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	// Families must come out sorted by name.
+	if strings.Index(out, "pim_inflight") > strings.Index(out, "pim_q_total") {
+		t.Error("families not sorted by name")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Add(9)
+	h := r.Histogram("lat", "h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &parsed); err != nil {
+		t.Fatalf("WriteJSON produced invalid JSON: %v\n%s", err, b.String())
+	}
+	if parsed["c_total"] != float64(9) {
+		t.Fatalf("c_total = %v, want 9", parsed["c_total"])
+	}
+	hist, ok := parsed["lat"].(map[string]any)
+	if !ok {
+		t.Fatalf("lat = %T, want object", parsed["lat"])
+	}
+	if hist["count"] != float64(2) {
+		t.Fatalf("lat.count = %v, want 2", hist["count"])
+	}
+	for _, k := range []string{"sum", "p50", "p95", "p99"} {
+		if _, ok := hist[k]; !ok {
+			t.Errorf("lat missing %q", k)
+		}
+	}
+}
+
+func TestExpvarVar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "h").Inc()
+	s := r.ExpvarVar().String()
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(s), &parsed); err != nil {
+		t.Fatalf("ExpvarVar is not valid JSON: %v\n%s", err, s)
+	}
+	if parsed["c_total"] != float64(1) {
+		t.Fatalf("c_total = %v, want 1", parsed["c_total"])
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	if len(exp) != len(want) {
+		t.Fatalf("ExpBuckets len = %d, want %d", len(exp), len(want))
+	}
+	for i := range want {
+		if math.Abs(exp[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets[%d] = %g, want %g", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	wantLin := []float64{10, 15, 20}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Fatalf("LinearBuckets[%d] = %g, want %g", i, lin[i], wantLin[i])
+		}
+	}
+}

@@ -1,0 +1,333 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one span annotation.
+type Attr struct{ Key, Value string }
+
+// A is shorthand for building an Attr.
+func A(key string, value any) Attr { return Attr{Key: key, Value: fmt.Sprint(value)} }
+
+// Event is one out-of-band observer event (see Observer.Event).
+type Event struct {
+	Time  time.Time
+	Name  string
+	Attrs []Attr
+}
+
+// Span is one node of a trace's span tree. All methods are nil-safe: the
+// unsampled path hands out nil spans and instrumented code calls straight
+// through. Mutations lock the owning trace, so a span finished late (a
+// shard still running after its query timed out) never races a render.
+type Span struct {
+	Name     string
+	start    time.Time
+	dur      time.Duration
+	attrs    []Attr
+	children []*Span
+	trace    *Trace
+}
+
+// StartChild opens a child span (started now).
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now(), trace: s.trace}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+	return c
+}
+
+// AddChild attaches an already-measured child span (used for phases whose
+// duration is accumulated piecewise, like interleaved exact refinement).
+func (s *Span) AddChild(name string, d time.Duration, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{Name: name, start: time.Now().Add(-d), dur: d, attrs: attrs, trace: s.trace}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+	return c
+}
+
+// End closes the span, fixing its duration. Ending twice keeps the first
+// duration.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+	}
+	root := s == s.trace.root
+	s.trace.mu.Unlock()
+	if root {
+		s.trace.finish()
+	}
+}
+
+// SetAttr annotates the span.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.trace.mu.Lock()
+	s.attrs = append(s.attrs, A(key, value))
+	s.trace.mu.Unlock()
+}
+
+// Annotate records a zero-duration event child (e.g. a fault-recovery
+// event observed mid-query).
+func (s *Span) Annotate(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	c := &Span{Name: name, start: time.Now(), trace: s.trace, attrs: attrs}
+	s.trace.mu.Lock()
+	s.children = append(s.children, c)
+	s.trace.mu.Unlock()
+}
+
+// Duration returns the span's closed duration (0 while open).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.trace.mu.Lock()
+	defer s.trace.mu.Unlock()
+	return s.dur
+}
+
+// Trace is one sampled query's span tree.
+type Trace struct {
+	ID   uint64
+	Time time.Time // root start
+
+	mu     sync.Mutex
+	root   *Span
+	tracer *Tracer
+	done   bool
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// finish pushes the trace into its tracer's ring (once).
+func (t *Trace) finish() {
+	t.mu.Lock()
+	already := t.done
+	t.done = true
+	t.mu.Unlock()
+	if already || t.tracer == nil {
+		return
+	}
+	t.tracer.push(t)
+}
+
+// Render returns the text flame view: one line per span, indented by
+// depth, with durations, attrs, and each span's share of its parent.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %d @ %s\n", t.ID, t.Time.Format(time.RFC3339Nano))
+	var walk func(s *Span, depth int, prefix string, last bool, parentDur time.Duration)
+	walk = func(s *Span, depth int, prefix string, last bool, parentDur time.Duration) {
+		connector, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			connector, childPrefix = "└─ ", prefix+"   "
+		}
+		if depth == 0 {
+			connector, childPrefix = "", ""
+		}
+		line := prefix + connector + s.Name
+		if s.dur > 0 {
+			line += fmt.Sprintf(" (%s", fmtDur(s.dur))
+			if parentDur > 0 {
+				line += fmt.Sprintf(", %.0f%%", 100*float64(s.dur)/float64(parentDur))
+			}
+			line += ")"
+		}
+		if len(s.attrs) > 0 {
+			parts := make([]string, len(s.attrs))
+			for i, a := range s.attrs {
+				parts[i] = a.Key + "=" + a.Value
+			}
+			line += "  [" + strings.Join(parts, " ") + "]"
+		}
+		b.WriteString(line + "\n")
+		for i, c := range s.children {
+			walk(c, depth+1, childPrefix, i == len(s.children)-1, s.dur)
+		}
+	}
+	walk(t.root, 0, "", true, 0)
+	return b.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// Tracer makes head-based sampling decisions and retains recent completed
+// traces in a ring buffer. Safe for concurrent use.
+type Tracer struct {
+	rate int64
+	n    atomic.Int64
+	id   atomic.Uint64
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	len  int
+}
+
+// NewTracer builds a tracer sampling one trace in rate (0 disables) with
+// a ring of bufSize recent traces.
+func NewTracer(rate, bufSize int) *Tracer {
+	if bufSize <= 0 {
+		bufSize = 64
+	}
+	return &Tracer{rate: int64(rate), ring: make([]*Trace, bufSize)}
+}
+
+// Start makes the head sampling decision for one request. When sampled it
+// returns a context carrying the new root span plus the span itself; when
+// not (or on a nil tracer) it returns ctx unchanged and a nil span.
+// Callers must End() the returned span (nil-safe) — ending the root seals
+// the trace into the ring.
+func (tr *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if tr == nil || tr.rate <= 0 {
+		return ctx, nil
+	}
+	if tr.rate > 1 && tr.n.Add(1)%tr.rate != 1 {
+		return ctx, nil
+	}
+	t := &Trace{ID: tr.id.Add(1), Time: time.Now(), tracer: tr}
+	root := &Span{Name: name, start: t.Time, trace: t}
+	t.root = root
+	return ContextWithSpan(ctx, root), root
+}
+
+// push inserts a completed trace into the ring.
+func (tr *Tracer) push(t *Trace) {
+	tr.mu.Lock()
+	tr.ring[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.ring)
+	if tr.len < len(tr.ring) {
+		tr.len++
+	}
+	tr.mu.Unlock()
+}
+
+// Recent returns up to n recent completed traces, newest first (n <= 0
+// means all buffered).
+func (tr *Tracer) Recent(n int) []*Trace {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	if n <= 0 || n > tr.len {
+		n = tr.len
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= n; i++ {
+		out = append(out, tr.ring[(tr.next-i+len(tr.ring))%len(tr.ring)])
+	}
+	return out
+}
+
+// ctxKey carries the active span through a request's context.
+type ctxKey struct{}
+
+// ContextWithSpan returns ctx carrying sp (ctx unchanged when sp is nil).
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a child of the context's active span and returns a
+// derived context carrying it. With no active span it returns (ctx, nil):
+// the whole instrumentation chain no-ops on unsampled requests.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	sp := parent.StartChild(name)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// eventRing retains recent out-of-band events.
+type eventRing struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	len  int
+}
+
+func newEventRing(n int) *eventRing {
+	if n <= 0 {
+		n = 64
+	}
+	return &eventRing{ring: make([]Event, n)}
+}
+
+func (r *eventRing) add(e Event) {
+	r.mu.Lock()
+	r.ring[r.next] = e
+	r.next = (r.next + 1) % len(r.ring)
+	if r.len < len(r.ring) {
+		r.len++
+	}
+	r.mu.Unlock()
+}
+
+func (r *eventRing) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, r.len)
+	for i := r.len; i >= 1; i-- {
+		out = append(out, r.ring[(r.next-i+len(r.ring))%len(r.ring)])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
+	return out
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerSampling(t *testing.T) {
+	tr := NewTracer(4, 16)
+	sampled := 0
+	for i := 0; i < 16; i++ {
+		_, sp := tr.Start(context.Background(), "q")
+		if sp != nil {
+			sampled++
+			sp.End()
+		}
+	}
+	if sampled != 4 {
+		t.Fatalf("rate 4 over 16 requests sampled %d, want 4", sampled)
+	}
+
+	all := NewTracer(1, 16)
+	if _, sp := all.Start(context.Background(), "q"); sp == nil {
+		t.Fatal("rate 1 must sample everything")
+	}
+	off := NewTracer(0, 16)
+	if _, sp := off.Start(context.Background(), "q"); sp != nil {
+		t.Fatal("rate 0 must sample nothing")
+	}
+	var nilTr *Tracer
+	if _, sp := nilTr.Start(context.Background(), "q"); sp != nil {
+		t.Fatal("nil tracer must sample nothing")
+	}
+}
+
+func TestTracerRingNewestFirst(t *testing.T) {
+	tr := NewTracer(1, 3)
+	for i := 0; i < 5; i++ {
+		_, sp := tr.Start(context.Background(), "q")
+		sp.End()
+	}
+	got := tr.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("ring of 3 after 5 traces holds %d", len(got))
+	}
+	// IDs 1..5 were assigned; the ring keeps 3,4,5 and Recent is newest
+	// first.
+	for i, want := range []uint64{5, 4, 3} {
+		if got[i].ID != want {
+			t.Fatalf("Recent[%d].ID = %d, want %d", i, got[i].ID, want)
+		}
+	}
+	if one := tr.Recent(1); len(one) != 1 || one[0].ID != 5 {
+		t.Fatalf("Recent(1) = %v", one)
+	}
+}
+
+func TestSpanTreeAndRender(t *testing.T) {
+	tr := NewTracer(1, 4)
+	ctx, root := tr.Start(context.Background(), "engine.search")
+	root.SetAttr("k", 10)
+	shard := root.StartChild("shard 0")
+	_, inner := StartSpan(ContextWithSpan(ctx, shard), "knn.FNN-PIM")
+	inner.Annotate("LB-stage", A("in", 100), A("out", 7))
+	inner.AddChild("refine", 3*time.Millisecond, A("in", 7))
+	inner.End()
+	shard.End()
+	root.End()
+
+	traces := tr.Recent(1)
+	if len(traces) != 1 {
+		t.Fatal("root End must seal the trace into the ring")
+	}
+	out := traces[0].Render()
+	for _, want := range []string{
+		"engine.search",
+		"[k=10]",
+		"├─ ", // tree connectors present
+		"└─ ",
+		"shard 0",
+		"knn.FNN-PIM",
+		"LB-stage  [in=100 out=7]",
+		"refine (3.00ms",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Depth: refine sits under knn.FNN-PIM under shard 0 under root.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "refine") && !strings.HasPrefix(line, "   │  ") && !strings.HasPrefix(line, "│  ") {
+			// refine is at depth 3: prefix is two levels of guides.
+			if !strings.Contains(line, "─ refine") {
+				t.Errorf("refine not rendered as a tree node: %q", line)
+			}
+		}
+	}
+}
+
+func TestNilSpanChain(t *testing.T) {
+	var sp *Span
+	c := sp.StartChild("x")
+	if c != nil {
+		t.Fatal("nil span StartChild must return nil")
+	}
+	sp.SetAttr("k", 1)
+	sp.Annotate("e")
+	sp.AddChild("y", time.Second)
+	sp.End()
+	if sp.Duration() != 0 {
+		t.Fatal("nil span duration must be 0")
+	}
+	// StartSpan with no active span: no-op chain.
+	ctx, got := StartSpan(context.Background(), "x")
+	if got != nil {
+		t.Fatal("StartSpan without an active span must return nil")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("ctx must stay span-free")
+	}
+	if SpanFromContext(nil) != nil {
+		t.Fatal("nil ctx must yield nil span")
+	}
+}
+
+// TestLateSpanFinishDoesNotRaceRender mimics a shard span finishing after
+// its query's deadline while another goroutine renders the trace — run
+// under -race this must be clean.
+func TestLateSpanFinishDoesNotRaceRender(t *testing.T) {
+	tr := NewTracer(1, 4)
+	_, root := tr.Start(context.Background(), "engine.search")
+	late := root.StartChild("shard 0")
+	root.End() // query timed out; shard still running
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			late.SetAttr("i", i)
+		}
+		late.End()
+	}()
+	go func() {
+		defer wg.Done()
+		for _, tt := range tr.Recent(0) {
+			for i := 0; i < 100; i++ {
+				_ = tt.Render()
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestEventRing(t *testing.T) {
+	o := New(Config{})
+	o.Event("plan.chosen", A("plan", "FNN"))
+	o.Event("serve.degraded-shards", A("n", 1))
+	evs := o.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Name != "plan.chosen" || evs[1].Name != "serve.degraded-shards" {
+		t.Fatalf("events out of order: %v", evs)
+	}
+	// Nil observer no-ops.
+	var nilO *Observer
+	nilO.Event("x")
+	if nilO.Events() != nil {
+		t.Fatal("nil observer must have no events")
+	}
+	if nilO.Registry() != nil || nilO.Tracer() != nil {
+		t.Fatal("nil observer accessors must return nil")
+	}
+}

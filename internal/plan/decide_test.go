@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDecideFig12 mirrors TestOptimizeDropsRedundantHostBounds but checks
+// the packaged rationale: the PIM bound wins alone, every host bound lands
+// in Dropped, and the costs bracket the choice.
+func TestDecideFig12(t *testing.T) {
+	candidates := []Bound{
+		{Name: "LBPIM-FNN-105", Family: "FNN", TransferDims: 3, PruneRatio: 0.99, PIM: true},
+		{Name: "LBFNN-7", Family: "FNN", TransferDims: 14, PruneRatio: 0.85},
+		{Name: "LBFNN-28", Family: "FNN", TransferDims: 56, PruneRatio: 0.95},
+		{Name: "LBFNN-105", Family: "FNN", TransferDims: 210, PruneRatio: 0.985},
+	}
+	dec, err := Decide(992272, 420, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Chosen.Bounds) != 1 || !dec.Chosen.Bounds[0].PIM {
+		t.Fatalf("chosen = %v, want PIM bound alone", dec.Chosen)
+	}
+	if got, want := dec.Dropped, []string{"LBFNN-105", "LBFNN-28", "LBFNN-7"}; len(got) != len(want) {
+		t.Fatalf("dropped = %v, want %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("dropped = %v, want %v (sorted)", got, want)
+			}
+		}
+	}
+	if dec.Considered != 16 {
+		t.Fatalf("considered = %d, want 2^4", dec.Considered)
+	}
+	if want := Cost(992272, 420, nil); math.Abs(dec.BaselineCost-want) > 1e-9 {
+		t.Fatalf("baseline = %g, want %g", dec.BaselineCost, want)
+	}
+	if !(dec.Chosen.Cost < dec.AllBoundsCost && dec.AllBoundsCost < dec.BaselineCost) {
+		t.Fatalf("cost ordering chosen=%g all=%g baseline=%g",
+			dec.Chosen.Cost, dec.AllBoundsCost, dec.BaselineCost)
+	}
+
+	reason := dec.Reason()
+	for _, want := range []string{
+		"LBPIM-FNN-105 → ED",
+		"% of unfiltered",
+		"dropped LBFNN-105, LBFNN-28, LBFNN-7",
+		"Eq. 13",
+		"16 plans enumerated",
+	} {
+		if !strings.Contains(reason, want) {
+			t.Errorf("Reason() missing %q: %s", want, reason)
+		}
+	}
+}
+
+// TestDecideKeepsEverything: when every candidate earns its place, Dropped
+// is empty and the reason says nothing about rejected bounds.
+func TestDecideKeepsEverything(t *testing.T) {
+	candidates := []Bound{
+		{Name: "cheap", TransferDims: 1, PruneRatio: 0.9},
+	}
+	dec, err := Decide(1000, 100, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Dropped) != 0 {
+		t.Fatalf("dropped = %v, want none", dec.Dropped)
+	}
+	if strings.Contains(dec.Reason(), "dropped") {
+		t.Fatalf("reason mentions drops: %s", dec.Reason())
+	}
+}
+
+func TestDecidePropagatesOptimizeErrors(t *testing.T) {
+	two := []Bound{
+		{Name: "a", TransferDims: 1, PruneRatio: 0.5, PIM: true},
+		{Name: "b", TransferDims: 1, PruneRatio: 0.5, PIM: true},
+	}
+	if _, err := Decide(10, 4, two); err == nil {
+		t.Fatal("two PIM bounds must error")
+	}
+}

@@ -120,6 +120,78 @@ func Optimize(n, d int, candidates []Bound) (Plan, error) {
 	return best, nil
 }
 
+// Decision is an Optimize outcome with enough context to explain *why*
+// the plan won under Eq. 13 — the serving engine's observability layer
+// records it as a plan-chosen event.
+type Decision struct {
+	// Chosen is the minimum-cost plan.
+	Chosen Plan
+	// BaselineCost is the no-filter cost N·d (exact refinement of
+	// everything).
+	BaselineCost float64
+	// AllBoundsCost is the cost of running every candidate bound in the
+	// canonical order.
+	AllBoundsCost float64
+	// Considered is the number of enumerated plans (2^L).
+	Considered int
+	// Dropped names the candidate bounds the chosen plan leaves out.
+	Dropped []string
+}
+
+// Decide runs Optimize and packages the Eq. 13 rationale.
+func Decide(n, d int, candidates []Bound) (Decision, error) {
+	best, err := Optimize(n, d, candidates)
+	if err != nil {
+		return Decision{}, err
+	}
+	all := make([]Bound, len(candidates))
+	copy(all, candidates)
+	orderBounds(all)
+	dec := Decision{
+		Chosen:        best,
+		BaselineCost:  Cost(n, d, nil),
+		AllBoundsCost: Cost(n, d, all),
+		Considered:    1 << len(candidates),
+	}
+	chosen := make(map[string]bool, len(best.Bounds))
+	for _, b := range best.Bounds {
+		chosen[b.Name] = true
+	}
+	for _, b := range candidates {
+		if !chosen[b.Name] {
+			dec.Dropped = append(dec.Dropped, b.Name)
+		}
+	}
+	sort.Strings(dec.Dropped)
+	return dec, nil
+}
+
+// Reason renders a one-line explanation of the decision: the chosen
+// pipeline, its expected transfer versus the unfiltered scan and the
+// keep-every-bound plan, and which candidates Eq. 13 rejected.
+func (d Decision) Reason() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %.3g operands expected transfer (%.1f%% of unfiltered %.3g",
+		d.Chosen, d.Chosen.Cost, 100*safeRatio(d.Chosen.Cost, d.BaselineCost), d.BaselineCost)
+	if d.AllBoundsCost > d.Chosen.Cost {
+		fmt.Fprintf(&b, "; all-bounds plan costs %.3g", d.AllBoundsCost)
+	}
+	b.WriteString(")")
+	if len(d.Dropped) > 0 {
+		fmt.Fprintf(&b, "; dropped %s — their extra scans cost more transfer than they prune (Eq. 13)",
+			strings.Join(d.Dropped, ", "))
+	}
+	fmt.Fprintf(&b, "; %d plans enumerated", d.Considered)
+	return b.String()
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
 // orderBounds sorts a plan: PIM bound first, then ascending transfer cost,
 // ties by name for determinism.
 func orderBounds(seq []Bound) {

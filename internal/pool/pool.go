@@ -26,6 +26,17 @@ type Worker func(job int) error
 // programming a PIM payload) happens concurrently across workers.
 type Setup func(w int) (Worker, error)
 
+// Hooks observes pool execution (all fields optional). JobStart fires on
+// the worker goroutine just before a job is processed, JobDone just after
+// (neither fires for jobs drained without processing after a failure or
+// cancellation). Hook functions must be safe for concurrent use — the
+// serving layer points them at atomic gauges (queue depth, in-flight
+// jobs).
+type Hooks struct {
+	JobStart func(job int)
+	JobDone  func(job int)
+}
+
 // Run executes jobs 0..jobs-1 across at most workers goroutines.
 //
 // Dispatch order is 0..jobs-1 but assignment to workers is nondeterministic;
@@ -39,6 +50,11 @@ type Setup func(w int) (Worker, error)
 // The returned error joins the context error (if any) with every worker
 // error via errors.Join; nil means every job ran to completion.
 func Run(ctx context.Context, jobs, workers int, setup Setup) error {
+	return RunHooked(ctx, jobs, workers, setup, Hooks{})
+}
+
+// RunHooked is Run with execution hooks (see Hooks).
+func RunHooked(ctx context.Context, jobs, workers int, setup Setup, h Hooks) error {
 	if jobs <= 0 {
 		return nil
 	}
@@ -73,8 +89,14 @@ func Run(ctx context.Context, jobs, workers int, setup Setup) error {
 				if errs[w] != nil || ctx.Err() != nil {
 					continue // failed or canceled: drain without processing
 				}
+				if h.JobStart != nil {
+					h.JobStart(job)
+				}
 				if err := work(job); err != nil {
 					errs[w] = err
+				}
+				if h.JobDone != nil {
+					h.JobDone(job)
 				}
 			}
 		}(w)

@@ -199,3 +199,71 @@ func TestRunEmptyAndClamped(t *testing.T) {
 		t.Fatalf("%d worker setups for 2 jobs", n)
 	}
 }
+
+// TestRunHookedCountsProcessedJobs checks JobStart/JobDone fire exactly
+// once per processed job and never for jobs drained after cancellation.
+func TestRunHookedCountsProcessedJobs(t *testing.T) {
+	t.Parallel()
+	var started, done, processed int32
+	h := Hooks{
+		JobStart: func(job int) { atomic.AddInt32(&started, 1) },
+		JobDone:  func(job int) { atomic.AddInt32(&done, 1) },
+	}
+	err := RunHooked(context.Background(), 100, 4, func(w int) (Worker, error) {
+		return func(job int) error {
+			atomic.AddInt32(&processed, 1)
+			return nil
+		}, nil
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started != 100 || done != 100 || processed != 100 {
+		t.Fatalf("started=%d done=%d processed=%d, want 100 each", started, done, processed)
+	}
+
+	// Canceled run: hooks fire only for jobs that actually processed.
+	started, done, processed = 0, 0, 0
+	ctx, cancel := context.WithCancel(context.Background())
+	err = RunHooked(ctx, 100000, 2, func(w int) (Worker, error) {
+		return func(job int) error {
+			if atomic.AddInt32(&processed, 1) == 10 {
+				cancel()
+			}
+			return nil
+		}, nil
+	}, h)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want Canceled, got %v", err)
+	}
+	s, d, p := atomic.LoadInt32(&started), atomic.LoadInt32(&done), atomic.LoadInt32(&processed)
+	if s != p || d != p {
+		t.Fatalf("hooks fired started=%d done=%d for %d processed jobs", s, d, p)
+	}
+	if p == 100000 {
+		t.Fatal("cancellation did not stop dispatch")
+	}
+}
+
+// TestRunHookedSkipsFailedWorkerDrain: after a worker errors, its drained
+// jobs must not fire hooks.
+func TestRunHookedSkipsFailedWorkerDrain(t *testing.T) {
+	t.Parallel()
+	var started int32
+	boom := errors.New("boom")
+	err := RunHooked(context.Background(), 50, 1, func(w int) (Worker, error) {
+		return func(job int) error {
+			if job == 4 {
+				return boom
+			}
+			return nil
+		}, nil
+	}, Hooks{JobStart: func(job int) { atomic.AddInt32(&started, 1) }})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+	// Jobs 0..4 started; 5..49 drained unprocessed on the failed worker.
+	if n := atomic.LoadInt32(&started); n != 5 {
+		t.Fatalf("JobStart fired %d times, want 5", n)
+	}
+}

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/pool"
@@ -46,7 +47,22 @@ func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*
 		Results: make([]*Result, queries.N),
 		Meter:   arch.NewMeter(),
 	}
-	err := pool.Run(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
+	// Batch queue-depth accounting: jobs enter the gauge on submission and
+	// leave as workers pick them up; whatever cancellation skipped is
+	// drained at the end.
+	var hooks pool.Hooks
+	var started atomic.Int64
+	if e.eobs != nil {
+		e.eobs.queueDepth.Add(int64(queries.N))
+		hooks.JobStart = func(int) {
+			started.Add(1)
+			e.eobs.queueDepth.Add(-1)
+		}
+		defer func() {
+			e.eobs.queueDepth.Add(started.Load() - int64(queries.N))
+		}()
+	}
+	err := pool.RunHooked(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
 		return func(qi int) error {
 			r, err := e.Search(ctx, queries.Row(qi), k)
 			if err != nil {
@@ -55,7 +71,7 @@ func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*
 			res.Results[qi] = r
 			return nil
 		}, nil
-	})
+	}, hooks)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,101 @@
+package serve
+
+import (
+	"fmt"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/obs"
+)
+
+// engineObs holds the engine's registered metric handles. A nil
+// *engineObs (observability off) keeps the hot path at one pointer check.
+type engineObs struct {
+	o            *obs.Observer
+	queries      *obs.Counter
+	errors       *obs.Counter
+	latency      *obs.Histogram
+	inflight     *obs.Gauge
+	queueDepth   *obs.Gauge
+	shardQueries []*obs.Counter
+}
+
+// newEngineObs registers the engine's metrics and scrape-time collectors
+// with the observer's registry.
+func newEngineObs(e *Engine, o *obs.Observer) *engineObs {
+	reg := o.Registry()
+	eo := &engineObs{
+		o:       o,
+		queries: reg.Counter("pim_serve_queries_total", "Queries answered by the sharded engine."),
+		errors:  reg.Counter("pim_serve_query_errors_total", "Queries that returned an error (cancellation, deadline, validation)."),
+		latency: reg.Histogram("pim_serve_query_latency_seconds",
+			"Wall-clock latency of Engine.Search.", o.LatencyBuckets()),
+		inflight:   reg.Gauge("pim_serve_inflight_queries", "Queries currently executing."),
+		queueDepth: reg.Gauge("pim_serve_batch_queue_depth", "Batch jobs accepted but not yet started."),
+	}
+	eo.shardQueries = make([]*obs.Counter, len(e.shards))
+	for i := range e.shards {
+		eo.shardQueries[i] = reg.Counter("pim_serve_shard_queries_total",
+			"Per-shard query fan-out count.", obs.Label{Key: "shard", Value: fmt.Sprint(i)})
+	}
+	reg.RegisterCollector(e.collectMetrics)
+	if n := len(e.degraded); n > 0 {
+		o.Event("serve.degraded-shards", obs.A("shards", fmt.Sprint(e.degraded)))
+	}
+	return eo
+}
+
+// collectMetrics snapshots scrape-time state: shard topology, the merged
+// cumulative arch.Meter (per-function call counts plus aggregate hardware
+// activity), and the fault layer's corrected/recovered dot counters.
+func (e *Engine) collectMetrics(emit func(obs.Sample)) {
+	emit(obs.Sample{Name: "pim_serve_shards", Help: "Shard count in effect.",
+		Type: obs.TypeGauge, Value: float64(len(e.shards))})
+	emit(obs.Sample{Name: "pim_serve_degraded_shards", Help: "Shards serving the host-scan fallback.",
+		Type: obs.TypeGauge, Value: float64(len(e.degraded))})
+	for _, sh := range e.shards {
+		emit(obs.Sample{Name: "pim_serve_shard_rows", Help: "Rows owned by each shard.",
+			Type: obs.TypeGauge, Labels: []obs.Label{{Key: "shard", Value: fmt.Sprint(sh.id)}},
+			Value: float64(sh.data.N)})
+	}
+
+	m := e.Meter() // merged under per-shard locks
+	t := m.Total()
+	agg := []obs.Sample{
+		{Name: "pim_meter_ops_total", Help: "Modeled simple operations (cumulative, all shards)."},
+		{Name: "pim_meter_alu_ops_total", Help: "Modeled long-latency ALU operations."},
+		{Name: "pim_meter_branches_total", Help: "Modeled data-dependent branches."},
+		{Name: "pim_meter_seq_bytes_total", Help: "Modeled bytes streamed sequentially."},
+		{Name: "pim_meter_rand_bytes_total", Help: "Modeled bytes fetched randomly."},
+		{Name: "pim_meter_pim_cycles_total", Help: "Modeled crossbar compute cycles on the critical path."},
+		{Name: "pim_meter_pim_buf_bytes_total", Help: "Modeled PIM buffer-bus traffic bytes."},
+		{Name: "pim_faults_total", Help: "PIM dot products corrected through faulty hardware (internal/fault)."},
+		{Name: "pim_recovered_total", Help: "PIM dot products lost to dead crossbars and recovered on the host."},
+	}
+	vals := []int64{t.Ops, t.ALUOps, t.Branches, t.SeqBytes, t.RandBytes,
+		t.PIMCycles, t.PIMBufBytes, t.PIMFaults, t.PIMRecovered}
+	for i, s := range agg {
+		s.Type = obs.TypeCounter
+		s.Value = float64(vals[i])
+		emit(s)
+	}
+	for _, fn := range m.Functions() {
+		emit(obs.Sample{Name: "pim_meter_calls_total", Help: "Modeled invocations per §IV-B function.",
+			Type: obs.TypeCounter, Labels: []obs.Label{{Key: "func", Value: fn}},
+			Value: float64(m.Get(fn).Calls)})
+	}
+}
+
+// annotateFaults attaches fault-recovery events from a query's private
+// shard meter to the shard span (nil-safe; nothing is attached on
+// fault-free queries).
+func annotateFaults(sp *obs.Span, m *arch.Meter) {
+	if sp == nil {
+		return
+	}
+	t := m.Total()
+	if t.PIMFaults > 0 || t.PIMRecovered > 0 {
+		sp.Annotate("fault-recovery",
+			obs.A("corrected_dots", t.PIMFaults),
+			obs.A("recovered_dots", t.PIMRecovered))
+	}
+}

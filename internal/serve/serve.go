@@ -35,6 +35,7 @@ import (
 	"pimmine/internal/bound"
 	"pimmine/internal/core"
 	"pimmine/internal/knn"
+	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/vec"
 )
@@ -90,6 +91,13 @@ type Options struct {
 	QueryTimeout time.Duration
 	// Factory overrides Variant when non-nil.
 	Factory Factory
+	// Obs, when non-nil, wires the engine into the observability
+	// subsystem (internal/obs): query counters, latency histograms,
+	// per-shard fan-out counters and meter/fault collectors register with
+	// its registry, and sampled queries record an engine → shard →
+	// bound-eval → pim-dot → refine span tree. Nil keeps the hot path
+	// observation-free.
+	Obs *obs.Observer
 }
 
 // shard is one row-range of the dataset with its private searcher.
@@ -97,7 +105,8 @@ type Options struct {
 // one query at a time per shard, with queries pipelining across shards.
 type shard struct {
 	id     int
-	offset int // global index of local row 0
+	name   string // span label, precomputed off the query hot path
+	offset int    // global index of local row 0
 	data   *vec.Matrix
 
 	mu       sync.Mutex
@@ -107,11 +116,13 @@ type shard struct {
 }
 
 // search runs one query on the shard and returns neighbors translated to
-// global indices plus the query's private meter.
-func (sh *shard) search(q []float64, k int) ([]vec.Neighbor, *arch.Meter) {
+// global indices plus the query's private meter. The context carries the
+// query's trace (if sampled); searchers that implement
+// knn.ContextSearcher emit their phase spans under it.
+func (sh *shard) search(ctx context.Context, q []float64, k int) ([]vec.Neighbor, *arch.Meter) {
 	m := arch.NewMeter()
 	sh.mu.Lock()
-	nn := sh.searcher.Search(q, k, m)
+	nn := knn.SearchTraced(ctx, sh.searcher, q, k, m)
 	sh.meter.Merge(m)
 	sh.mu.Unlock()
 	for i := range nn {
@@ -127,6 +138,7 @@ type Engine struct {
 	shards   []*shard
 	degraded []int // shard ids that fell back to the host exact scan
 	opts     Options
+	eobs     *engineObs // nil when Options.Obs is nil
 }
 
 // New partitions data row-wise and builds one searcher per shard. A shard
@@ -170,7 +182,7 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 		if id < rem {
 			rows++
 		}
-		sh := &shard{id: id, offset: lo, data: data.Slice(lo, lo+rows), meter: arch.NewMeter()}
+		sh := &shard{id: id, name: fmt.Sprintf("shard %d", id), offset: lo, data: data.Slice(lo, lo+rows), meter: arch.NewMeter()}
 		searcher, err := factory(sh.data, id)
 		if err != nil {
 			// Graceful degradation: this shard serves the exact host
@@ -182,6 +194,9 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 		sh.searcher = searcher
 		e.shards = append(e.shards, sh)
 		lo += rows
+	}
+	if opts.Obs != nil {
+		e.eobs = newEngineObs(e, opts.Obs)
 	}
 	return e, nil
 }
@@ -347,7 +362,7 @@ type shardOut struct {
 // cancellation and, when Options.QueryTimeout is set, a per-query
 // deadline; a canceled query returns the context's error. Search is safe
 // to call concurrently.
-func (e *Engine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
+func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, err error) {
 	if len(q) != e.data.D {
 		return nil, fmt.Errorf("serve: query has %d dims, dataset has %d", len(q), e.data.D)
 	}
@@ -362,6 +377,24 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (*Result, error
 		ctx, cancel = context.WithTimeout(ctx, e.opts.QueryTimeout)
 		defer cancel()
 	}
+	var root *obs.Span
+	if e.eobs != nil {
+		start := time.Now()
+		e.eobs.inflight.Add(1)
+		ctx, root = e.eobs.o.Tracer().Start(ctx, "engine.search")
+		root.SetAttr("k", k)
+		root.SetAttr("shards", len(e.shards))
+		defer func() {
+			e.eobs.inflight.Add(-1)
+			e.eobs.queries.Inc()
+			e.eobs.latency.Observe(time.Since(start).Seconds())
+			if err != nil {
+				e.eobs.errors.Inc()
+				root.SetAttr("error", err)
+			}
+			root.End()
+		}()
+	}
 
 	// Fan out. The channel is buffered so a shard goroutine can always
 	// deliver and exit, even when the query gave up on the deadline.
@@ -372,7 +405,13 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (*Result, error
 				out <- shardOut{id: sh.id}
 				return
 			}
-			nn, m := sh.search(q, k)
+			sp := root.StartChild(sh.name)
+			if e.eobs != nil {
+				e.eobs.shardQueries[sh.id].Inc()
+			}
+			nn, m := sh.search(obs.ContextWithSpan(ctx, sp), q, k)
+			annotateFaults(sp, m)
+			sp.End()
 			out <- shardOut{id: sh.id, nn: nn, meter: m}
 		}(sh)
 	}

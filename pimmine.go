@@ -31,6 +31,7 @@ import (
 	"pimmine/internal/lsh"
 	"pimmine/internal/measure"
 	"pimmine/internal/motif"
+	"pimmine/internal/obs"
 	"pimmine/internal/outlier"
 	"pimmine/internal/pim"
 	"pimmine/internal/plan"
@@ -349,6 +350,38 @@ func SearcherVariants() []SearcherVariant { return serve.Variants() }
 // construction fails degrades to the exact host scan and is reported by
 // the engine (results stay exact).
 func NewQueryEngine(data *Matrix, opts QueryEngineOptions) (*QueryEngine, error) {
+	return serve.New(data, opts)
+}
+
+// Observability (internal/obs): a concurrency-safe metrics registry
+// (atomic counters, gauges, fixed-bucket latency histograms with
+// interpolated p50/p95/p99) plus head-sampled per-query span traces, with
+// Prometheus text-format and expvar JSON exposition over net/http.
+type (
+	// Observer bundles a metrics registry and a tracer; pass one to
+	// NewObservedEngine (or set QueryEngineOptions.Obs / Framework.Obs).
+	Observer = obs.Observer
+	// ObserverConfig configures NewObserver (sampling rate, buffers).
+	ObserverConfig = obs.Config
+	// MetricsRegistry registers counters/gauges/histograms and renders
+	// Prometheus or expvar JSON exposition.
+	MetricsRegistry = obs.Registry
+	// QueryTrace is one sampled query's span tree, renderable as a text
+	// flame view.
+	QueryTrace = obs.Trace
+)
+
+// NewObserver builds an observability handle. SampleRate 1 traces every
+// query, R traces one in R, 0 disables tracing (metrics stay on).
+// Observer.Handler() serves /metrics, /debug/vars and /debug/traces.
+func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
+
+// NewObservedEngine is NewQueryEngine wired into an observer: query and
+// per-shard counters, latency histograms, meter/fault collectors, and —
+// for sampled queries — the full engine → shard → bound-eval → pim-dot →
+// refine span tree.
+func NewObservedEngine(data *Matrix, opts QueryEngineOptions, o *Observer) (*QueryEngine, error) {
+	opts.Obs = o
 	return serve.New(data, opts)
 }
 

@@ -13,6 +13,14 @@
 // `pimbench ext-fault` sweeps injected crossbar fault severity and prints
 // the degradation curve: recall stays exact at every severity while
 // faulty/recovered dot counts and modeled latency grow.
+// `pimbench -churn` (or the id ext-churn) replays mixed read/write
+// traffic against the mutable engine and reports query latency vs. delta
+// fill, compaction pauses, and endurance-budget drain.
+//
+// Flag combinations are validated before anything runs: bad -format
+// values, -out without -format json, non-positive -scale/-queries,
+// negative sample rates, and -trace-sample/-hold without -metrics-addr
+// all fail fast with a clear error.
 //
 // Observability: -metrics-addr starts an HTTP listener serving
 // Prometheus text format at /metrics, expvar JSON at /debug/vars and
@@ -50,12 +58,25 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
 	traceSample := flag.Int("trace-sample", 1, "with -metrics-addr: trace one query in N (0 disables tracing)")
 	hold := flag.Duration("hold", 0, "with -metrics-addr: keep serving for this long after experiments finish")
+	churn := flag.Bool("churn", false, "run the mutable-engine churn workload (shorthand for the ext-churn experiment id)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
 	if *list {
 		fmt.Println(strings.Join(exp.IDs(), "\n"))
 		return
+	}
+
+	ids := flag.Args()
+	if *churn {
+		ids = append(ids, "ext-churn")
+	}
+	if len(ids) == 0 {
+		ids = exp.IDs()
+	}
+	if err := validateFlags(*scale, *queries, *shards, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
+		fmt.Fprintln(os.Stderr, "pimbench:", err)
+		os.Exit(2)
 	}
 
 	suite := exp.NewSuite()
@@ -86,16 +107,8 @@ func main() {
 		}
 	}
 
-	ids := flag.Args()
-	if len(ids) == 0 {
-		ids = exp.IDs()
-	}
 	for _, id := range ids {
-		runner, ok := exp.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "pimbench: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
-		}
+		runner := exp.Registry[id]
 		start := time.Now()
 		tbl, err := runner(suite)
 		if err != nil {
@@ -130,4 +143,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pimbench: holding metrics server for %s\n", *hold)
 		time.Sleep(*hold)
 	}
+}
+
+// validateFlags rejects bad flag combinations up front, before any
+// experiment spends time running, so a long batch never dies halfway on
+// something a startup check could have caught.
+func validateFlags(scale, queries, shards int, format, outDir, metricsAddr string, traceSample int, hold time.Duration, ids []string) error {
+	if scale <= 0 {
+		return fmt.Errorf("-scale must be positive, got %d", scale)
+	}
+	if queries <= 0 {
+		return fmt.Errorf("-queries must be positive, got %d", queries)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	switch format {
+	case "text", "markdown", "csv", "json":
+	default:
+		return fmt.Errorf("unknown -format %q (want text, markdown, csv or json)", format)
+	}
+	if outDir != "" && format != "json" {
+		return fmt.Errorf("-out writes JSON artifacts and requires -format json, got -format %s", format)
+	}
+	if traceSample < 0 {
+		return fmt.Errorf("-trace-sample must be non-negative, got %d", traceSample)
+	}
+	if metricsAddr == "" {
+		if traceSample != 1 {
+			return fmt.Errorf("-trace-sample has no effect without -metrics-addr")
+		}
+		if hold != 0 {
+			return fmt.Errorf("-hold has no effect without -metrics-addr")
+		}
+	}
+	if hold < 0 {
+		return fmt.Errorf("-hold must be non-negative, got %s", hold)
+	}
+	for _, id := range ids {
+		if _, ok := exp.Registry[id]; !ok {
+			return fmt.Errorf("unknown experiment %q (try -list)", id)
+		}
+	}
+	return nil
 }

@@ -1,0 +1,151 @@
+// Package delta implements the mutable-index subsystem: an LSM-style
+// split between the immutable crossbar-resident base index and a small
+// host-side delta buffer absorbing inserts, updates and deletes.
+//
+// ReRAM writes are the scarce resource (§V-C; the UPMEM studies
+// arXiv:2207.07886 and arXiv:2205.14647 both identify host→PIM (re)loads
+// as the dominant cost), so mutations never touch the crossbars:
+// inserted and updated vectors live in host memory as exact floats and
+// are brute-force searched into every query's candidate set, while
+// deleted and updated rows that still occupy crossbar cells are masked
+// by tombstones. A compactor folds the delta back into a freshly
+// quantized, freshly programmed base image only when thresholds trip,
+// and only if the per-crossbar write-cycle budget tracked by the Ledger
+// permits — wear-leveling across tiles and refusing outright when the
+// array is exhausted. Queries stay exact and lock-free throughout via
+// epoch-based snapshots (see delta.go).
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrEndurance reports that a compaction (or initial programming) was
+// refused because the array does not have enough write budget left on
+// free tiles. The store keeps serving from the current epoch; the
+// refusal is the enforcement point the endurance property test checks.
+var ErrEndurance = errors.New("delta: crossbar write-cycle budget exhausted")
+
+// Ledger is the wear-leveling ledger: per-crossbar-tile write-cycle
+// counters against a configured budget. Acquire charges one programming
+// cycle to each tile it hands out, always preferring the least-worn free
+// tiles, so repeated compactions spread wear across the array instead of
+// burning out a hot subset. It is safe for concurrent use.
+type Ledger struct {
+	mu     sync.Mutex
+	budget uint32
+	wear   []uint32
+	inUse  []bool
+}
+
+// NewLedger creates a ledger for tiles crossbar tiles, each allowed
+// budget programming cycles. Typical budgets are far below raw cell
+// endurance (pim.ReRAMEnduranceWrites ~1e8) because every re-program
+// rewrites whole tiles with write-verify pulses; operators set the
+// budget to the re-program count they are willing to spend over the
+// array's provisioned lifetime.
+func NewLedger(tiles int, budget uint32) (*Ledger, error) {
+	if tiles <= 0 {
+		return nil, fmt.Errorf("delta: ledger needs at least one tile, got %d", tiles)
+	}
+	if budget == 0 {
+		return nil, fmt.Errorf("delta: ledger needs a positive write budget")
+	}
+	return &Ledger{
+		budget: budget,
+		wear:   make([]uint32, tiles),
+		inUse:  make([]bool, tiles),
+	}, nil
+}
+
+// Tiles returns the tile count.
+func (l *Ledger) Tiles() int { return len(l.wear) }
+
+// Budget returns the per-tile write-cycle budget.
+func (l *Ledger) Budget() uint32 { return l.budget }
+
+// Acquire reserves n tiles for a new base image, charging one write
+// cycle to each. It picks the least-worn free tiles (ties broken by
+// lower tile id) and either succeeds atomically or — when fewer than n
+// free tiles have budget remaining — charges nothing and returns
+// ErrEndurance.
+func (l *Ledger) Acquire(n int) ([]int, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	free := make([]int, 0, len(l.wear))
+	for i := range l.wear {
+		if !l.inUse[i] && l.wear[i] < l.budget {
+			free = append(free, i)
+		}
+	}
+	if len(free) < n {
+		return nil, fmt.Errorf("%w: need %d tiles, %d free with budget", ErrEndurance, n, len(free))
+	}
+	sort.Slice(free, func(a, b int) bool {
+		if l.wear[free[a]] != l.wear[free[b]] {
+			return l.wear[free[a]] < l.wear[free[b]]
+		}
+		return free[a] < free[b]
+	})
+	picked := append([]int(nil), free[:n]...)
+	for _, id := range picked {
+		l.wear[id]++
+		l.inUse[id] = true
+	}
+	return picked, nil
+}
+
+// Release returns tiles to the free pool once the epoch holding them has
+// drained. Wear already charged is never refunded — the cells were
+// physically written.
+func (l *Ledger) Release(ids []int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, id := range ids {
+		if id >= 0 && id < len(l.inUse) {
+			l.inUse[id] = false
+		}
+	}
+}
+
+// LedgerStats is a point-in-time wear summary.
+type LedgerStats struct {
+	Tiles     int
+	Budget    uint32
+	InUse     int
+	MaxWear   uint32
+	TotalWear uint64
+	// Remaining is Σ max(0, budget − wear) over all tiles: the total
+	// programming cycles the array can still absorb.
+	Remaining uint64
+	// Exhausted counts tiles with no budget left.
+	Exhausted int
+}
+
+// Stats snapshots the ledger.
+func (l *Ledger) Stats() LedgerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st := LedgerStats{Tiles: len(l.wear), Budget: l.budget}
+	for i, w := range l.wear {
+		if l.inUse[i] {
+			st.InUse++
+		}
+		if w > st.MaxWear {
+			st.MaxWear = w
+		}
+		st.TotalWear += uint64(w)
+		if w >= l.budget {
+			st.Exhausted++
+		} else {
+			st.Remaining += uint64(l.budget - w)
+		}
+	}
+	return st
+}

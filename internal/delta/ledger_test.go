@@ -1,0 +1,107 @@
+package delta
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestLedgerAcquireRelease(t *testing.T) {
+	t.Parallel()
+	l, err := NewLedger(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := l.Acquire(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 3 {
+		t.Fatalf("got %d tiles", len(a))
+	}
+	if _, err := l.Acquire(2); !errors.Is(err, ErrEndurance) {
+		t.Fatalf("over-acquire err = %v, want ErrEndurance", err)
+	}
+	l.Release(a)
+	st := l.Stats()
+	if st.InUse != 0 || st.TotalWear != 3 || st.MaxWear != 1 {
+		t.Fatalf("stats after release = %+v", st)
+	}
+	// Remaining = 4 tiles × budget 2 − 3 writes.
+	if st.Remaining != 5 {
+		t.Fatalf("remaining = %d, want 5", st.Remaining)
+	}
+}
+
+func TestLedgerWearLeveling(t *testing.T) {
+	t.Parallel()
+	l, err := NewLedger(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle acquire/release of 2 tiles; wear must stay balanced within 1
+	// because Acquire always prefers the least-worn tiles.
+	for i := 0; i < 20; i++ {
+		a, err := l.Acquire(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l.Release(a)
+	}
+	st := l.Stats()
+	if st.TotalWear != 40 {
+		t.Fatalf("total wear = %d, want 40", st.TotalWear)
+	}
+	if st.MaxWear != 10 {
+		t.Fatalf("max wear = %d, want 10 (40 writes over 4 tiles)", st.MaxWear)
+	}
+}
+
+func TestLedgerBudgetNeverExceeded(t *testing.T) {
+	t.Parallel()
+	const tiles, budget = 5, 3
+	l, err := NewLedger(tiles, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	granted := 0
+	var held [][]int
+	for i := 0; ; i++ {
+		a, err := l.Acquire(1 + i%3)
+		if err != nil {
+			if !errors.Is(err, ErrEndurance) {
+				t.Fatal(err)
+			}
+			if len(held) == 0 {
+				break
+			}
+			l.Release(held[0])
+			held = held[1:]
+			continue
+		}
+		granted += len(a)
+		held = append(held, a)
+		if s := l.Stats(); s.MaxWear > budget {
+			t.Fatalf("wear %d exceeds budget %d", s.MaxWear, budget)
+		}
+	}
+	if granted != tiles*budget {
+		t.Fatalf("granted %d programmings, want exactly %d", granted, tiles*budget)
+	}
+	if s := l.Stats(); s.Remaining != 0 || s.Exhausted != tiles {
+		t.Fatalf("final stats %+v", s)
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewLedger(0, 1); err == nil {
+		t.Fatal("zero tiles accepted")
+	}
+	if _, err := NewLedger(3, 0); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	l, _ := NewLedger(3, 1)
+	if tiles, err := l.Acquire(0); err != nil || tiles != nil {
+		t.Fatalf("Acquire(0) = %v, %v", tiles, err)
+	}
+}

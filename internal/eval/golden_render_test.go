@@ -1,0 +1,102 @@
+package eval_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dbscan"
+	"pimmine/internal/join"
+	"pimmine/internal/kmeans"
+	"pimmine/internal/knn"
+	"pimmine/internal/motif"
+	"pimmine/internal/outlier"
+	"pimmine/internal/vec"
+)
+
+// The render helpers serialize each mining task's full result with
+// bit-exact hex floats. Both golden layers build on them: the
+// host/PIM/fault triple (golden_test.go) and the delta-engine
+// differential over mutated datasets (golden_delta_test.go).
+
+func renderKNN(s knn.Searcher, queries *vec.Matrix, k int) string {
+	var b strings.Builder
+	for qi := 0; qi < queries.N; qi++ {
+		for _, n := range s.Search(queries.Row(qi), k, arch.NewMeter()) {
+			fmt.Fprintf(&b, "q%d i=%d d=%s\n", qi, n.Index, hexF(n.Dist))
+		}
+	}
+	return b.String()
+}
+
+func renderKMeans(a kmeans.Algorithm, initial *vec.Matrix) string {
+	res := a.Run(initial, 50, arch.NewMeter())
+	var b strings.Builder
+	fmt.Fprintf(&b, "iterations=%d converged=%v sse=%s\n", res.Iterations, res.Converged, hexF(res.SSE))
+	for i, c := range res.Assign {
+		fmt.Fprintf(&b, "assign %d %d\n", i, c)
+	}
+	for ci := 0; ci < res.Centers.N; ci++ {
+		row := res.Centers.Row(ci)
+		parts := make([]string, len(row))
+		for j, v := range row {
+			parts[j] = hexF(v)
+		}
+		fmt.Fprintf(&b, "center %d %s\n", ci, strings.Join(parts, " "))
+	}
+	return b.String()
+}
+
+func renderDBSCAN(t *testing.T, c *dbscan.Clusterer, eps float64, minPts int) string {
+	t.Helper()
+	res, err := c.Run(eps, minPts, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "clusters=%d core=%d\n", res.Clusters, res.CorePoints)
+	for i, l := range res.Labels {
+		fmt.Fprintf(&b, "label %d %d\n", i, l)
+	}
+	return b.String()
+}
+
+func renderOutlier(t *testing.T, d *outlier.Detector, topN, k int) string {
+	t.Helper()
+	top, err := d.TopN(topN, k, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, o := range top {
+		fmt.Fprintf(&b, "i=%d score=%s\n", o.Index, hexF(o.Score))
+	}
+	return b.String()
+}
+
+func renderMotif(t *testing.T, f *motif.Finder, topK int) string {
+	t.Helper()
+	top, err := f.TopK(topK, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, m := range top {
+		fmt.Fprintf(&b, "i=%d j=%d d=%s\n", m.I, m.J, hexF(m.Dist))
+	}
+	return b.String()
+}
+
+func renderJoin(t *testing.T, j *join.Joiner, r *vec.Matrix, eps float64) string {
+	t.Helper()
+	pairs, err := j.Eps(r, eps, false, arch.NewMeter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, p := range pairs {
+		fmt.Fprintf(&b, "r=%d s=%d d2=%s\n", p.R, p.S, hexF(p.DistSq))
+	}
+	return b.String()
+}

@@ -130,15 +130,7 @@ func TestGoldenKNN(t *testing.T) {
 	q := goldenQuant(t)
 	const k = 10
 
-	render := func(s knn.Searcher) string {
-		var b strings.Builder
-		for qi := 0; qi < queries.N; qi++ {
-			for _, n := range s.Search(queries.Row(qi), k, arch.NewMeter()) {
-				fmt.Fprintf(&b, "q%d i=%d d=%s\n", qi, n.Index, hexF(n.Dist))
-			}
-		}
-		return b.String()
-	}
+	render := func(s knn.Searcher) string { return renderKNN(s, queries, k) }
 
 	host := render(knn.NewStandard(ds.X))
 	cs, err := knn.NewFNNPIM(cleanEngine(t), ds.X, q, ds.X.N)
@@ -160,23 +152,7 @@ func TestGoldenKMeans(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	render := func(a kmeans.Algorithm) string {
-		res := a.Run(initial, 50, arch.NewMeter())
-		var b strings.Builder
-		fmt.Fprintf(&b, "iterations=%d converged=%v sse=%s\n", res.Iterations, res.Converged, hexF(res.SSE))
-		for i, c := range res.Assign {
-			fmt.Fprintf(&b, "assign %d %d\n", i, c)
-		}
-		for ci := 0; ci < res.Centers.N; ci++ {
-			row := res.Centers.Row(ci)
-			parts := make([]string, len(row))
-			for j, v := range row {
-				parts[j] = hexF(v)
-			}
-			fmt.Fprintf(&b, "center %d %s\n", ci, strings.Join(parts, " "))
-		}
-		return b.String()
-	}
+	render := func(a kmeans.Algorithm) string { return renderKMeans(a, initial) }
 
 	host := render(kmeans.NewLloyd(ds.X))
 	ca, err := kmeans.NewAssist(cleanEngine(t), ds.X, q, ds.X.N)
@@ -194,18 +170,7 @@ func TestGoldenDBSCAN(t *testing.T) {
 	ds := goldenDataset(t, 300, 16, 4, 0.03)
 	q := goldenQuant(t)
 
-	render := func(c *dbscan.Clusterer) string {
-		res, err := c.Run(0.25, 4, arch.NewMeter())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "clusters=%d core=%d\n", res.Clusters, res.CorePoints)
-		for i, l := range res.Labels {
-			fmt.Fprintf(&b, "label %d %d\n", i, l)
-		}
-		return b.String()
-	}
+	render := func(c *dbscan.Clusterer) string { return renderDBSCAN(t, c, 0.25, 4) }
 
 	host := render(dbscan.New(ds.X))
 	cc, err := dbscan.NewPIM(cleanEngine(t), ds.X, q, ds.X.N)
@@ -223,17 +188,7 @@ func TestGoldenOutlier(t *testing.T) {
 	ds := goldenDataset(t, 350, 24, 5, 0.2)
 	q := goldenQuant(t)
 
-	render := func(d *outlier.Detector) string {
-		top, err := d.TopN(10, 5, arch.NewMeter())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var b strings.Builder
-		for _, o := range top {
-			fmt.Fprintf(&b, "i=%d score=%s\n", o.Index, hexF(o.Score))
-		}
-		return b.String()
-	}
+	render := func(d *outlier.Detector) string { return renderOutlier(t, d, 10, 5) }
 
 	host := render(outlier.NewDetector(ds.X))
 	cd, err := outlier.NewDetectorPIM(cleanEngine(t), ds.X, q, ds.X.N)
@@ -268,17 +223,7 @@ func TestGoldenMotif(t *testing.T) {
 	}
 	q := goldenQuant(t)
 
-	render := func(f *motif.Finder) string {
-		top, err := f.TopK(3, arch.NewMeter())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var b strings.Builder
-		for _, m := range top {
-			fmt.Fprintf(&b, "i=%d j=%d d=%s\n", m.I, m.J, hexF(m.Dist))
-		}
-		return b.String()
-	}
+	render := func(f *motif.Finder) string { return renderMotif(t, f, 3) }
 
 	host := render(motif.NewFinder(windows))
 	cf, err := motif.NewFinderPIM(cleanEngine(t), windows, q, windows.N)
@@ -299,17 +244,7 @@ func TestGoldenJoin(t *testing.T) {
 	q := goldenQuant(t)
 	const eps = 0.22
 
-	render := func(j *join.Joiner) string {
-		pairs, err := j.Eps(r, eps, false, arch.NewMeter())
-		if err != nil {
-			t.Fatal(err)
-		}
-		var b strings.Builder
-		for _, p := range pairs {
-			fmt.Fprintf(&b, "r=%d s=%d d2=%s\n", p.R, p.S, hexF(p.DistSq))
-		}
-		return b.String()
-	}
+	render := func(j *join.Joiner) string { return renderJoin(t, j, r, eps) }
 
 	host := render(join.NewJoiner(s))
 	cj, err := join.NewJoinerPIM(cleanEngine(t), s, q, s.N)

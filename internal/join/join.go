@@ -105,7 +105,7 @@ func (j *Joiner) KNN(r *vec.Matrix, k int, selfJoin bool, meter *arch.Meter) ([]
 			}
 			if j.ix != nil {
 				consults++
-				if j.ix.LB(s, qf, j.dots[s]) >= top.Threshold() {
+				if j.ix.LB(s, qf, j.dots[s]) > top.Threshold() {
 					continue
 				}
 			}

@@ -133,7 +133,7 @@ func (a *SimPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 		}
 		// Prune when even the upper bound cannot beat the k-th best
 		// (threshold holds negated similarity).
-		if -ub >= top.Threshold() {
+		if -ub > top.Threshold() {
 			continue
 		}
 		survivors++

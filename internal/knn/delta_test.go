@@ -1,0 +1,99 @@
+package knn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/bound"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// TestDeltaScanExact checks DeltaScan against a brute-force reference,
+// with and without the OST prefilter, across random caps — including
+// caps that exactly tie candidate distances, the case the strict-prune
+// rule exists for.
+func TestDeltaScanExact(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		d := 2 + rng.Intn(6)
+		k := 1 + rng.Intn(5)
+		m := vec.NewMatrix(n, d)
+		for i := range m.Data {
+			// Coarse grid values force exact distance ties.
+			m.Data[i] = float64(rng.Intn(4)) / 4
+		}
+		q := make([]float64, d)
+		for i := range q {
+			q[i] = float64(rng.Intn(4)) / 4
+		}
+		var ix *bound.OSTIndex
+		if trial%2 == 0 {
+			var err error
+			ix, err = bound.BuildOST(m, d/2)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		cap := math.Inf(1)
+		if trial%3 == 0 {
+			// Pick a cap equal to a real candidate distance.
+			cap = measure.SqEuclidean(m.Row(rng.Intn(n)), q)
+		}
+		meter := arch.NewMeter()
+		got := DeltaScan(m, ix, q, k, cap, meter)
+
+		ref := vec.NewTopK(k)
+		for i := 0; i < n; i++ {
+			ed := measure.SqEuclidean(m.Row(i), q)
+			if ed > cap {
+				continue
+			}
+			ref.Push(i, ed)
+		}
+		want := ref.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d (cap=%v)", trial, len(got), len(want), cap)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: got[%d]=%+v want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDeltaScanEmpty(t *testing.T) {
+	t.Parallel()
+	if got := DeltaScan(nil, nil, []float64{1}, 3, math.Inf(1), nil); got != nil {
+		t.Fatalf("nil delta returned %v", got)
+	}
+	m := vec.NewMatrix(0, 4)
+	if got := DeltaScan(m, nil, make([]float64, 4), 3, math.Inf(1), nil); got != nil {
+		t.Fatalf("empty delta returned %v", got)
+	}
+}
+
+func TestDeltaScanMeters(t *testing.T) {
+	t.Parallel()
+	m := vec.NewMatrix(8, 4)
+	for i := range m.Data {
+		m.Data[i] = float64(i%5) / 5
+	}
+	ix, err := bound.BuildOST(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meter := arch.NewMeter()
+	DeltaScan(m, ix, make([]float64, 4), 3, math.Inf(1), meter)
+	if meter.C("LBDelta").SeqBytes == 0 {
+		t.Fatal("bound stage recorded no traffic")
+	}
+	if meter.C(arch.FuncED).Ops == 0 {
+		t.Fatal("refine stage recorded no ops")
+	}
+}

@@ -92,7 +92,7 @@ func (d *DynamicPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbo
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < d.data.N; i++ {
-		if d.Ix.LB(i, qf, d.dots[i]) >= top.Threshold() {
+		if d.Ix.LB(i, qf, d.dots[i]) > top.Threshold() {
 			continue
 		}
 		survivors++

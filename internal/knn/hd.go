@@ -132,7 +132,7 @@ func (a *HDPIM) Search(q measure.BitVector, k int, meter *arch.Meter) []vec.Neig
 		words := int64((a.Ix.D + 63) / 64)
 		for i := 0; i < n; i++ {
 			lb := float64(a.Ix.HD1(i, qOnes, a.dots[i]))
-			if lb >= top.Threshold() {
+			if lb > top.Threshold() {
 				continue
 			}
 			top.Push(i, float64(measure.Hamming(a.Ix.Codes[i], q)))

@@ -68,7 +68,7 @@ func (o *OST) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < o.Data.N; i++ {
-		if o.Ix.LB(i, q, qTail) >= top.Threshold() {
+		if o.Ix.LB(i, q, qTail) > top.Threshold() {
 			continue
 		}
 		survivors++
@@ -119,7 +119,7 @@ func (s *SM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < s.Data.N; i++ {
-		if s.Ix.LB(i, qMu) >= top.Threshold() {
+		if s.Ix.LB(i, qMu) > top.Threshold() {
 			continue
 		}
 		survivors++
@@ -201,7 +201,7 @@ func (f *FNN) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 		pruned := false
 		for li, ix := range f.Levels {
 			entered[li]++
-			if ix.LB(i, qs[li].mu, qs[li].sigma) >= top.Threshold() {
+			if ix.LB(i, qs[li].mu, qs[li].sigma) > top.Threshold() {
 				pruned = true
 				break
 			}

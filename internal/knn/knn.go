@@ -53,6 +53,15 @@ type Stager interface {
 	LastStages() []StageStat
 }
 
+// Preprocessor is implemented by searchers whose construction does
+// offline work with a modeled hardware cost — for the PIM variants,
+// programming the quantized payloads onto crossbars. Callers that
+// rebuild searchers at runtime (the delta compactor) use it to charge
+// re-programming to the meter.
+type Preprocessor interface {
+	RecordPreprocessing(meter *arch.Meter)
+}
+
 // operandBytes is the modeled width of one data operand (32 bits,
 // matching arch.Config's default; meters deliberately count bytes so they
 // are independent of the configuration object).

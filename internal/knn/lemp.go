@@ -47,7 +47,7 @@ func (s *SimLEMP) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 		if pn := s.Ix.Norm[i]; pn > 0 && qNorm > 0 {
 			ub = s.Ix.UBDot(i, q, qTail) / (pn * qNorm)
 		}
-		if -ub >= top.Threshold() {
+		if -ub > top.Threshold() {
 			continue
 		}
 		survivors++

@@ -149,7 +149,7 @@ func (s *StandardPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < s.Data.N; i++ {
-		if s.filter.lb(i, qf) >= top.Threshold() {
+		if s.filter.lb(i, qf) > top.Threshold() {
 			continue
 		}
 		survivors++
@@ -278,13 +278,13 @@ func (a *FNNPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 	entered := make([]int, len(a.HostLevels)+2) // [pim, host..., exact]
 	for i := 0; i < a.Data.N; i++ {
 		entered[0]++
-		if a.filter.lb(i, qf) >= top.Threshold() {
+		if a.filter.lb(i, qf) > top.Threshold() {
 			continue
 		}
 		pruned := false
 		for li, ix := range a.HostLevels {
 			entered[1+li]++
-			if ix.LB(i, qs[li].mu, qs[li].sigma) >= top.Threshold() {
+			if ix.LB(i, qs[li].mu, qs[li].sigma) > top.Threshold() {
 				pruned = true
 				break
 			}
@@ -413,7 +413,7 @@ func (a *SMPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.M
 	top := vec.NewTopK(k)
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
-		if float64(a.L)*a.Ix.LB(i, qf, a.dots[i]) >= top.Threshold() {
+		if float64(a.L)*a.Ix.LB(i, qf, a.dots[i]) > top.Threshold() {
 			continue
 		}
 		survivors++
@@ -528,7 +528,7 @@ func (a *OSTPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
 		dt := a.Tail[i] - qTail
-		if a.Ix.LB(i, qf, a.dots[i])+dt*dt >= top.Threshold() {
+		if a.Ix.LB(i, qf, a.dots[i])+dt*dt > top.Threshold() {
 			continue
 		}
 		survivors++

@@ -155,7 +155,7 @@ func (d *Detector) TopN(n, k int, meter *arch.Meter) ([]Outlier, error) {
 			}
 			if d.ix != nil {
 				consults++
-				if d.ix.LB(j, qf, d.dots[j]) >= top.Threshold() {
+				if d.ix.LB(j, qf, d.dots[j]) > top.Threshold() {
 					continue
 				}
 			}

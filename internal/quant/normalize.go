@@ -1,0 +1,159 @@
+package quant
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pimmine/internal/vec"
+)
+
+// The quantizer's input contract is "finite values in [0,1]" (§V-B
+// normalizes before scaling by α). Floor enforces that contract with a
+// panic because its callers feed it already-validated data on hot paths;
+// the functions in this file are the validated boundary for data arriving
+// from outside the pipeline — online inserts, user-supplied matrices —
+// where a malformed vector must surface as an error, not a crash.
+
+// Typed validation errors. Wrapped errors carry the offending position;
+// match with errors.Is.
+var (
+	// ErrNotFinite reports a NaN or ±Inf input value.
+	ErrNotFinite = errors.New("quant: non-finite value")
+	// ErrOutOfRange reports a finite value outside the normalized [0,1]
+	// domain the quantizer requires.
+	ErrOutOfRange = errors.New("quant: value outside [0,1]")
+)
+
+// Check validates one normalized value for quantization.
+func Check(v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("%w: %v", ErrNotFinite, v)
+	}
+	if v < 0 || v > 1 {
+		return fmt.Errorf("%w: %v", ErrOutOfRange, v)
+	}
+	return nil
+}
+
+// CheckVec validates a whole vector, reporting the first offending
+// dimension. A vector that passes CheckVec is safe for Floor/FloorVec.
+func CheckVec(v []float64) error {
+	for i, x := range v {
+		if err := Check(x); err != nil {
+			return fmt.Errorf("dim %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Transform is an affine min-max map x ↦ (x − Lo) / Span into [0,1]; Span
+// is never zero (zero-range data records Span 1 and maps to 0).
+type Transform struct {
+	Lo, Span float64
+}
+
+// Apply maps one raw value into the normalized domain, clamped to [0,1]
+// (queries drawn near the data's range can land slightly outside it, as
+// internal/dataset's query generator does).
+func (t Transform) Apply(v float64) float64 {
+	x := (v - t.Lo) / t.Span
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}
+
+// ApplyVec maps a raw vector into dst (allocating when dst is too short)
+// and returns it.
+func (t Transform) ApplyVec(v []float64, dst []float64) []float64 {
+	if cap(dst) < len(v) {
+		dst = make([]float64, len(v))
+	}
+	dst = dst[:len(v)]
+	for i, x := range v {
+		dst[i] = t.Apply(x)
+	}
+	return dst
+}
+
+// Normalize min-max normalizes a matrix in place with one global
+// transform (the §V-B recipe: an isotropic affine map preserves
+// nearest-neighbor and clustering structure exactly) and returns the
+// transform so queries can be mapped into the same space.
+//
+// Edge cases are well defined rather than degenerate: a zero-range matrix
+// (every value equal — including any single-point 1×d dataset with
+// constant values) maps to all zeros with Span recorded as 1, so Apply
+// never divides by zero; any NaN or ±Inf input is rejected with
+// ErrNotFinite and the matrix is left untouched.
+func Normalize(m *vec.Matrix) (Transform, error) {
+	if m == nil || len(m.Data) == 0 {
+		return Transform{Lo: 0, Span: 1}, nil
+	}
+	lo, hi := m.Data[0], m.Data[0]
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return Transform{}, fmt.Errorf("quant: row %d dim %d: %w: %v", i/m.D, i%m.D, ErrNotFinite, v)
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	if span == 0 {
+		for i := range m.Data {
+			m.Data[i] = 0
+		}
+		return Transform{Lo: lo, Span: 1}, nil
+	}
+	for i := range m.Data {
+		m.Data[i] = (m.Data[i] - lo) / span
+	}
+	return Transform{Lo: lo, Span: span}, nil
+}
+
+// NormalizeDims min-max normalizes each dimension independently in place
+// and returns one Transform per dimension. Zero-range dimensions (every
+// row holds the same value there — always the case for a single-point
+// dataset) map to 0 with Span 1; NaN/±Inf inputs are rejected with
+// ErrNotFinite before any value is modified.
+//
+// Unlike Normalize, the per-dimension map is anisotropic and does NOT
+// preserve Euclidean structure; it is the right choice only when
+// dimensions carry incommensurate units and the caller wants each to
+// span the full quantization range.
+func NormalizeDims(m *vec.Matrix) ([]Transform, error) {
+	if m == nil || m.N == 0 || m.D == 0 {
+		return nil, nil
+	}
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("quant: row %d dim %d: %w: %v", i/m.D, i%m.D, ErrNotFinite, v)
+		}
+	}
+	ts := make([]Transform, m.D)
+	for j := 0; j < m.D; j++ {
+		lo, hi := m.Data[j], m.Data[j]
+		for i := 1; i < m.N; i++ {
+			v := m.Data[i*m.D+j]
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		span := hi - lo
+		if span == 0 {
+			for i := 0; i < m.N; i++ {
+				m.Data[i*m.D+j] = 0
+			}
+			ts[j] = Transform{Lo: lo, Span: 1}
+			continue
+		}
+		for i := 0; i < m.N; i++ {
+			m.Data[i*m.D+j] = (m.Data[i*m.D+j] - lo) / span
+		}
+		ts[j] = Transform{Lo: lo, Span: span}
+	}
+	return ts, nil
+}

@@ -1,0 +1,221 @@
+package quant
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pimmine/internal/vec"
+)
+
+func TestCheckTypedErrors(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		v    float64
+		want error
+	}{
+		{0, nil},
+		{1, nil},
+		{0.5, nil},
+		{math.NaN(), ErrNotFinite},
+		{math.Inf(1), ErrNotFinite},
+		{math.Inf(-1), ErrNotFinite},
+		{-0.001, ErrOutOfRange},
+		{1.001, ErrOutOfRange},
+	}
+	for _, c := range cases {
+		err := Check(c.v)
+		if c.want == nil {
+			if err != nil {
+				t.Errorf("Check(%v) = %v, want nil", c.v, err)
+			}
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("Check(%v) = %v, want errors.Is %v", c.v, err, c.want)
+		}
+	}
+}
+
+func TestCheckVecReportsDimension(t *testing.T) {
+	t.Parallel()
+	if err := CheckVec([]float64{0, 0.5, 1}); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+	err := CheckVec([]float64{0.1, math.NaN(), 0.2})
+	if !errors.Is(err, ErrNotFinite) {
+		t.Fatalf("NaN not reported as ErrNotFinite: %v", err)
+	}
+	err = CheckVec([]float64{0.1, 0.2, 1.5})
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("out-of-range not reported as ErrOutOfRange: %v", err)
+	}
+	// A vector that passes CheckVec must be safe for Floor.
+	q := Quantizer{Alpha: DefaultAlpha}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Floor panicked on CheckVec-validated input: %v", r)
+		}
+	}()
+	q.FloorVec([]float64{0, 1, 0.999999}, nil)
+}
+
+func TestNormalizeGlobal(t *testing.T) {
+	t.Parallel()
+	m := vec.NewMatrix(2, 3)
+	copy(m.Data, []float64{2, 4, 6, 8, 10, 12})
+	tr, err := Normalize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Lo != 2 || tr.Span != 10 {
+		t.Fatalf("transform = %+v, want {2 10}", tr)
+	}
+	want := []float64{0, 0.2, 0.4, 0.6, 0.8, 1}
+	for i, v := range m.Data {
+		if v != want[i] {
+			t.Fatalf("data[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+	if err := CheckVec(m.Data); err != nil {
+		t.Fatalf("normalized data fails CheckVec: %v", err)
+	}
+	// Queries map through the same transform, clamped.
+	if got := tr.Apply(7); got != 0.5 {
+		t.Fatalf("Apply(7) = %v, want 0.5", got)
+	}
+	if got := tr.Apply(-100); got != 0 {
+		t.Fatalf("Apply(-100) = %v, want clamp to 0", got)
+	}
+	if got := tr.Apply(100); got != 1 {
+		t.Fatalf("Apply(100) = %v, want clamp to 1", got)
+	}
+}
+
+func TestNormalizeZeroRange(t *testing.T) {
+	t.Parallel()
+	m := vec.NewMatrix(3, 2)
+	for i := range m.Data {
+		m.Data[i] = 7.5
+	}
+	tr, err := Normalize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Span == 0 {
+		t.Fatal("zero-range normalize must record nonzero Span")
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("data[%d] = %v, want 0 for zero-range input", i, v)
+		}
+	}
+	// Apply on the recorded transform must not divide by zero.
+	if got := tr.Apply(7.5); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("Apply on zero-range transform = %v", got)
+	}
+}
+
+func TestNormalizeSinglePoint(t *testing.T) {
+	t.Parallel()
+	// A single-point dataset has zero range in every dimension under
+	// both the global and per-dimension recipes.
+	m := vec.NewMatrix(1, 4)
+	copy(m.Data, []float64{3, -1, 0, 42})
+	mGlobal := m.Clone()
+	tr, err := Normalize(mGlobal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Global: range is [-1,42], so values normalize normally.
+	if tr.Lo != -1 || tr.Span != 43 {
+		t.Fatalf("global transform = %+v, want {-1 43}", tr)
+	}
+	if err := CheckVec(mGlobal.Data); err != nil {
+		t.Fatalf("normalized single point fails CheckVec: %v", err)
+	}
+
+	ts, err := NormalizeDims(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 4 {
+		t.Fatalf("got %d transforms, want 4", len(ts))
+	}
+	for j, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("per-dim single point data[%d] = %v, want 0", j, v)
+		}
+		if ts[j].Span == 0 {
+			t.Fatalf("dim %d recorded zero Span", j)
+		}
+	}
+}
+
+func TestNormalizeDimsZeroRangeDimension(t *testing.T) {
+	t.Parallel()
+	// Dimension 1 is constant; dimensions 0 and 2 vary.
+	m := vec.NewMatrix(3, 3)
+	copy(m.Data, []float64{
+		0, 5, 10,
+		1, 5, 20,
+		2, 5, 30,
+	})
+	ts, err := NormalizeDims(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := m.Data[i*3+1]; got != 0 {
+			t.Fatalf("constant dim row %d = %v, want 0", i, got)
+		}
+	}
+	if ts[1].Span == 0 {
+		t.Fatal("constant dim recorded zero Span")
+	}
+	// Varying dims span [0,1] exactly.
+	if m.Data[0*3+0] != 0 || m.Data[2*3+0] != 1 {
+		t.Fatalf("dim 0 endpoints = %v, %v", m.Data[0], m.Data[6])
+	}
+	if m.Data[0*3+2] != 0 || m.Data[2*3+2] != 1 {
+		t.Fatalf("dim 2 endpoints = %v, %v", m.Data[2], m.Data[8])
+	}
+	if err := CheckVec(m.Data); err != nil {
+		t.Fatalf("per-dim normalized data fails CheckVec: %v", err)
+	}
+}
+
+func TestNormalizeRejectsNonFinite(t *testing.T) {
+	t.Parallel()
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		m := vec.NewMatrix(2, 2)
+		copy(m.Data, []float64{1, 2, 3, 4})
+		orig := append([]float64(nil), m.Data...)
+		m.Data[3] = bad
+		orig[3] = bad
+		if _, err := Normalize(m); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("Normalize(%v) err = %v, want ErrNotFinite", bad, err)
+		}
+		for i, v := range m.Data {
+			same := v == orig[i] || (math.IsNaN(v) && math.IsNaN(orig[i]))
+			if !same {
+				t.Fatalf("Normalize mutated data before rejecting: idx %d", i)
+			}
+		}
+		if _, err := NormalizeDims(m); !errors.Is(err, ErrNotFinite) {
+			t.Fatalf("NormalizeDims(%v) err = %v, want ErrNotFinite", bad, err)
+		}
+	}
+}
+
+func TestNormalizeEmpty(t *testing.T) {
+	t.Parallel()
+	tr, err := Normalize(nil)
+	if err != nil || tr.Span == 0 {
+		t.Fatalf("Normalize(nil) = %+v, %v", tr, err)
+	}
+	ts, err := NormalizeDims(nil)
+	if err != nil || ts != nil {
+		t.Fatalf("NormalizeDims(nil) = %v, %v", ts, err)
+	}
+}

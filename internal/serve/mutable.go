@@ -1,0 +1,438 @@
+// Mutable serving: the sharded engine layered over internal/delta's
+// mutable stores. Each shard owns a delta.Store (host-side delta buffer,
+// tombstones, endurance-ledgered compaction) over its slice of the
+// dataset; the engine owns the global id space, routing initial ids by
+// contiguous range and inserted ids round-robin. Because ids are
+// allocated monotonically and every store keeps its rows in ascending
+// global-id order, per-shard results are canonical under (dist, id) and
+// the shard merge stays exact — byte-identical to a fresh engine built
+// over the merged live dataset.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/delta"
+	"pimmine/internal/knn"
+	"pimmine/internal/obs"
+	"pimmine/internal/pim"
+	"pimmine/internal/pool"
+	"pimmine/internal/vec"
+)
+
+// MutableOptions configures NewMutable.
+type MutableOptions struct {
+	// Options carries the shard count, variant, framework, capacity,
+	// worker pool and observability wiring, with the same defaults as
+	// the immutable engine. Options.Factory is ignored — mutable shards
+	// must be rebuildable, so searchers come from the variant builder.
+	Options
+
+	// MaxDelta and MaxTombstoneRatio are per-shard compaction triggers
+	// (see delta.Options; defaults 256 rows and 0.25).
+	MaxDelta          int
+	MaxTombstoneRatio float64
+	// AutoCompact lets each store compact in the background when a
+	// trigger trips; otherwise call Compact explicitly.
+	AutoCompact bool
+	// WriteBudget, when positive, meters compaction endurance: each
+	// shard gets a wear-leveling ledger whose tiles allow this many
+	// programming cycles. PIM variants price images in Theorem 4
+	// crossbars; host variants charge one tile per image against a
+	// two-tile (double-buffered) ledger. Zero disables metering.
+	WriteBudget uint32
+}
+
+// MutableEngine is the sharded mutable query engine: Search/SearchBatch
+// stay lock-free against Insert/Update/Delete and background
+// compaction, per shard, via delta's epoch snapshots. Mutations
+// serialize on the engine's routing lock (mutation throughput is not
+// the design target; query concurrency is).
+type MutableEngine struct {
+	d      int
+	opts   MutableOptions
+	stores []*delta.Store
+	// bounds[i]..bounds[i+1] is shard i's initial contiguous id range.
+	bounds []int
+
+	mu     sync.Mutex // guards nextID, rr, routes, and store mutation order
+	nextID int
+	rr     int
+	routes map[int]int // inserted id → shard
+
+	closeMu sync.RWMutex
+	closed  bool
+
+	degraded []bool // per shard: variant build failed, serving host scan
+}
+
+// NewMutable partitions data row-wise into per-shard mutable stores.
+// Rows keep their ids (0..N-1) across mutations and compactions;
+// inserts extend the id space monotonically.
+func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
+	if data == nil || data.N == 0 {
+		return nil, fmt.Errorf("serve: empty dataset")
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = runtime.GOMAXPROCS(0)
+	}
+	if opts.Shards > data.N {
+		opts.Shards = data.N
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CapacityN <= 0 {
+		opts.CapacityN = data.N
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantStandard
+	}
+	build, err := variantBuilder(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	e := &MutableEngine{
+		d:      data.D,
+		opts:   opts,
+		nextID: data.N,
+		routes: make(map[int]int),
+	}
+	shardCap := shardCapacity(opts.Options)
+	var reg *obs.Registry
+	if opts.Obs != nil {
+		reg = opts.Obs.Registry()
+	}
+	s := opts.Shards
+	base, rem := data.N/s, data.N%s
+	lo := 0
+	e.degraded = make([]bool, s)
+	for id := 0; id < s; id++ {
+		rows := base
+		if id < rem {
+			rows++
+		}
+		shardID := id
+		// Graceful degradation mirrors the immutable engine: a variant
+		// build failure (e.g. dead crossbars after fault injection)
+		// falls back to the exact host scan for that epoch and is
+		// reported, never fatal. The ledger charge stands — the
+		// programming attempt happened.
+		factory := func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
+			srch, err := build(m, capacityN)
+			if err != nil {
+				e.degraded[shardID] = true
+				return knn.NewStandard(m), nil
+			}
+			return srch, nil
+		}
+		dopts := delta.Options{
+			Factory:           factory,
+			MaxDelta:          opts.MaxDelta,
+			MaxTombstoneRatio: opts.MaxTombstoneRatio,
+			AutoCompact:       opts.AutoCompact,
+			CapacityRows:      shardCap,
+			IDOffset:          lo,
+		}
+		if reg != nil {
+			dopts.Metrics = delta.NewMetrics(reg, obs.Label{Key: "shard", Value: fmt.Sprint(id)})
+		}
+		if opts.WriteBudget > 0 {
+			if opts.Framework != nil {
+				model := pim.ModelFor(opts.Framework.Cfg)
+				dopts.Model = &model
+				dopts.Ledger, err = delta.NewLedger(opts.Framework.Cfg.NumCrossbars(), opts.WriteBudget)
+			} else {
+				// Host variants: image-granularity accounting with
+				// double buffering (old epoch holds its tile until the
+				// last reader drains).
+				dopts.Ledger, err = delta.NewLedger(2, opts.WriteBudget)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		st, err := delta.New(data.Slice(lo, lo+rows), dopts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: shard %d: %w", id, err)
+		}
+		e.stores = append(e.stores, st)
+		e.bounds = append(e.bounds, lo)
+		lo += rows
+	}
+	e.bounds = append(e.bounds, lo)
+	return e, nil
+}
+
+// NumShards returns the partition count in effect.
+func (e *MutableEngine) NumShards() int { return len(e.stores) }
+
+// DegradedShards returns the ids of shards whose current epoch serves
+// the host fallback.
+func (e *MutableEngine) DegradedShards() []int {
+	var out []int
+	for i, d := range e.degraded {
+		if d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// shardOf locates the store owning an id: initial ids by range,
+// inserted ids through the routing table. Returns -1 when unknown.
+func (e *MutableEngine) shardOf(id int) int {
+	if id >= 0 && id < e.bounds[len(e.bounds)-1] {
+		// bounds is ascending; the owning shard is the last lower bound.
+		return sort.SearchInts(e.bounds, id+1) - 1
+	}
+	if sh, ok := e.routes[id]; ok {
+		return sh
+	}
+	return -1
+}
+
+// Insert adds a vector under a fresh global id, placing it round-robin
+// across shards. The vector must be normalized (quant.CheckVec).
+func (e *MutableEngine) Insert(v []float64) (int, error) {
+	release, err := e.acquireMut()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	sh := e.rr
+	if err := e.stores[sh].InsertAt(id, v); err != nil {
+		return 0, err
+	}
+	e.nextID++
+	e.rr = (e.rr + 1) % len(e.stores)
+	e.routes[id] = sh
+	return id, nil
+}
+
+// Update replaces the vector of an existing id in place (the id, and
+// with it the tie order, is preserved).
+func (e *MutableEngine) Update(id int, v []float64) error {
+	release, err := e.acquireMut()
+	if err != nil {
+		return err
+	}
+	defer release()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh := e.shardOf(id)
+	if sh < 0 {
+		return fmt.Errorf("%w: %d", delta.ErrNotFound, id)
+	}
+	return e.stores[sh].Update(id, v)
+}
+
+// Delete removes an id.
+func (e *MutableEngine) Delete(id int) error {
+	release, err := e.acquireMut()
+	if err != nil {
+		return err
+	}
+	defer release()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sh := e.shardOf(id)
+	if sh < 0 {
+		return fmt.Errorf("%w: %d", delta.ErrNotFound, id)
+	}
+	if err := e.stores[sh].Delete(id); err != nil {
+		return err
+	}
+	delete(e.routes, id)
+	return nil
+}
+
+// acquireMut and acquireQuery gate operations against Close. Queries
+// and mutations both hold the read side; Close takes the write side, so
+// it drains everything in flight and is idempotent.
+func (e *MutableEngine) acquireMut() (func(), error) {
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	return e.closeMu.RUnlock, nil
+}
+
+// Search answers one exact kNN query over the live rows of every shard.
+// It never blocks on mutations or compactions.
+func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
+	release, err := e.acquireMut()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(q) != e.d {
+		return nil, fmt.Errorf("serve: query has %d dims, dataset has %d", len(q), e.d)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: need k >= 1, got %d", k)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	type out struct {
+		id    int
+		nn    []vec.Neighbor
+		meter *arch.Meter
+		err   error
+	}
+	ch := make(chan out, len(e.stores))
+	for i, st := range e.stores {
+		go func(i int, st *delta.Store) {
+			m := arch.NewMeter()
+			nn, err := st.Search(q, k, m)
+			ch <- out{id: i, nn: nn, meter: m, err: err}
+		}(i, st)
+	}
+	meters := make([]*arch.Meter, len(e.stores))
+	lists := make([][]vec.Neighbor, 0, len(e.stores))
+	for range e.stores {
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				return nil, fmt.Errorf("serve: shard %d: %w", o.id, o.err)
+			}
+			meters[o.id] = o.meter
+			lists = append(lists, o.nn)
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	meter := arch.NewMeter()
+	for _, m := range meters {
+		meter.Merge(m)
+	}
+	return &Result{
+		Neighbors:   vec.MergeNeighbors(k, lists...),
+		Meter:       meter,
+		ShardMeters: meters,
+		Degraded:    e.DegradedShards(),
+	}, nil
+}
+
+// SearchBatch answers a query matrix through a bounded worker pool,
+// exactly like the immutable engine's batch path.
+func (e *MutableEngine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*BatchResult, error) {
+	if queries == nil || queries.N == 0 {
+		return &BatchResult{Meter: arch.NewMeter()}, nil
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("serve: batch needs k >= 1, got %d", k)
+	}
+	res := &BatchResult{
+		Results: make([]*Result, queries.N),
+		Meter:   arch.NewMeter(),
+	}
+	err := pool.Run(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
+		return func(qi int) error {
+			r, err := e.Search(ctx, queries.Row(qi), k)
+			if err != nil {
+				return fmt.Errorf("serve: query %d: %w", qi, err)
+			}
+			res.Results[qi] = r
+			return nil
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range res.Results {
+		res.Meter.Merge(r.Meter)
+	}
+	return res, nil
+}
+
+// Compact folds every shard's delta and tombstones into fresh base
+// images (shards compact independently; a shard with nothing to fold is
+// a no-op). The first error aborts and is returned; remaining shards
+// keep their current epochs.
+func (e *MutableEngine) Compact(meter *arch.Meter) error {
+	release, err := e.acquireMut()
+	if err != nil {
+		return err
+	}
+	defer release()
+	for i, st := range e.stores {
+		if err := st.Compact(meter); err != nil {
+			return fmt.Errorf("serve: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stats aggregates per-shard delta statistics.
+func (e *MutableEngine) Stats() []delta.Stats {
+	out := make([]delta.Stats, len(e.stores))
+	for i, st := range e.stores {
+		out[i] = st.Stats()
+	}
+	return out
+}
+
+// Materialize merges every shard's live rows into one matrix in
+// ascending global id order with the id directory — the dataset an
+// equivalent fresh engine would be built from.
+func (e *MutableEngine) Materialize() (*vec.Matrix, []int) {
+	type part struct {
+		m   *vec.Matrix
+		ids []int
+	}
+	parts := make([]part, len(e.stores))
+	total := 0
+	for i, st := range e.stores {
+		m, ids := st.Materialize()
+		parts[i] = part{m, ids}
+		total += len(ids)
+	}
+	// K-way merge by ascending id (per-shard lists are already sorted).
+	ids := make([]int, 0, total)
+	out := vec.NewMatrix(total, e.d)
+	cursor := make([]int, len(parts))
+	for row := 0; row < total; row++ {
+		best := -1
+		for i, p := range parts {
+			if cursor[i] >= len(p.ids) {
+				continue
+			}
+			if best < 0 || p.ids[cursor[i]] < parts[best].ids[cursor[best]] {
+				best = i
+			}
+		}
+		p := parts[best]
+		copy(out.Row(row), p.m.Row(cursor[best]))
+		ids = append(ids, p.ids[cursor[best]])
+		cursor[best]++
+	}
+	return out, ids
+}
+
+// Close shuts every shard store down (draining background compactions)
+// and fails subsequent operations with ErrClosed. Idempotent.
+func (e *MutableEngine) Close() error {
+	e.closeMu.Lock()
+	already := e.closed
+	e.closed = true
+	e.closeMu.Unlock()
+	// Store Close is itself idempotent; closing again on a concurrent
+	// call is harmless and keeps Close's contract symmetric with the
+	// immutable engine.
+	_ = already
+	for _, st := range e.stores {
+		st.Close()
+	}
+	return nil
+}

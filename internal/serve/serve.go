@@ -131,6 +131,9 @@ func (sh *shard) search(ctx context.Context, q []float64, k int) ([]vec.Neighbor
 	return nn, m
 }
 
+// ErrClosed reports an operation on an engine after Close.
+var ErrClosed = fmt.Errorf("serve: engine closed")
+
 // Engine is the sharded concurrent query engine. It is safe for
 // concurrent use by multiple goroutines.
 type Engine struct {
@@ -139,6 +142,32 @@ type Engine struct {
 	degraded []int // shard ids that fell back to the host exact scan
 	opts     Options
 	eobs     *engineObs // nil when Options.Obs is nil
+
+	// closeMu gates the query paths against Close: queries hold the
+	// read side for their duration, so Close drains in-flight work.
+	closeMu sync.RWMutex
+	closed  bool
+}
+
+// Close drains in-flight queries and shuts the engine down; subsequent
+// queries return ErrClosed. It is idempotent — a second (or concurrent)
+// Close neither panics nor deadlocks, it just waits for the same drain.
+func (e *Engine) Close() error {
+	e.closeMu.Lock()
+	e.closed = true
+	e.closeMu.Unlock()
+	return nil
+}
+
+// acquire takes a query lease; the returned release must be called when
+// the query finishes. It fails once Close has run.
+func (e *Engine) acquire() (release func(), err error) {
+	e.closeMu.RLock()
+	if e.closed {
+		e.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	return e.closeMu.RUnlock, nil
 }
 
 // New partitions data row-wise and builds one searcher per shard. A shard
@@ -218,8 +247,19 @@ func checkAlive(s knn.Searcher, eng *pim.Engine, err error) (knn.Searcher, error
 	return s, nil
 }
 
-// variantFactory maps a Variant to a per-shard searcher constructor.
-func variantFactory(opts Options) (Factory, error) {
+// capFactory builds a searcher over a matrix with an explicit Theorem 4
+// sizing cardinality. It is the capacity-parameterized core both the
+// static per-shard Factory and the mutable engine's compaction rebuilds
+// (internal/delta, which re-runs dimension selection as occupancy
+// changes) are derived from.
+type capFactory func(m *vec.Matrix, capacityN int) (knn.Searcher, error)
+
+// variantBuilder maps a Variant to a capacity-parameterized searcher
+// constructor. PIM variants build a fresh array per call — programming
+// is what burns endurance, so reuse is deliberately impossible here and
+// accounted for by the caller (the delta ledger or the one-shot shard
+// build).
+func variantBuilder(opts Options) (capFactory, error) {
 	fw := opts.Framework
 	needFW := func(v Variant) error {
 		if fw == nil {
@@ -227,9 +267,6 @@ func variantFactory(opts Options) (Factory, error) {
 		}
 		return nil
 	}
-	// Theorem 4 sizing per shard: each shard answers for an even share of
-	// the full-scale cardinality on its own array.
-	shardCap := (opts.CapacityN + opts.Shards - 1) / opts.Shards
 	switch v := opts.Variant; v {
 	case VariantStandard:
 		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
@@ -251,53 +288,72 @@ func variantFactory(opts Options) (Factory, error) {
 		if err := needFW(v); err != nil {
 			return nil, err
 		}
-		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+		return func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
 			eng, err := fw.NewEngine()
 			if err != nil {
 				return nil, err
 			}
-			s, err := knn.NewStandardPIM(eng, m, fw.Quant, shardCap)
+			s, err := knn.NewStandardPIM(eng, m, fw.Quant, capacityN)
 			return checkAlive(s, eng, err)
 		}, nil
 	case VariantOSTPIM:
 		if err := needFW(v); err != nil {
 			return nil, err
 		}
-		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+		return func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
 			eng, err := fw.NewEngine()
 			if err != nil {
 				return nil, err
 			}
-			s, err := knn.NewOSTPIM(eng, m, fw.Quant, m.D/2, shardCap)
+			s, err := knn.NewOSTPIM(eng, m, fw.Quant, m.D/2, capacityN)
 			return checkAlive(s, eng, err)
 		}, nil
 	case VariantSMPIM:
 		if err := needFW(v); err != nil {
 			return nil, err
 		}
-		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+		return func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
 			eng, err := fw.NewEngine()
 			if err != nil {
 				return nil, err
 			}
-			s, err := knn.NewSMPIM(eng, m, fw.Quant, bound.FNNLevels(m.D)[2], shardCap)
+			s, err := knn.NewSMPIM(eng, m, fw.Quant, bound.FNNLevels(m.D)[2], capacityN)
 			return checkAlive(s, eng, err)
 		}, nil
 	case VariantFNNPIM:
 		if err := needFW(v); err != nil {
 			return nil, err
 		}
-		return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+		return func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
 			eng, err := fw.NewEngine()
 			if err != nil {
 				return nil, err
 			}
-			s, err := knn.NewFNNPIM(eng, m, fw.Quant, shardCap)
+			s, err := knn.NewFNNPIM(eng, m, fw.Quant, capacityN)
 			return checkAlive(s, eng, err)
 		}, nil
 	default:
 		return nil, fmt.Errorf("serve: unknown variant %q", opts.Variant)
 	}
+}
+
+// shardCapacity is the Theorem 4 sizing per shard: each shard answers
+// for an even share of the full-scale cardinality on its own array.
+func shardCapacity(opts Options) int {
+	return (opts.CapacityN + opts.Shards - 1) / opts.Shards
+}
+
+// variantFactory maps a Variant to a per-shard searcher constructor with
+// the shard capacity fixed at engine-build time.
+func variantFactory(opts Options) (Factory, error) {
+	build, err := variantBuilder(opts)
+	if err != nil {
+		return nil, err
+	}
+	shardCap := shardCapacity(opts)
+	return func(m *vec.Matrix, _ int) (knn.Searcher, error) {
+		return build(m, shardCap)
+	}, nil
 }
 
 // NumShards returns the partition count in effect.
@@ -363,6 +419,11 @@ type shardOut struct {
 // deadline; a canceled query returns the context's error. Search is safe
 // to call concurrently.
 func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, err error) {
+	release, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
 	if len(q) != e.data.D {
 		return nil, fmt.Errorf("serve: query has %d dims, dataset has %d", len(q), e.data.D)
 	}

@@ -1,0 +1,33 @@
+package vec
+
+import "sort"
+
+// MergeNeighbors merges per-source top-k lists into one global top-k,
+// ordered by (Dist, Index) — the same total order TopK.Results and the
+// serve shard merge use — and truncated to k.
+//
+// Exactness argument: if every source contributes its own k best under
+// (dist, index) order, the global k best are a subset of the union, so
+// sorting the concatenation and truncating is equivalent to a single
+// scan over all sources. Inputs need not be sorted; indices must already
+// be in the shared (global) id space.
+func MergeNeighbors(k int, lists ...[]Neighbor) []Neighbor {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]Neighbor, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].Index < out[j].Index
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

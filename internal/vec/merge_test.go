@@ -1,0 +1,112 @@
+package vec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeNeighborsMatchesSingleScan(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(8)
+		nSources := 1 + rng.Intn(4)
+		// Simulate a global candidate pool partitioned across sources.
+		nTotal := rng.Intn(40)
+		all := make([]Neighbor, nTotal)
+		lists := make([][]Neighbor, nSources)
+		tops := make([]*TopK, nSources)
+		for s := range tops {
+			tops[s] = NewTopK(k)
+		}
+		for i := 0; i < nTotal; i++ {
+			// Coarse distances force ties; index i is the global id.
+			d := float64(rng.Intn(5))
+			all[i] = Neighbor{Index: i, Dist: d}
+			tops[rng.Intn(nSources)].Push(i, d)
+		}
+		for s, tp := range tops {
+			lists[s] = tp.Results()
+		}
+		got := MergeNeighbors(k, lists...)
+
+		ref := NewTopK(k)
+		for _, nb := range all {
+			ref.Push(nb.Index, nb.Dist)
+		}
+		want := ref.Results()
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d != %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: merged[%d] = %+v, want %+v\ngot %v\nwant %v",
+					trial, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// TestTopKCanonicalUnderTies pins the property the delta subsystem's
+// exactness proof rests on: the collected set depends only on the
+// candidates offered, not on their arrival order, even with tied
+// distances at the k-th boundary.
+func TestTopKCanonicalUnderTies(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(5)
+		n := rng.Intn(25)
+		cand := make([]Neighbor, n)
+		for i := range cand {
+			cand[i] = Neighbor{Index: i, Dist: float64(rng.Intn(4))}
+		}
+		var base []Neighbor
+		for pass := 0; pass < 3; pass++ {
+			order := rng.Perm(n)
+			top := NewTopK(k)
+			for _, i := range order {
+				top.Push(cand[i].Index, cand[i].Dist)
+			}
+			got := top.Results()
+			if pass == 0 {
+				base = got
+				continue
+			}
+			if len(got) != len(base) {
+				t.Fatalf("trial %d: order-dependent length", trial)
+			}
+			for i := range got {
+				if got[i] != base[i] {
+					t.Fatalf("trial %d: order-dependent results: %v vs %v", trial, got, base)
+				}
+			}
+		}
+		// An equal-distance candidate with a smaller index must evict.
+		top := NewTopK(1)
+		top.Push(9, 2)
+		if !top.Push(4, 2) {
+			t.Fatal("equal-dist smaller index was not kept")
+		}
+		if got := top.Results(); got[0] != (Neighbor{Index: 4, Dist: 2}) {
+			t.Fatalf("got %v", got)
+		}
+		if top.Push(7, 2) {
+			t.Fatal("equal-dist larger index was kept")
+		}
+	}
+}
+
+func TestMergeNeighborsTieBreaksByIndex(t *testing.T) {
+	t.Parallel()
+	got := MergeNeighbors(3,
+		[]Neighbor{{Index: 5, Dist: 1}, {Index: 9, Dist: 2}},
+		[]Neighbor{{Index: 2, Dist: 1}, {Index: 7, Dist: 1}},
+	)
+	want := []Neighbor{{Index: 2, Dist: 1}, {Index: 5, Dist: 1}, {Index: 7, Dist: 1}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}

@@ -13,14 +13,29 @@ type Neighbor struct {
 	Dist  float64
 }
 
-// TopK maintains the k smallest-distance neighbors seen so far using a
-// bounded binary max-heap: the root is always the current worst (largest
-// distance) of the kept k, so Threshold is O(1) and Push is O(log k).
+// TopK maintains the k smallest neighbors seen so far under the total
+// order (Dist, Index) — lexicographic, ties broken by smaller index —
+// using a bounded binary max-heap: the root is always the current worst
+// of the kept k, so Threshold is O(1) and Push is O(log k).
+//
+// Because the order is total, the collected set is canonical: it depends
+// only on the candidates offered, never on their arrival order. That is
+// what makes shard merges, delta-buffer merges and compaction swaps
+// byte-identical to a single scan over the union of their inputs.
 //
 // The zero value is not usable; construct with NewTopK.
 type TopK struct {
 	k    int
-	heap []Neighbor // max-heap on Dist
+	heap []Neighbor // max-heap on (Dist, Index)
+}
+
+// worse reports whether a ranks strictly after b in the (Dist, Index)
+// total order, i.e. a is a worse neighbor than b.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Index > b.Index
 }
 
 // NewTopK creates a collector for the k nearest neighbors. k must be >= 1.
@@ -38,9 +53,10 @@ func (t *TopK) Len() int { return len(t.heap) }
 func (t *TopK) Full() bool { return len(t.heap) == t.k }
 
 // Threshold returns the pruning threshold: the distance of the current k-th
-// nearest neighbor, or +Inf while fewer than k neighbors are held. Any
-// candidate whose lower bound meets or exceeds this value cannot enter the
-// result set.
+// nearest neighbor, or +Inf while fewer than k neighbors are held. Only a
+// candidate whose lower bound strictly exceeds this value is provably
+// outside the result set — a bound that merely ties it can still enter by
+// winning the (Dist, Index) tiebreak, so prune with > and never >=.
 func (t *TopK) Threshold() float64 {
 	if len(t.heap) < t.k {
 		return math.Inf(1)
@@ -48,18 +64,21 @@ func (t *TopK) Threshold() float64 {
 	return t.heap[0].Dist
 }
 
-// Push offers a candidate. It is kept only if fewer than k neighbors are
-// held or it beats the current k-th neighbor. Returns true if kept.
+// Push offers a candidate. It is kept if fewer than k neighbors are held
+// or it precedes the current k-th neighbor in (Dist, Index) order — an
+// equal-distance candidate with a smaller index evicts it. Returns true
+// if kept.
 func (t *TopK) Push(index int, dist float64) bool {
+	nb := Neighbor{index, dist}
 	if len(t.heap) < t.k {
-		t.heap = append(t.heap, Neighbor{index, dist})
+		t.heap = append(t.heap, nb)
 		t.siftUp(len(t.heap) - 1)
 		return true
 	}
-	if dist >= t.heap[0].Dist {
+	if !worse(t.heap[0], nb) {
 		return false
 	}
-	t.heap[0] = Neighbor{index, dist}
+	t.heap[0] = nb
 	t.siftDown(0)
 	return true
 }
@@ -81,7 +100,7 @@ func (t *TopK) Results() []Neighbor {
 func (t *TopK) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if t.heap[parent].Dist >= t.heap[i].Dist {
+		if !worse(t.heap[i], t.heap[parent]) {
 			return
 		}
 		t.heap[parent], t.heap[i] = t.heap[i], t.heap[parent]
@@ -93,17 +112,17 @@ func (t *TopK) siftDown(i int) {
 	n := len(t.heap)
 	for {
 		l, r := 2*i+1, 2*i+2
-		largest := i
-		if l < n && t.heap[l].Dist > t.heap[largest].Dist {
-			largest = l
+		worst := i
+		if l < n && worse(t.heap[l], t.heap[worst]) {
+			worst = l
 		}
-		if r < n && t.heap[r].Dist > t.heap[largest].Dist {
-			largest = r
+		if r < n && worse(t.heap[r], t.heap[worst]) {
+			worst = r
 		}
-		if largest == i {
+		if worst == i {
 			return
 		}
-		t.heap[i], t.heap[largest] = t.heap[largest], t.heap[i]
-		i = largest
+		t.heap[i], t.heap[worst] = t.heap[worst], t.heap[i]
+		i = worst
 	}
 }

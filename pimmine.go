@@ -24,6 +24,7 @@ import (
 	"pimmine/internal/core"
 	"pimmine/internal/dataset"
 	"pimmine/internal/dbscan"
+	"pimmine/internal/delta"
 	"pimmine/internal/fault"
 	"pimmine/internal/join"
 	"pimmine/internal/kmeans"
@@ -351,6 +352,38 @@ func SearcherVariants() []SearcherVariant { return serve.Variants() }
 // the engine (results stay exact).
 func NewQueryEngine(data *Matrix, opts QueryEngineOptions) (*QueryEngine, error) {
 	return serve.New(data, opts)
+}
+
+// Mutable serving (internal/delta + internal/serve): the query engine
+// with Insert/Update/Delete. Mutations land in a host-side delta buffer
+// (exact floats) with tombstones masking replaced or deleted
+// crossbar-resident rows; every query merges the bound-pruned base
+// search with a brute-force delta scan, so results stay exact —
+// byte-identical to a fresh engine over the equivalent final dataset. A
+// compactor folds delta and tombstones back into freshly quantized base
+// images, choosing crossbars by a per-tile write-cycle (endurance)
+// ledger and re-running the Theorem 4 dimension split for the new
+// occupancy.
+type (
+	// MutableEngine is the sharded mutable query engine.
+	MutableEngine = serve.MutableEngine
+	// MutableEngineOptions configures NewMutableEngine.
+	MutableEngineOptions = serve.MutableOptions
+	// DeltaStats reports one shard's delta/tombstone/compaction state.
+	DeltaStats = delta.Stats
+)
+
+// ErrEndurance is returned by compaction when no crossbar has
+// write-cycle budget left for a fresh image; the store keeps serving
+// its current epoch exactly.
+var ErrEndurance = delta.ErrEndurance
+
+// NewMutableEngine builds a mutable query engine over data. Rows keep
+// ids 0..N-1; Insert extends the id space monotonically. Queries run
+// lock-free against mutations and background compaction via per-shard
+// epoch snapshots.
+func NewMutableEngine(data *Matrix, opts MutableEngineOptions) (*MutableEngine, error) {
+	return serve.NewMutable(data, opts)
 }
 
 // Observability (internal/obs): a concurrency-safe metrics registry

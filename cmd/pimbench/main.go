@@ -16,6 +16,12 @@
 // `pimbench -churn` (or the id ext-churn) replays mixed read/write
 // traffic against the mutable engine and reports query latency vs. delta
 // fill, compaction pauses, and endurance-budget drain.
+// `pimbench ext-overload` drives closed-loop clients at 1×/2×/4× an
+// engine's known capacity and reports goodput with and without the
+// overload-protection layer (internal/resilience): past capacity the
+// baseline congestion-collapses into timeouts while admission control
+// and deadline shedding keep the resilient engine near peak goodput,
+// answering the excess with typed errors in microseconds.
 //
 // Flag combinations are validated before anything runs: bad -format
 // values, -out without -format json, non-positive -scale/-queries,

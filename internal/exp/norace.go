@@ -1,0 +1,10 @@
+//go:build !race
+
+package exp
+
+// See race.go: without the race detector experiments run at their
+// calibrated speed.
+const (
+	raceEnabled = false
+	raceScale   = 1
+)

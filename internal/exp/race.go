@@ -1,0 +1,14 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in. Timing-
+// calibrated experiments (ext-overload) widen their service times and
+// deadlines by raceScale under the detector: instrumented code runs an
+// order of magnitude slower, and a deadline sized for production speed
+// would time out every query before the mechanism under test ever
+// engages.
+const (
+	raceEnabled = true
+	raceScale   = 6
+)

@@ -30,6 +30,23 @@ type Searcher interface {
 	Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor
 }
 
+// SearcherFunc adapts a function (plus a name) into a Searcher — the
+// closure analogue of http.HandlerFunc, used by tests and by callers
+// plugging ad-hoc searchers into the serving layer's Factory.
+func SearcherFunc(name string, fn func(q []float64, k int, meter *arch.Meter) []vec.Neighbor) Searcher {
+	return funcSearcher{name: name, fn: fn}
+}
+
+type funcSearcher struct {
+	name string
+	fn   func(q []float64, k int, meter *arch.Meter) []vec.Neighbor
+}
+
+func (s funcSearcher) Name() string { return s.name }
+func (s funcSearcher) Search(q []float64, k int, m *arch.Meter) []vec.Neighbor {
+	return s.fn(q, k, m)
+}
+
 // StageStat reports one filtering stage of a query: how many candidates
 // entered, how many survived, and the per-object data-transfer cost in
 // operands — the inputs to Fig 15 and the §V-D plan optimizer.

@@ -27,14 +27,19 @@ type Worker func(job int) error
 type Setup func(w int) (Worker, error)
 
 // Hooks observes pool execution (all fields optional). JobStart fires on
-// the worker goroutine just before a job is processed, JobDone just after
-// (neither fires for jobs drained without processing after a failure or
-// cancellation). Hook functions must be safe for concurrent use — the
-// serving layer points them at atomic gauges (queue depth, in-flight
-// jobs).
+// the worker goroutine just before a job is processed, JobDone just after.
+// JobSkip fires exactly once for every job that was admitted to the run
+// but never processed — drained by a failed/canceled worker, or never
+// dispatched because dispatch stopped early. Every job 0..jobs-1 thus
+// fires exactly one of {JobStart+JobDone, JobSkip}, so gauges that
+// increment on submission and decrement in the hooks can never leak
+// (regression-tested in pool_test.go). Hook functions must be safe for
+// concurrent use — the serving layer points them at atomic gauges (queue
+// depth, in-flight jobs).
 type Hooks struct {
 	JobStart func(job int)
 	JobDone  func(job int)
+	JobSkip  func(job int)
 }
 
 // Run executes jobs 0..jobs-1 across at most workers goroutines.
@@ -87,7 +92,12 @@ func RunHooked(ctx context.Context, jobs, workers int, setup Setup, h Hooks) err
 			}
 			for job := range ch {
 				if errs[w] != nil || ctx.Err() != nil {
-					continue // failed or canceled: drain without processing
+					// Failed or canceled: drain without processing, but
+					// still account for the job — exactly one skip.
+					if h.JobSkip != nil {
+						h.JobSkip(job)
+					}
+					continue
 				}
 				if h.JobStart != nil {
 					h.JobStart(job)
@@ -101,10 +111,11 @@ func RunHooked(ctx context.Context, jobs, workers int, setup Setup, h Hooks) err
 			}
 		}(w)
 	}
+	next := 0
 dispatch:
-	for job := 0; job < jobs; job++ {
+	for ; next < jobs; next++ {
 		select {
-		case ch <- job:
+		case ch <- next:
 		case <-ctx.Done():
 			break dispatch
 		case <-allDead:
@@ -113,5 +124,13 @@ dispatch:
 	}
 	close(ch)
 	wg.Wait()
+	// Jobs that were never dispatched are skipped here, after the workers
+	// finish, so a job can never be skipped twice (dispatched jobs were
+	// either processed or drained-and-skipped on a worker).
+	if h.JobSkip != nil {
+		for job := next; job < jobs; job++ {
+			h.JobSkip(job)
+		}
+	}
 	return errors.Join(append([]error{ctx.Err()}, errs...)...)
 }

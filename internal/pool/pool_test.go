@@ -267,3 +267,105 @@ func TestRunHookedSkipsFailedWorkerDrain(t *testing.T) {
 		t.Fatalf("JobStart fired %d times, want 5", n)
 	}
 }
+
+// checkExactlyOnce runs RunHooked under the given setup and asserts the
+// hook contract the serving layer's queue-depth gauge depends on: every
+// job 0..jobs-1 fires exactly one of {JobStart, JobSkip}, JobDone fires
+// exactly once per started job, and a gauge incremented per submission
+// and decremented in JobStart/JobSkip returns to zero.
+func checkExactlyOnce(t *testing.T, ctx context.Context, jobs, workers int, setup Setup) {
+	t.Helper()
+	started := make([]int32, jobs)
+	done := make([]int32, jobs)
+	skipped := make([]int32, jobs)
+	var gauge atomic.Int64
+	gauge.Add(int64(jobs))
+	h := Hooks{
+		JobStart: func(job int) { atomic.AddInt32(&started[job], 1); gauge.Add(-1) },
+		JobDone:  func(job int) { atomic.AddInt32(&done[job], 1) },
+		JobSkip:  func(job int) { atomic.AddInt32(&skipped[job], 1); gauge.Add(-1) },
+	}
+	_ = RunHooked(ctx, jobs, workers, setup, h)
+	for job := 0; job < jobs; job++ {
+		s, d, k := started[job], done[job], skipped[job]
+		if s+k != 1 {
+			t.Fatalf("job %d: started=%d skipped=%d, want exactly one of the two", job, s, k)
+		}
+		if d != s {
+			t.Fatalf("job %d: done=%d for started=%d", job, d, s)
+		}
+	}
+	if g := gauge.Load(); g != 0 {
+		t.Fatalf("queue gauge leaked: %d (want 0)", g)
+	}
+}
+
+// TestRunHookedJobSkipExactlyOnce pins the exactly-once accounting across
+// every way a job can be abandoned: mid-run cancellation (undispatched
+// jobs skip on the dispatcher, in-flight drains skip on workers), a
+// worker error (its drained share skips), partial and total setup
+// failure, and the clean run (no skips at all). Before JobSkip existed,
+// drained jobs fired no hook at all and submission-side gauges leaked.
+func TestRunHookedJobSkipExactlyOnce(t *testing.T) {
+	t.Parallel()
+
+	t.Run("clean", func(t *testing.T) {
+		t.Parallel()
+		checkExactlyOnce(t, context.Background(), 200, 4, func(w int) (Worker, error) {
+			return func(job int) error { return nil }, nil
+		})
+	})
+
+	t.Run("cancel-mid-run", func(t *testing.T) {
+		t.Parallel()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var processed int32
+		checkExactlyOnce(t, ctx, 5000, 3, func(w int) (Worker, error) {
+			return func(job int) error {
+				if atomic.AddInt32(&processed, 1) == 7 {
+					cancel()
+				}
+				return nil
+			}, nil
+		})
+	})
+
+	t.Run("worker-error", func(t *testing.T) {
+		t.Parallel()
+		checkExactlyOnce(t, context.Background(), 300, 2, func(w int) (Worker, error) {
+			return func(job int) error {
+				if job == 10 {
+					return errors.New("boom")
+				}
+				return nil
+			}, nil
+		})
+	})
+
+	t.Run("partial-setup-failure", func(t *testing.T) {
+		t.Parallel()
+		checkExactlyOnce(t, context.Background(), 100, 4, func(w int) (Worker, error) {
+			if w%2 == 0 {
+				return nil, errors.New("setup boom")
+			}
+			return func(job int) error { return nil }, nil
+		})
+	})
+
+	t.Run("all-setup-failure", func(t *testing.T) {
+		t.Parallel()
+		checkExactlyOnce(t, context.Background(), 500, 4, func(w int) (Worker, error) {
+			return nil, errors.New("setup boom")
+		})
+	})
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		t.Parallel()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		checkExactlyOnce(t, ctx, 50, 2, func(w int) (Worker, error) {
+			return func(job int) error { return nil }, nil
+		})
+	})
+}

@@ -1,0 +1,205 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerConfig configures one circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// a closed breaker open. 0 disables the breaker.
+	FailureThreshold int
+	// CoolDown is how long an open breaker refuses traffic before
+	// half-opening to probe (default 1s).
+	CoolDown time.Duration
+	// HalfOpenProbes is both the number of probe requests a half-open
+	// breaker admits concurrently and the number of consecutive probe
+	// successes required to close again (default 1).
+	HalfOpenProbes int
+	// Clock overrides the time source (tests inject a fake clock;
+	// default time.Now).
+	Clock func() time.Time
+}
+
+// Validate rejects unusable configurations.
+func (c BreakerConfig) Validate() error {
+	if c.FailureThreshold < 0 {
+		return fmt.Errorf("resilience: negative Breaker.FailureThreshold %d", c.FailureThreshold)
+	}
+	if c.CoolDown < 0 {
+		return fmt.Errorf("resilience: negative Breaker.CoolDown %s", c.CoolDown)
+	}
+	if c.HalfOpenProbes < 0 {
+		return fmt.Errorf("resilience: negative Breaker.HalfOpenProbes %d", c.HalfOpenProbes)
+	}
+	return nil
+}
+
+// State is a breaker's position in the closed → open → half-open cycle.
+type State int32
+
+// The breaker states.
+const (
+	StateClosed State = iota
+	StateOpen
+	StateHalfOpen
+)
+
+// String renders the state for metrics and span annotations.
+func (s State) String() string {
+	switch s {
+	case StateClosed:
+		return "closed"
+	case StateOpen:
+		return "open"
+	case StateHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Breaker is a circuit breaker: closed it passes traffic while counting
+// consecutive failures; FailureThreshold of them trip it open; open it
+// refuses everything (ErrCircuitOpen) until CoolDown elapses; then it
+// half-opens, admitting up to HalfOpenProbes concurrent probes —
+// HalfOpenProbes consecutive probe successes close it, any probe failure
+// re-opens it and restarts the cool-down. In the serving engine one
+// breaker guards each shard's PIM path, with failure defined by the
+// fault/recovery meters (internal/fault): a refusal reroutes the shard
+// to the exact host scan, never to an error. Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu        sync.Mutex
+	state     State
+	gen       uint64 // bumped on every transition; stale outcomes are dropped
+	failures  int    // consecutive failures while closed
+	successes int    // consecutive probe successes while half-open
+	probes    int    // in-flight half-open probes
+	openedAt  time.Time
+	trips     int64 // cumulative closed/half-open → open transitions
+}
+
+// NewBreaker builds a breaker; nil is returned for a disabled config
+// (FailureThreshold 0), and a nil *Breaker admits everything.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		return nil
+	}
+	if cfg.CoolDown <= 0 {
+		cfg.CoolDown = time.Second
+	}
+	if cfg.HalfOpenProbes <= 0 {
+		cfg.HalfOpenProbes = 1
+	}
+	now := cfg.Clock
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg, now: now}
+}
+
+// Allow asks to pass traffic. On success it returns a done callback that
+// MUST be invoked exactly once with the request's outcome; on refusal it
+// returns an error matching ErrCircuitOpen. Outcomes from before a state
+// transition (a trip mid-request, a re-open during a stale probe) are
+// discarded rather than corrupting the new state's counters.
+func (b *Breaker) Allow() (done func(ok bool), err error) {
+	if b == nil {
+		return func(bool) {}, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen {
+		if wait := b.cfg.CoolDown - b.now().Sub(b.openedAt); wait > 0 {
+			return nil, fmt.Errorf("%w (cooling down %s more)", ErrCircuitOpen, wait.Round(time.Millisecond))
+		}
+		// Cool-down elapsed: half-open and treat this caller as the
+		// first probe.
+		b.transition(StateHalfOpen)
+	}
+	if b.state == StateHalfOpen {
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return nil, fmt.Errorf("%w (half-open, %d probes in flight)", ErrCircuitOpen, b.probes)
+		}
+		b.probes++
+	}
+	gen := b.gen
+	return func(ok bool) { b.record(gen, ok) }, nil
+}
+
+// record lands one outcome from the generation it was admitted in.
+func (b *Breaker) record(gen uint64, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen {
+		return // admitted before a transition; its era is over
+	}
+	switch b.state {
+	case StateClosed:
+		if ok {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case StateHalfOpen:
+		b.probes--
+		if !ok {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.transition(StateClosed)
+		}
+	}
+}
+
+// trip opens the breaker and starts the cool-down clock.
+func (b *Breaker) trip() {
+	b.transition(StateOpen)
+	b.openedAt = b.now()
+	b.trips++
+}
+
+// transition moves to a new state, resetting its counters and
+// invalidating outcomes admitted under the old one.
+func (b *Breaker) transition(s State) {
+	b.state = s
+	b.gen++
+	b.failures = 0
+	b.successes = 0
+	b.probes = 0
+}
+
+// State returns the current state (StateClosed for a nil breaker),
+// surfacing an elapsed cool-down as StateHalfOpen — the state the next
+// Allow would act in.
+func (b *Breaker) State() State {
+	if b == nil {
+		return StateClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == StateOpen && b.now().Sub(b.openedAt) >= b.cfg.CoolDown {
+		return StateHalfOpen
+	}
+	return b.state
+}
+
+// Trips returns the cumulative number of times the breaker opened.
+func (b *Breaker) Trips() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

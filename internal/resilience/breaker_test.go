@@ -1,0 +1,265 @@
+package resilience
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1700000000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// cycle, including a failed probe that re-opens.
+func TestBreakerLifecycle(t *testing.T) {
+	t.Parallel()
+	clk := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, CoolDown: time.Second, HalfOpenProbes: 2, Clock: clk.Now})
+
+	// Closed: successes reset the failure streak.
+	for _, ok := range []bool{false, false, true, false, false} {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("closed breaker refused: %v", err)
+		}
+		done(ok)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after interrupted streak = %v, want closed", got)
+	}
+	// A third consecutive failure trips it.
+	done, _ := b.Allow()
+	done(false)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after threshold failures = %v, want open", got)
+	}
+	if got := b.Trips(); got != 1 {
+		t.Fatalf("trips = %d, want 1", got)
+	}
+
+	// Open: refuses with the typed sentinel until the cool-down elapses.
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker returned %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(999 * time.Millisecond)
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("still cooling down, got %v, want ErrCircuitOpen", err)
+	}
+	clk.Advance(2 * time.Millisecond)
+
+	// Half-open: admits HalfOpenProbes concurrent probes, no more.
+	p1, err := b.Allow()
+	if err != nil {
+		t.Fatalf("first probe refused: %v", err)
+	}
+	p2, err := b.Allow()
+	if err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	if _, err := b.Allow(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("third concurrent probe got %v, want ErrCircuitOpen", err)
+	}
+	// A failed probe re-opens and restarts the cool-down.
+	p1(false)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("state after failed probe = %v, want open", got)
+	}
+	// The stale second probe's outcome must not corrupt the new era.
+	p2(true)
+	if got := b.State(); got != StateOpen {
+		t.Fatalf("stale probe outcome changed state to %v", got)
+	}
+
+	// Re-probe after another cool-down; enough successes close it.
+	clk.Advance(time.Second)
+	for i := 0; i < 2; i++ {
+		done, err := b.Allow()
+		if err != nil {
+			t.Fatalf("probe %d refused: %v", i, err)
+		}
+		done(true)
+	}
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("state after probe successes = %v, want closed", got)
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+// TestBreakerNilAdmitsEverything: the nil breaker (disabled config) is a
+// pass-through.
+func TestBreakerNilAdmitsEverything(t *testing.T) {
+	t.Parallel()
+	var b *Breaker
+	if b != NewBreaker(BreakerConfig{}) {
+		t.Fatal("disabled config must yield a nil breaker")
+	}
+	done, err := b.Allow()
+	if err != nil {
+		t.Fatalf("nil breaker refused: %v", err)
+	}
+	done(false)
+	if got := b.State(); got != StateClosed {
+		t.Fatalf("nil breaker state = %v, want closed", got)
+	}
+}
+
+// TestBreakerPropertyRandomSequences drives breakers through random
+// fault/recovery sequences and checks the state-machine invariants the
+// serving layer depends on:
+//
+//  1. an open breaker never admits traffic before its cool-down elapses;
+//  2. once the cool-down has elapsed, the next Allow is always admitted
+//     (the breaker always re-probes — it can never wedge open);
+//  3. concurrent half-open probes never exceed HalfOpenProbes;
+//  4. a closed breaker never trips before FailureThreshold consecutive
+//     failures of its own era.
+func TestBreakerPropertyRandomSequences(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < 40; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(seed))
+			cfg := BreakerConfig{
+				FailureThreshold: 1 + rng.Intn(5),
+				CoolDown:         time.Duration(1+rng.Intn(50)) * time.Millisecond,
+				HalfOpenProbes:   1 + rng.Intn(3),
+			}
+			clk := newFakeClock()
+			cfg.Clock = clk.Now
+			b := NewBreaker(cfg)
+
+			type pending struct {
+				done  func(bool)
+				state State
+			}
+			var inflight []pending
+			consecFails := 0
+			probes := 0
+			var openedAt time.Time
+
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // Allow
+					stBefore := b.State()
+					done, err := b.Allow()
+					now := clk.Now()
+					if err != nil {
+						if !errors.Is(err, ErrCircuitOpen) {
+							t.Fatalf("seed %d step %d: refusal %v not ErrCircuitOpen", seed, step, err)
+						}
+						if stBefore == StateClosed {
+							t.Fatalf("seed %d step %d: closed breaker refused", seed, step)
+						}
+						continue
+					}
+					// Invariant 1: no admission while open inside the cool-down.
+					if stBefore == StateOpen && now.Sub(openedAt) < cfg.CoolDown {
+						t.Fatalf("seed %d step %d: admitted during cool-down", seed, step)
+					}
+					if b.State() == StateHalfOpen {
+						probes++
+						// Invariant 3: probe concurrency is bounded.
+						if probes > cfg.HalfOpenProbes {
+							t.Fatalf("seed %d step %d: %d probes exceed limit %d",
+								seed, step, probes, cfg.HalfOpenProbes)
+						}
+					}
+					inflight = append(inflight, pending{done: done, state: b.State()})
+				case op < 9: // resolve a random in-flight outcome
+					if len(inflight) == 0 {
+						continue
+					}
+					i := rng.Intn(len(inflight))
+					p := inflight[i]
+					inflight = append(inflight[:i], inflight[i+1:]...)
+					ok := rng.Intn(3) > 0
+					wasClosed := b.State() == StateClosed
+					wasHalf := p.state == StateHalfOpen
+					trips := b.Trips()
+					p.done(ok)
+					if wasHalf && probes > 0 {
+						probes--
+					}
+					if wasClosed {
+						if ok {
+							consecFails = 0
+						} else {
+							consecFails++
+						}
+						// Invariant 4: no premature trip.
+						if b.Trips() > trips && consecFails < cfg.FailureThreshold {
+							t.Fatalf("seed %d step %d: tripped after %d fails (threshold %d)",
+								seed, step, consecFails, cfg.FailureThreshold)
+						}
+					}
+					if b.Trips() > trips {
+						openedAt = clk.Now()
+						consecFails = 0
+						probes = 0
+						inflight = nil // stale eras resolve as no-ops; stop tracking
+					}
+				default: // advance the clock
+					clk.Advance(time.Duration(rng.Intn(int(cfg.CoolDown) + 1)))
+				}
+
+				// Invariant 2: after a full cool-down with no in-flight
+				// probes, the breaker must admit a probe.
+				if b.State() == StateHalfOpen && len(inflight) == 0 && probes == 0 {
+					done, err := b.Allow()
+					if err != nil {
+						t.Fatalf("seed %d step %d: cooled-down breaker refused re-probe: %v", seed, step, err)
+					}
+					probes++
+					inflight = append(inflight, pending{done: done, state: StateHalfOpen})
+				}
+			}
+		})
+	}
+}
+
+// TestBreakerConcurrentRaceClean hammers Allow/outcome/State/Trips from
+// many goroutines under the race detector.
+func TestBreakerConcurrentRaceClean(t *testing.T) {
+	t.Parallel()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 4, CoolDown: time.Microsecond, HalfOpenProbes: 2})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if done, err := b.Allow(); err == nil {
+					done(i%3 != 0)
+				} else if !errors.Is(err, ErrCircuitOpen) {
+					t.Errorf("unexpected refusal %v", err)
+					return
+				}
+				_ = b.State()
+				_ = b.Trips()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,79 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+)
+
+// Limiter is the admission controller: a concurrency cap with a bounded
+// wait queue in front of it. At most maxConcurrent acquisitions are held
+// at once; up to maxQueue further callers wait for a slot; anyone beyond
+// that is rejected immediately with ErrOverloaded — under overload the
+// engine answers "no" in microseconds instead of spending a deadline's
+// worth of queueing (and crossbar transfers) on a query it cannot
+// finish. It is safe for concurrent use.
+type Limiter struct {
+	sem   chan struct{} // held concurrency slots
+	queue chan struct{} // held wait-queue slots
+}
+
+// NewLimiter builds a limiter. maxConcurrent must be ≥ 1; maxQueue ≥ 0
+// (0 rejects as soon as the concurrency cap is reached).
+func NewLimiter(maxConcurrent, maxQueue int) *Limiter {
+	if maxConcurrent < 1 {
+		maxConcurrent = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	l := &Limiter{sem: make(chan struct{}, maxConcurrent)}
+	if maxQueue > 0 {
+		l.queue = make(chan struct{}, maxQueue)
+	}
+	return l
+}
+
+// Acquire takes a concurrency slot, waiting in the bounded queue if the
+// cap is reached. It returns the release function for the slot, or a
+// typed error: ErrOverloaded (wrapped with the observed occupancy) when
+// cap and queue are both full, or the context's cause when ctx ends
+// while queued. Release must be called exactly once on success.
+func (l *Limiter) Acquire(ctx context.Context) (release func(), err error) {
+	// Fast path: a free slot admits without touching the queue.
+	select {
+	case l.sem <- struct{}{}:
+		return l.release, nil
+	default:
+	}
+	if l.queue == nil {
+		return nil, fmt.Errorf("%w (%d in flight, no wait queue)", ErrOverloaded, len(l.sem))
+	}
+	select {
+	case l.queue <- struct{}{}:
+	default:
+		return nil, fmt.Errorf("%w (%d in flight, %d queued)", ErrOverloaded, len(l.sem), len(l.queue))
+	}
+	// Queued: wait for a slot or for the caller to give up. The queue
+	// slot is returned either way.
+	select {
+	case l.sem <- struct{}{}:
+		<-l.queue
+		return l.release, nil
+	case <-ctx.Done():
+		<-l.queue
+		return nil, context.Cause(ctx)
+	}
+}
+
+func (l *Limiter) release() { <-l.sem }
+
+// InFlight returns the number of held concurrency slots.
+func (l *Limiter) InFlight() int { return len(l.sem) }
+
+// Queued returns the number of callers waiting for a slot.
+func (l *Limiter) Queued() int {
+	if l.queue == nil {
+		return 0
+	}
+	return len(l.queue)
+}

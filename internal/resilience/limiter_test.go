@@ -1,0 +1,156 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestLimiterAdmitsUpToCap: with the cap free, Acquire admits without
+// queueing and release returns the slot.
+func TestLimiterAdmitsUpToCap(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(2, 0)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.InFlight(); got != 2 {
+		t.Fatalf("InFlight = %d, want 2", got)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("full limiter returned %v, want ErrOverloaded", err)
+	}
+	r1()
+	r3, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatalf("after release: %v", err)
+	}
+	r2()
+	r3()
+	if got := l.InFlight(); got != 0 {
+		t.Fatalf("InFlight after releases = %d, want 0", got)
+	}
+}
+
+// TestLimiterQueueAdmitsWhenSlotFrees: a caller that fits the wait queue
+// blocks until a slot frees, then runs; one beyond the queue is rejected
+// immediately with ErrOverloaded.
+func TestLimiterQueueAdmitsWhenSlotFrees(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(1, 1)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan struct{})
+	go func() {
+		r, err := l.Acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			close(admitted)
+			return
+		}
+		close(admitted)
+		r()
+	}()
+	// Wait for the goroutine to take the queue slot, then overflow it.
+	for l.Queued() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if _, err := l.Acquire(context.Background()); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("overflowed queue returned %v, want ErrOverloaded", err)
+	}
+	r1()
+	select {
+	case <-admitted:
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued caller never admitted after release")
+	}
+}
+
+// TestLimiterQueuedCancellation: a queued caller whose context ends gets
+// the context's cause, and the queue slot is returned.
+func TestLimiterQueuedCancellation(t *testing.T) {
+	t.Parallel()
+	l := NewLimiter(1, 2)
+	r1, err := l.Acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r1()
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := l.Acquire(ctx)
+		errc <- err
+	}()
+	for l.Queued() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter got %v, want context.Canceled", err)
+	}
+	for l.Queued() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// TestLimiterConcurrentNeverExceedsCap: a hammer of acquirers never
+// observes more than the cap in flight, and every admitted caller
+// releases exactly once.
+func TestLimiterConcurrentNeverExceedsCap(t *testing.T) {
+	t.Parallel()
+	const cap, callers = 4, 64
+	l := NewLimiter(cap, cap)
+	var mu sync.Mutex
+	inflight, peak, admitted, rejected := 0, 0, 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			release, err := l.Acquire(context.Background())
+			mu.Lock()
+			if err != nil {
+				if !errors.Is(err, ErrOverloaded) {
+					t.Errorf("unexpected error %v", err)
+				}
+				rejected++
+				mu.Unlock()
+				return
+			}
+			admitted++
+			inflight++
+			if inflight > peak {
+				peak = inflight
+			}
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			inflight--
+			mu.Unlock()
+			release()
+		}()
+	}
+	wg.Wait()
+	if peak > cap {
+		t.Fatalf("peak in-flight %d exceeds cap %d", peak, cap)
+	}
+	if admitted+rejected != callers {
+		t.Fatalf("admitted %d + rejected %d != %d callers", admitted, rejected, callers)
+	}
+	if admitted < cap {
+		t.Fatalf("only %d admitted, cap is %d", admitted, cap)
+	}
+	if l.InFlight() != 0 || l.Queued() != 0 {
+		t.Fatalf("limiter not drained: %d in flight, %d queued", l.InFlight(), l.Queued())
+	}
+}

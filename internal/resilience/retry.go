@@ -1,0 +1,157 @@
+package resilience
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// RetryConfig configures the transient-fault retry budget.
+type RetryConfig struct {
+	// Ratio is the budget earned per fault-free query: with Ratio 0.05,
+	// retries are capped at 5% of successful traffic — the gRPC-style
+	// guarantee that a fault storm cannot amplify offered load through
+	// retries. 0 disables retrying.
+	Ratio float64
+	// Burst caps the accumulated budget (default 10 tokens; the bucket
+	// starts full so isolated early faults may retry).
+	Burst float64
+	// BaseBackoff is the first retry's backoff before jitter (default
+	// 500µs); each further attempt doubles it.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 8ms).
+	MaxBackoff time.Duration
+}
+
+// Validate rejects unusable configurations.
+func (c RetryConfig) Validate() error {
+	if c.Ratio < 0 || c.Ratio > 1 || c.Ratio != c.Ratio {
+		return fmt.Errorf("resilience: Retry.Ratio %v outside [0,1]", c.Ratio)
+	}
+	if c.Burst < 0 {
+		return fmt.Errorf("resilience: negative Retry.Burst %v", c.Burst)
+	}
+	if c.BaseBackoff < 0 || c.MaxBackoff < 0 {
+		return fmt.Errorf("resilience: negative Retry backoff")
+	}
+	return nil
+}
+
+// RetryBudget is a token bucket bounding transient-fault retries across
+// a whole engine: each fault-free query deposits Ratio tokens, each
+// retry withdraws one, so retry traffic can never exceed Ratio of the
+// successful traffic no matter how hard a fault storm blows. Backoffs
+// are exponential with deterministic multiplicative jitter (a counter-
+// hashed draw in [0.5, 1.5)), de-synchronizing retries without any
+// global randomness. Safe for concurrent use.
+type RetryBudget struct {
+	cfg RetryConfig
+
+	mu     sync.Mutex
+	tokens float64
+	draws  uint64 // jitter counter
+}
+
+// NewRetryBudget builds a budget; nil is returned for a disabled config
+// (Ratio 0), and a nil *RetryBudget never allows a retry.
+func NewRetryBudget(cfg RetryConfig) *RetryBudget {
+	if cfg.Ratio <= 0 {
+		return nil
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = 10
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 500 * time.Microsecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 8 * time.Millisecond
+	}
+	return &RetryBudget{cfg: cfg, tokens: cfg.Burst}
+}
+
+// OnSuccess deposits the per-success earn (capped at Burst).
+func (r *RetryBudget) OnSuccess() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tokens += r.cfg.Ratio
+	if r.tokens > r.cfg.Burst {
+		r.tokens = r.cfg.Burst
+	}
+	r.mu.Unlock()
+}
+
+// Allow withdraws one retry token, reporting whether the retry may run.
+func (r *RetryBudget) Allow() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.tokens < 1 {
+		return false
+	}
+	r.tokens--
+	return true
+}
+
+// Tokens returns the current balance.
+func (r *RetryBudget) Tokens() float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tokens
+}
+
+// Backoff returns attempt's jittered backoff: BaseBackoff·2^attempt
+// capped at MaxBackoff, scaled by a deterministic per-draw factor in
+// [0.5, 1.5).
+func (r *RetryBudget) Backoff(attempt int) time.Duration {
+	if r == nil {
+		return 0
+	}
+	d := r.cfg.BaseBackoff
+	for i := 0; i < attempt && d < r.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > r.cfg.MaxBackoff {
+		d = r.cfg.MaxBackoff
+	}
+	r.mu.Lock()
+	r.draws++
+	h := splitmix(r.draws)
+	r.mu.Unlock()
+	// Uniform jitter factor in [0.5, 1.5).
+	f := 0.5 + float64(h>>11)/(1<<53)
+	return time.Duration(float64(d) * f)
+}
+
+// Sleep blocks for d or until ctx ends, returning the context's cause
+// in the latter case — backoffs must never outlive the query deadline.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// splitmix is the SplitMix64 mixer (the same counter-based deterministic
+// randomness internal/fault uses for its fault maps).
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

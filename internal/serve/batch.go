@@ -3,7 +3,6 @@ package serve
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/pool"
@@ -48,19 +47,16 @@ func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*
 		Meter:   arch.NewMeter(),
 	}
 	// Batch queue-depth accounting: jobs enter the gauge on submission and
-	// leave as workers pick them up; whatever cancellation skipped is
-	// drained at the end.
+	// leave exactly once each — when a worker picks them up (JobStart) or
+	// when cancellation/failure drains them (JobSkip). The pool guarantees
+	// one of the two fires per job, so the gauge returns to its prior value
+	// on every exit path.
 	var hooks pool.Hooks
-	var started atomic.Int64
 	if e.eobs != nil {
 		e.eobs.queueDepth.Add(int64(queries.N))
-		hooks.JobStart = func(int) {
-			started.Add(1)
-			e.eobs.queueDepth.Add(-1)
-		}
-		defer func() {
-			e.eobs.queueDepth.Add(started.Load() - int64(queries.N))
-		}()
+		dec := func(int) { e.eobs.queueDepth.Add(-1) }
+		hooks.JobStart = dec
+		hooks.JobSkip = dec
 	}
 	err := pool.RunHooked(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
 		return func(qi int) error {

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"pimmine/internal/arch"
 	"pimmine/internal/delta"
@@ -65,6 +66,13 @@ type MutableEngine struct {
 	rr     int
 	routes map[int]int // inserted id → shard
 
+	// res carries admission control and deadline-aware shedding (nil when
+	// Options.Resilience is nil). The mutable engine takes no per-shard
+	// breakers: compaction rebuilds searchers each epoch, so a
+	// fault-storming epoch already heals through the delta layer's
+	// degraded-rebuild path rather than a breaker's cool-down.
+	res *engineResilience
+
 	closeMu sync.RWMutex
 	closed  bool
 
@@ -97,11 +105,21 @@ func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
 	if err != nil {
 		return nil, err
 	}
+	var res *engineResilience
+	if opts.Resilience != nil {
+		if res, err = newEngineResilience(opts.Resilience); err != nil {
+			return nil, err
+		}
+		if mc := opts.Resilience.MaxConcurrent; mc > 0 && opts.Workers > mc {
+			opts.Workers = mc
+		}
+	}
 	e := &MutableEngine{
 		d:      data.D,
 		opts:   opts,
 		nextID: data.N,
 		routes: make(map[int]int),
+		res:    res,
 	}
 	shardCap := shardCapacity(opts.Options)
 	var reg *obs.Registry
@@ -268,7 +286,11 @@ func (e *MutableEngine) acquireMut() (func(), error) {
 }
 
 // Search answers one exact kNN query over the live rows of every shard.
-// It never blocks on mutations or compactions.
+// It never blocks on mutations or compactions. With Options.Resilience
+// set, admission control and deadline-aware shedding run in front of the
+// fan-out exactly as on the immutable engine (typed
+// resilience.ErrOverloaded / resilience.ErrShedDeadline rejections); an
+// Options.QueryTimeout surfaces as ErrQueryTimeout.
 func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
 	release, err := e.acquireMut()
 	if err != nil {
@@ -284,6 +306,20 @@ func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if lrelease, lerr := e.res.admit(ctx); lerr != nil {
+		return nil, lerr
+	} else if lrelease != nil {
+		defer lrelease()
+	}
+	if e.opts.QueryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, e.opts.QueryTimeout, ErrQueryTimeout)
+		defer cancel()
+	}
+	if serr := e.res.checkShed(ctx); serr != nil {
+		return nil, serr
+	}
+	start := time.Now()
 	type out struct {
 		id    int
 		nn    []vec.Neighbor
@@ -309,12 +345,15 @@ func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result
 			meters[o.id] = o.meter
 			lists = append(lists, o.nn)
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, context.Cause(ctx)
 		}
 	}
 	meter := arch.NewMeter()
 	for _, m := range meters {
 		meter.Merge(m)
+	}
+	if e.res != nil {
+		e.res.shed.Observe(time.Since(start))
 	}
 	return &Result{
 		Neighbors:   vec.MergeNeighbors(k, lists...),

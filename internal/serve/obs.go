@@ -17,6 +17,45 @@ type engineObs struct {
 	inflight     *obs.Gauge
 	queueDepth   *obs.Gauge
 	shardQueries []*obs.Counter
+
+	// Resilience pipeline metrics (registered regardless of whether
+	// Options.Resilience is set; they just stay zero without it).
+	rejected    *obs.Counter
+	shed        *obs.Counter
+	retries     *obs.Counter
+	breakerHost *obs.Counter
+}
+
+// The note* helpers are nil-safe so the resilience pipeline can report
+// outcomes without caring whether observability is wired in.
+
+func (eo *engineObs) noteRejected(err error) {
+	if eo == nil {
+		return
+	}
+	eo.rejected.Inc()
+	eo.o.Event("serve.rejected", obs.A("reason", err.Error()))
+}
+
+func (eo *engineObs) noteShed() {
+	if eo == nil {
+		return
+	}
+	eo.shed.Inc()
+}
+
+func (eo *engineObs) noteRetries(n int) {
+	if eo == nil {
+		return
+	}
+	eo.retries.Add(int64(n))
+}
+
+func (eo *engineObs) noteBreakerHostServe() {
+	if eo == nil {
+		return
+	}
+	eo.breakerHost.Inc()
 }
 
 // newEngineObs registers the engine's metrics and scrape-time collectors
@@ -31,6 +70,14 @@ func newEngineObs(e *Engine, o *obs.Observer) *engineObs {
 			"Wall-clock latency of Engine.Search.", o.LatencyBuckets()),
 		inflight:   reg.Gauge("pim_serve_inflight_queries", "Queries currently executing."),
 		queueDepth: reg.Gauge("pim_serve_batch_queue_depth", "Batch jobs accepted but not yet started."),
+		rejected: reg.Counter("pim_serve_rejected_total",
+			"Queries refused by admission control (resilience.ErrOverloaded)."),
+		shed: reg.Counter("pim_serve_shed_total",
+			"Queries shed because the remaining deadline was below the observed p95 (resilience.ErrShedDeadline)."),
+		retries: reg.Counter("pim_serve_pim_retries_total",
+			"Transient-fault PIM retries spent from the engine retry budget."),
+		breakerHost: reg.Counter("pim_serve_breaker_host_serves_total",
+			"Shard queries served by the exact host scan because the shard's circuit breaker was open."),
 	}
 	eo.shardQueries = make([]*obs.Counter, len(e.shards))
 	for i := range e.shards {
@@ -82,6 +129,40 @@ func (e *Engine) collectMetrics(emit func(obs.Sample)) {
 		emit(obs.Sample{Name: "pim_meter_calls_total", Help: "Modeled invocations per §IV-B function.",
 			Type: obs.TypeCounter, Labels: []obs.Label{{Key: "func", Value: fn}},
 			Value: float64(m.Get(fn).Calls)})
+	}
+
+	if e.res == nil {
+		return
+	}
+	// Resilience state: breaker positions per shard, cumulative trips,
+	// limiter occupancy, retry tokens, and the shedder's p95 threshold
+	// (in µs — collector values truncate to integers at scrape time).
+	for i, st := range e.BreakerStates() {
+		emit(obs.Sample{Name: "pim_serve_breaker_state",
+			Help: "Per-shard circuit breaker state (0 closed, 1 open, 2 half-open).",
+			Type: obs.TypeGauge, Labels: []obs.Label{{Key: "shard", Value: fmt.Sprint(i)}},
+			Value: float64(st)})
+	}
+	emit(obs.Sample{Name: "pim_serve_breaker_trips_total",
+		Help: "Circuit breaker trips across all shards.",
+		Type: obs.TypeCounter, Value: float64(e.BreakerTrips())})
+	if lim := e.res.lim; lim != nil {
+		emit(obs.Sample{Name: "pim_serve_admitted_inflight",
+			Help: "Queries holding an admission slot.",
+			Type: obs.TypeGauge, Value: float64(lim.InFlight())})
+		emit(obs.Sample{Name: "pim_serve_admission_queued",
+			Help: "Queries waiting in the bounded admission queue.",
+			Type: obs.TypeGauge, Value: float64(lim.Queued())})
+	}
+	if rb := e.res.retry; rb != nil {
+		emit(obs.Sample{Name: "pim_serve_retry_tokens",
+			Help: "Retry-budget tokens currently available (floor).",
+			Type: obs.TypeGauge, Value: rb.Tokens()})
+	}
+	if p95, n := e.res.shed.P95(); n > 0 {
+		emit(obs.Sample{Name: "pim_serve_shed_p95_micros",
+			Help: "Observed p95 service time the shedder compares deadlines against.",
+			Type: obs.TypeGauge, Value: float64(p95.Microseconds())})
 	}
 }
 

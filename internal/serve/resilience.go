@@ -1,0 +1,176 @@
+// Overload protection: the serve-side wiring of internal/resilience.
+// The admission pipeline in front of every query is
+//
+//	acquire → admission control → engine deadline → shed → fan out
+//
+// and inside the fan-out each shard's PIM path sits behind a circuit
+// breaker with a transient-fault retry budget. Admission is the only
+// lossy stage — a rejected or shed query is a typed error
+// (resilience.ErrOverloaded / resilience.ErrShedDeadline) — while a
+// breaker refusal merely reroutes the shard to its exact host scan, so
+// every admitted query still returns exact results.
+package serve
+
+import (
+	"context"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/knn"
+	"pimmine/internal/resilience"
+	"pimmine/internal/vec"
+)
+
+// ErrQueryTimeout marks a query that exceeded the engine-applied
+// Options.QueryTimeout, as opposed to the caller's own deadline or
+// cancellation. It unwraps to context.DeadlineExceeded, so existing
+// errors.Is(err, context.DeadlineExceeded) checks keep holding.
+var ErrQueryTimeout error = queryTimeoutError{}
+
+type queryTimeoutError struct{}
+
+func (queryTimeoutError) Error() string { return "serve: engine query timeout exceeded" }
+func (queryTimeoutError) Unwrap() error { return context.DeadlineExceeded }
+func (queryTimeoutError) Timeout() bool { return true }
+
+// engineResilience holds one engine's overload-protection state. A nil
+// *engineResilience (resilience off) keeps the hot path at one pointer
+// check per stage; each inner handle is itself nil when its knob is
+// disabled.
+type engineResilience struct {
+	lim   *resilience.Limiter
+	shed  *resilience.Shedder
+	retry *resilience.RetryBudget
+}
+
+// newEngineResilience validates the config and builds the engine-wide
+// handles (per-shard breakers are attached by the caller, which owns the
+// shards).
+func newEngineResilience(cfg *resilience.Config) (*engineResilience, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &engineResilience{
+		shed:  resilience.NewShedder(cfg.ShedFactor, cfg.MinShedSamples, cfg.ShedBuckets),
+		retry: resilience.NewRetryBudget(cfg.Retry),
+	}
+	if cfg.MaxConcurrent > 0 {
+		r.lim = resilience.NewLimiter(cfg.MaxConcurrent, cfg.MaxQueue)
+	}
+	return r, nil
+}
+
+// admit runs admission control; the returned release is non-nil exactly
+// when a slot must be given back.
+func (r *engineResilience) admit(ctx context.Context) (release func(), err error) {
+	if r == nil || r.lim == nil {
+		return nil, nil
+	}
+	return r.lim.Acquire(ctx)
+}
+
+// checkShed sheds a doomed query (nil-safe).
+func (r *engineResilience) checkShed(ctx context.Context) error {
+	if r == nil {
+		return nil
+	}
+	return r.shed.Check(ctx)
+}
+
+// classifyFaults reads a shard attempt's fault/recovery meters
+// (internal/fault): the attempt failed if its PIM path hit injected
+// faults at all, and the failure is transient — worth a retry — only
+// when no dots were lost to dead crossbars (dead hardware does not come
+// back; corrected-cell and read-noise envelopes can).
+func classifyFaults(m *arch.Meter) (fail, transient bool) {
+	t := m.Total()
+	fail = t.PIMFaults > 0 || t.PIMRecovered > 0
+	transient = t.PIMRecovered == 0
+	return fail, transient
+}
+
+// shardAnswer is one shard's contribution to a query, with the
+// resilience annotations the fan-out layer reports on spans and metrics.
+type shardAnswer struct {
+	nn    []vec.Neighbor
+	meter *arch.Meter
+	// breakerOpen reports that the shard's breaker refused the PIM path
+	// and the exact host scan served instead.
+	breakerOpen bool
+	// retries counts transient-fault retries spent on this shard.
+	retries int
+}
+
+// search runs one query on the shard through its breaker and retry
+// budget. The flow generalizes the one-shot DeadDot fallback of
+// internal/fault into a stateful loop: an open breaker serves the exact
+// host scan; a closed (or probing) breaker runs the PIM path, retries
+// once on a transient fault if the engine-wide budget allows, and
+// reports the final outcome back to the breaker.
+func (sh *shard) search(ctx context.Context, q []float64, k int) shardAnswer {
+	var done func(ok bool)
+	if sh.breaker != nil {
+		var err error
+		done, err = sh.breaker.Allow()
+		if err != nil { // resilience.ErrCircuitOpen: reroute, never fail
+			nn, m := sh.searchOnce(ctx, q, k, true)
+			return shardAnswer{nn: nn, meter: m, breakerOpen: true}
+		}
+	}
+	nn, m := sh.searchOnce(ctx, q, k, false)
+	fail, transient := classifyFaults(m)
+	retries := 0
+	if fail && transient && sh.retry.Allow() {
+		if resilience.Sleep(ctx, sh.retry.Backoff(0)) == nil {
+			retries = 1
+			nn2, m2 := sh.searchOnce(ctx, q, k, false)
+			fail, _ = classifyFaults(m2)
+			m.Merge(m2) // the query really did both attempts' work
+			nn = nn2
+		}
+	}
+	if done != nil {
+		done(!fail)
+	}
+	if !fail {
+		sh.retry.OnSuccess()
+	}
+	return shardAnswer{nn: nn, meter: m, retries: retries}
+}
+
+// searchOnce is one attempt on one path: the shard's configured searcher
+// or, when host is set, its exact host-scan fallback. Neighbors come
+// back translated to global indices.
+func (sh *shard) searchOnce(ctx context.Context, q []float64, k int, host bool) ([]vec.Neighbor, *arch.Meter) {
+	m := arch.NewMeter()
+	sh.mu.Lock()
+	s := sh.searcher
+	if host {
+		s = sh.host
+	}
+	nn := knn.SearchTraced(ctx, s, q, k, m)
+	sh.meter.Merge(m)
+	sh.mu.Unlock()
+	for i := range nn {
+		nn[i].Index += sh.offset
+	}
+	return nn, m
+}
+
+// BreakerStates returns every shard's breaker state (StateClosed where
+// breakers are off or the shard is build-time degraded).
+func (e *Engine) BreakerStates() []resilience.State {
+	states := make([]resilience.State, len(e.shards))
+	for i, sh := range e.shards {
+		states[i] = sh.breaker.State()
+	}
+	return states
+}
+
+// BreakerTrips returns the cumulative trip count across all shards.
+func (e *Engine) BreakerTrips() int64 {
+	var n int64
+	for _, sh := range e.shards {
+		n += sh.breaker.Trips()
+	}
+	return n
+}

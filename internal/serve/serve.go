@@ -37,6 +37,7 @@ import (
 	"pimmine/internal/knn"
 	"pimmine/internal/obs"
 	"pimmine/internal/pim"
+	"pimmine/internal/resilience"
 	"pimmine/internal/vec"
 )
 
@@ -98,6 +99,17 @@ type Options struct {
 	// bound-eval → pim-dot → refine span tree. Nil keeps the hot path
 	// observation-free.
 	Obs *obs.Observer
+	// Resilience, when non-nil, engages the overload-protection layer
+	// (internal/resilience): admission control with a bounded wait queue
+	// in front of Search/SearchBatch, deadline-aware shedding against
+	// the observed p95 service time, per-shard circuit breakers that
+	// reroute a fault-storming shard to its exact host scan, and a
+	// jittered-backoff retry budget for transient PIM faults. Rejected
+	// and shed queries return typed errors (resilience.ErrOverloaded,
+	// resilience.ErrShedDeadline); admitted queries always return exact
+	// results. When MaxConcurrent is set, Workers is clamped to it so a
+	// batch cannot reject its own jobs.
+	Resilience *resilience.Config
 }
 
 // shard is one row-range of the dataset with its private searcher.
@@ -113,22 +125,15 @@ type shard struct {
 	searcher knn.Searcher
 	meter    *arch.Meter // cumulative shard activity
 	degraded bool
-}
 
-// search runs one query on the shard and returns neighbors translated to
-// global indices plus the query's private meter. The context carries the
-// query's trace (if sampled); searchers that implement
-// knn.ContextSearcher emit their phase spans under it.
-func (sh *shard) search(ctx context.Context, q []float64, k int) ([]vec.Neighbor, *arch.Meter) {
-	m := arch.NewMeter()
-	sh.mu.Lock()
-	nn := knn.SearchTraced(ctx, sh.searcher, q, k, m)
-	sh.meter.Merge(m)
-	sh.mu.Unlock()
-	for i := range nn {
-		nn[i].Index += sh.offset
-	}
-	return nn, m
+	// Overload protection (nil/unset unless Options.Resilience engages
+	// it): breaker gates the PIM path, host is the exact host-scan
+	// fallback served while the breaker is open, retry is the shared
+	// engine-wide transient-fault budget. The search flow lives in
+	// resilience.go.
+	breaker *resilience.Breaker
+	host    knn.Searcher
+	retry   *resilience.RetryBudget
 }
 
 // ErrClosed reports an operation on an engine after Close.
@@ -141,7 +146,8 @@ type Engine struct {
 	shards   []*shard
 	degraded []int // shard ids that fell back to the host exact scan
 	opts     Options
-	eobs     *engineObs // nil when Options.Obs is nil
+	eobs     *engineObs        // nil when Options.Obs is nil
+	res      *engineResilience // nil when Options.Resilience is nil
 
 	// closeMu gates the query paths against Close: queries hold the
 	// read side for their duration, so Close drains in-flight work.
@@ -201,8 +207,20 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 			return nil, err
 		}
 	}
+	var res *engineResilience
+	if opts.Resilience != nil {
+		var err error
+		if res, err = newEngineResilience(opts.Resilience); err != nil {
+			return nil, err
+		}
+		// A batch must not reject its own jobs: the worker pool is the
+		// batch's admission, so it never outnumbers the concurrency cap.
+		if mc := opts.Resilience.MaxConcurrent; mc > 0 && opts.Workers > mc {
+			opts.Workers = mc
+		}
+	}
 
-	e := &Engine{data: data, opts: opts}
+	e := &Engine{data: data, opts: opts, res: res}
 	s := opts.Shards
 	base, rem := data.N/s, data.N%s
 	lo := 0
@@ -223,6 +241,18 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 		sh.searcher = searcher
 		e.shards = append(e.shards, sh)
 		lo += rows
+	}
+	if res != nil {
+		for _, sh := range e.shards {
+			if sh.degraded {
+				continue // already serving the host scan permanently
+			}
+			sh.retry = res.retry
+			if opts.Resilience.Breaker.FailureThreshold > 0 {
+				sh.breaker = resilience.NewBreaker(opts.Resilience.Breaker)
+				sh.host = knn.NewStandard(sh.data)
+			}
+		}
 	}
 	if opts.Obs != nil {
 		e.eobs = newEngineObs(e, opts.Obs)
@@ -404,20 +434,31 @@ type Result struct {
 	ShardMeters []*arch.Meter
 	// Degraded lists shards that served the host fallback for this query.
 	Degraded []int
+	// BreakerOpen lists shards whose circuit breaker refused the PIM
+	// path for this query, so the exact host scan served instead
+	// (results are still exact; only throughput modeling degrades).
+	BreakerOpen []int
 }
 
 // shardOut carries one shard's contribution back to the query goroutine.
 type shardOut struct {
-	id    int
-	nn    []vec.Neighbor
-	meter *arch.Meter
+	id          int
+	nn          []vec.Neighbor
+	meter       *arch.Meter
+	breakerOpen bool
 }
 
 // Search answers one kNN query by fanning out to every shard and merging
 // the per-shard top-k heaps into the exact global top-k. It honors ctx
 // cancellation and, when Options.QueryTimeout is set, a per-query
-// deadline; a canceled query returns the context's error. Search is safe
-// to call concurrently.
+// deadline (surfaced as ErrQueryTimeout, which still matches
+// context.DeadlineExceeded); a canceled query returns the context's
+// cause. With Options.Resilience set, the query first passes admission
+// control (resilience.ErrOverloaded when the engine is saturated) and
+// deadline-aware shedding (resilience.ErrShedDeadline when the
+// remaining deadline is below the observed p95 service time); both
+// reject in microseconds, before any shard work is dispatched. Search
+// is safe to call concurrently.
 func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, err error) {
 	release, err := e.acquire()
 	if err != nil {
@@ -433,14 +474,24 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// Admission control: when the concurrency cap and its wait queue are
+	// both full, answer "no" now — a typed rejection in microseconds —
+	// instead of queueing into certain timeout and burning crossbar
+	// transfers on a query that cannot finish.
+	if lrelease, lerr := e.res.admit(ctx); lerr != nil {
+		e.eobs.noteRejected(lerr)
+		return nil, lerr
+	} else if lrelease != nil {
+		defer lrelease()
+	}
 	if e.opts.QueryTimeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, e.opts.QueryTimeout)
+		ctx, cancel = context.WithTimeoutCause(ctx, e.opts.QueryTimeout, ErrQueryTimeout)
 		defer cancel()
 	}
+	start := time.Now()
 	var root *obs.Span
 	if e.eobs != nil {
-		start := time.Now()
 		e.eobs.inflight.Add(1)
 		ctx, root = e.eobs.o.Tracer().Start(ctx, "engine.search")
 		root.SetAttr("k", k)
@@ -456,6 +507,14 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 			root.End()
 		}()
 	}
+	// Deadline-aware shedding: a query whose remaining deadline is below
+	// the observed p95 service time cannot finish; shed it before any
+	// PIM transfer budget (Eq. 13's Tcost) is spent on it.
+	if serr := e.res.checkShed(ctx); serr != nil {
+		e.eobs.noteShed()
+		root.Annotate("shed", obs.A("reason", serr.Error()))
+		return nil, serr
+	}
 
 	// Fan out. The channel is buffered so a shard goroutine can always
 	// deliver and exit, even when the query gave up on the deadline.
@@ -470,27 +529,39 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 			if e.eobs != nil {
 				e.eobs.shardQueries[sh.id].Inc()
 			}
-			nn, m := sh.search(obs.ContextWithSpan(ctx, sp), q, k)
-			annotateFaults(sp, m)
+			ans := sh.search(obs.ContextWithSpan(ctx, sp), q, k)
+			annotateFaults(sp, ans.meter)
+			if ans.breakerOpen {
+				sp.Annotate("breaker-open", obs.A("path", "host-scan"))
+				e.eobs.noteBreakerHostServe()
+			}
+			if ans.retries > 0 {
+				sp.Annotate("pim-retry", obs.A("retries", ans.retries))
+				e.eobs.noteRetries(ans.retries)
+			}
 			sp.End()
-			out <- shardOut{id: sh.id, nn: nn, meter: m}
+			out <- shardOut{id: sh.id, nn: ans.nn, meter: ans.meter, breakerOpen: ans.breakerOpen}
 		}(sh)
 	}
 
 	// Collect and merge.
 	meters := make([]*arch.Meter, len(e.shards))
 	merged := make([]vec.Neighbor, 0, len(e.shards)*k)
+	var breakerOpen []int
 	for range e.shards {
 		select {
 		case o := <-out:
 			merged = append(merged, o.nn...)
 			meters[o.id] = o.meter
+			if o.breakerOpen {
+				breakerOpen = append(breakerOpen, o.id)
+			}
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, context.Cause(ctx)
 		}
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err // a shard may have skipped its work
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, context.Cause(ctx) // a shard may have skipped its work
 	}
 	// Global top-k = k minimum under the (distance, index) total order —
 	// the same order every searcher's TopK heap resolves ties with, which
@@ -510,5 +581,11 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 			meter.Merge(m)
 		}
 	}
-	return &Result{Neighbors: merged, Meter: meter, ShardMeters: meters, Degraded: e.DegradedShards()}, nil
+	// Feed the shedder only with completed queries: its p95 must track
+	// real service time, not the latency of rejections.
+	if e.res != nil {
+		e.res.shed.Observe(time.Since(start))
+	}
+	return &Result{Neighbors: merged, Meter: meter, ShardMeters: meters,
+		Degraded: e.DegradedShards(), BreakerOpen: breakerOpen}, nil
 }

@@ -38,6 +38,7 @@ import (
 	"pimmine/internal/plan"
 	"pimmine/internal/profile"
 	"pimmine/internal/quant"
+	"pimmine/internal/resilience"
 	"pimmine/internal/serve"
 	"pimmine/internal/vec"
 )
@@ -353,6 +354,50 @@ func SearcherVariants() []SearcherVariant { return serve.Variants() }
 func NewQueryEngine(data *Matrix, opts QueryEngineOptions) (*QueryEngine, error) {
 	return serve.New(data, opts)
 }
+
+// Overload-resilient serving (internal/resilience): set
+// QueryEngineOptions.Resilience (or MutableEngineOptions.Options
+// .Resilience) to engage admission control, deadline-aware shedding,
+// per-shard circuit breakers and a transient-fault retry budget. Only
+// admission is lossy — a rejected or shed query is one of the typed
+// errors below — and every admitted query still returns exact results.
+type (
+	// ResilienceConfig bundles the overload-protection knobs for one
+	// serving engine; the zero value disables everything.
+	ResilienceConfig = resilience.Config
+	// CircuitBreakerConfig configures the per-shard breakers.
+	CircuitBreakerConfig = resilience.BreakerConfig
+	// RetryBudgetConfig configures the transient-fault retry budget.
+	RetryBudgetConfig = resilience.RetryConfig
+	// CircuitState is a breaker position (closed / open / half-open).
+	CircuitState = resilience.State
+)
+
+// The typed rejection errors of the resilience pipeline. Match with
+// errors.Is; the chains are pinned by resilience_facade_test.go.
+var (
+	// ErrOverloaded: rejected by admission control (concurrency cap and
+	// wait queue both full).
+	ErrOverloaded = resilience.ErrOverloaded
+	// ErrShedDeadline: shed before dispatch — the remaining deadline was
+	// below the observed p95 service time.
+	ErrShedDeadline = resilience.ErrShedDeadline
+	// ErrCircuitOpen: refused by an open circuit breaker. Engine queries
+	// never surface it (an open shard breaker reroutes to the exact host
+	// scan); it is exported for direct resilience.Breaker users.
+	ErrCircuitOpen = resilience.ErrCircuitOpen
+	// ErrQueryTimeout: the engine-applied QueryTimeout elapsed. It also
+	// matches context.DeadlineExceeded, so pre-existing deadline checks
+	// keep working; a caller-imposed deadline matches only the latter.
+	ErrQueryTimeout = serve.ErrQueryTimeout
+	// ErrEngineClosed: query issued after Close.
+	ErrEngineClosed = serve.ErrClosed
+)
+
+// DefaultResilience returns a production-shaped resilience config sized
+// to a worker count (admission at the pool width, shedding at 1×p95,
+// breakers after 8 consecutive fault-hit queries, 5% retry budget).
+func DefaultResilience(workers int) ResilienceConfig { return resilience.Default(workers) }
 
 // Mutable serving (internal/delta + internal/serve): the query engine
 // with Insert/Update/Delete. Mutations land in a host-side delta buffer

@@ -1,0 +1,202 @@
+package pimmine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pimmine"
+)
+
+// gatedSearcher blocks each search on a gate channel (signalling entry
+// once), so tests can hold an admission slot in flight deterministically.
+type gatedSearcher struct {
+	inner   pimmine.KNNSearcher
+	gate    chan struct{}
+	entered chan struct{}
+}
+
+func (s *gatedSearcher) Name() string { return "gated" }
+
+func (s *gatedSearcher) Search(q []float64, k int, m *pimmine.Meter) []pimmine.Neighbor {
+	select {
+	case s.entered <- struct{}{}:
+	default:
+	}
+	<-s.gate
+	return s.inner.Search(q, k, m)
+}
+
+// TestResilienceErrorChains pins every errors.Is chain the facade
+// promises for the overload-protection pipeline, end to end through a
+// real engine wherever the error can be provoked deterministically:
+//
+//	admission rejection  → ErrOverloaded
+//	deadline shed        → ErrShedDeadline
+//	engine QueryTimeout  → ErrQueryTimeout AND context.DeadlineExceeded
+//	caller deadline      → context.DeadlineExceeded only
+//	query after Close    → ErrEngineClosed
+func TestResilienceErrorChains(t *testing.T) {
+	t.Parallel()
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 80, 7)
+	queries := ds.Queries(2, 8)
+
+	// Engine QueryTimeout vs caller deadline: both are deadline errors,
+	// only the engine's carries ErrQueryTimeout. A 1ns engine timeout
+	// fires before any work on every platform.
+	e, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{
+		Shards:       2,
+		QueryTimeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond) // let the 1ns deadline definitely pass
+	_, qerr := e.Search(context.Background(), queries.Row(0), 3)
+	if !errors.Is(qerr, pimmine.ErrQueryTimeout) {
+		t.Fatalf("engine timeout: got %v, want ErrQueryTimeout", qerr)
+	}
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("ErrQueryTimeout must match context.DeadlineExceeded, got %v", qerr)
+	}
+
+	plain, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	_, cerr := plain.Search(expired, queries.Row(0), 3)
+	if !errors.Is(cerr, context.DeadlineExceeded) {
+		t.Fatalf("caller deadline: got %v", cerr)
+	}
+	if errors.Is(cerr, pimmine.ErrQueryTimeout) {
+		t.Fatal("caller deadline must not match ErrQueryTimeout")
+	}
+
+	// Deadline shed: warm the shedder, then offer a doomed deadline.
+	cfg := pimmine.ResilienceConfig{ShedFactor: 1, MinShedSamples: 2}
+	shedEng, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{
+		Shards:     2,
+		Resilience: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := shedEng.Search(context.Background(), queries.Row(0), 3); err != nil {
+			t.Fatalf("warm-up %d: %v", i, err)
+		}
+	}
+	doomed, cancel2 := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel2()
+	_, serr := shedEng.Search(doomed, queries.Row(1), 3)
+	if !errors.Is(serr, pimmine.ErrShedDeadline) {
+		t.Fatalf("doomed deadline: got %v, want ErrShedDeadline", serr)
+	}
+	if errors.Is(serr, pimmine.ErrOverloaded) || errors.Is(serr, pimmine.ErrQueryTimeout) {
+		t.Fatalf("shed error matched a sibling sentinel: %v", serr)
+	}
+
+	// Admission rejection: a gated shard searcher holds the single slot
+	// in flight (deterministically — the holder signals entry) while a
+	// second query is refused.
+	lcfg := pimmine.ResilienceConfig{MaxConcurrent: 1}
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	limEng, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{
+		Shards: 1,
+		Factory: func(m *pimmine.Matrix, _ int) (pimmine.KNNSearcher, error) {
+			return &gatedSearcher{inner: pimmine.NewExactKNN(m), gate: gate, entered: entered}, nil
+		},
+		Resilience: &lcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := limEng.Search(context.Background(), queries.Row(0), 3)
+		done <- err
+	}()
+	<-entered // the holder is inside the shard searcher: slot held
+	_, oerr := limEng.Search(context.Background(), queries.Row(1), 3)
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("slot-holding query failed: %v", err)
+	}
+	if !errors.Is(oerr, pimmine.ErrOverloaded) {
+		t.Fatalf("saturated engine: got %v, want ErrOverloaded", oerr)
+	}
+	if errors.Is(oerr, pimmine.ErrShedDeadline) || errors.Is(oerr, pimmine.ErrCircuitOpen) {
+		t.Fatalf("overload error matched a sibling sentinel: %v", oerr)
+	}
+
+	// Closed engine.
+	if err := plain.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Search(context.Background(), queries.Row(0), 3); !errors.Is(err, pimmine.ErrEngineClosed) {
+		t.Fatalf("closed engine: got %v, want ErrEngineClosed", err)
+	}
+
+	// The sentinels are pairwise distinct.
+	sentinels := []error{
+		pimmine.ErrOverloaded, pimmine.ErrShedDeadline,
+		pimmine.ErrCircuitOpen, pimmine.ErrQueryTimeout, pimmine.ErrEngineClosed,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if i != j && errors.Is(a, b) {
+				t.Fatalf("sentinel %d matches sentinel %d", i, j)
+			}
+		}
+	}
+}
+
+// TestDefaultResilienceServes smoke-tests a fully-enabled default config
+// through the facade: normal traffic is unaffected.
+func TestDefaultResilienceServes(t *testing.T) {
+	t.Parallel()
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 120, 9)
+	queries := ds.Queries(4, 10)
+	cfg := pimmine.DefaultResilience(4)
+	e, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{
+		Shards:     2,
+		Workers:    4,
+		Resilience: &cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := pimmine.NewExactKNN(ds.X)
+	for qi := 0; qi < queries.N; qi++ {
+		res, err := e.Search(context.Background(), queries.Row(qi), 5)
+		if err != nil {
+			t.Fatalf("query %d: %v", qi, err)
+		}
+		want := exact.Search(queries.Row(qi), 5, pimmine.NewMeter())
+		for i := range want {
+			if res.Neighbors[i] != want[i] {
+				t.Fatalf("query %d inexact under default resilience", qi)
+			}
+		}
+	}
+	batch, err := e.SearchBatch(context.Background(), queries, 5)
+	if err != nil {
+		t.Fatalf("batch under default resilience: %v", err)
+	}
+	if len(batch.Results) != queries.N {
+		t.Fatalf("batch returned %d results for %d queries", len(batch.Results), queries.N)
+	}
+}

@@ -93,3 +93,4 @@ func BenchmarkExtJoin(b *testing.B)    { runExperiment(b, "ext-join") }
 func BenchmarkExtApprox(b *testing.B)  { runExperiment(b, "ext-approx") }
 func BenchmarkExtScale(b *testing.B)   { runExperiment(b, "ext-scale") }
 func BenchmarkExtDBSCAN(b *testing.B)  { runExperiment(b, "ext-dbscan") }
+func BenchmarkExtKernels(b *testing.B) { runExperiment(b, "ext-kernels") }

@@ -104,6 +104,23 @@ func (ix *SMIndex) QueryMu(q []float64) ([]float64, error) {
 	return mu, err
 }
 
+// QueryMuInto is QueryMu writing into a caller-owned buffer of len Segs —
+// the allocation-free form the steady-state search paths use. The means
+// are bit-identical to QueryMu's.
+func (ix *SMIndex) QueryMuInto(q []float64, mu []float64) error {
+	if len(q)%ix.Segs != 0 {
+		return fmt.Errorf("bound: cannot split %d dims into %d segments", len(q), ix.Segs)
+	}
+	if len(mu) != ix.Segs {
+		return fmt.Errorf("bound: mean buffer of %d, want %d", len(mu), ix.Segs)
+	}
+	l := len(q) / ix.Segs
+	for i := 0; i < ix.Segs; i++ {
+		mu[i] = vec.Mean(q[i*l : (i+1)*l])
+	}
+	return nil
+}
+
 // LB evaluates LB_SM between dataset object i and query segment means.
 func (ix *SMIndex) LB(i int, qMu []float64) float64 {
 	p := ix.Mu.Row(i)
@@ -154,6 +171,12 @@ func BuildFNN(m *vec.Matrix, segs int) (*FNNIndex, error) {
 // QueryStats computes the query's segment statistics once per query.
 func (ix *FNNIndex) QueryStats(q []float64) (mu, sigma []float64, err error) {
 	return vec.SegmentStats(q, ix.Segs)
+}
+
+// QueryStatsInto is QueryStats writing into caller-owned buffers (both
+// len Segs) — the allocation-free form the steady-state search paths use.
+func (ix *FNNIndex) QueryStatsInto(q []float64, mu, sigma []float64) error {
+	return vec.SegmentStatsInto(q, ix.Segs, mu, sigma)
 }
 
 // LB evaluates LB_FNN between dataset object i and query statistics.

@@ -85,6 +85,16 @@ type Crossbar struct {
 	// tracking (§V-C motivates avoiding re-programming).
 	writes []uint32
 
+	// planes is the word-parallel mirror of cells: for column c and cell
+	// bit t, the words planes[(c·h+t)·W : (c·h+t+1)·W] hold one bit per
+	// row (row r lives in word r/64, bit r%64) saying whether that cell's
+	// level has bit t set. DotAll computes column sums as
+	// Σ_t Σ_u 2^(t+u)·popcount(cellPlane_t & inputPlane_u), touching 64
+	// cells per uint64 op instead of one. Maintained by ProgramVector and
+	// Reset; never read by the endurance or programming paths.
+	planes     []uint64
+	planeWords int // W = ⌈M/64⌉ words per plane
+
 	opBits int // bits per stored operand (0 until first program)
 	dims   int // dimensionality of stored vectors
 	nvecs  int // number of vectors currently programmed
@@ -100,6 +110,10 @@ type Crossbar struct {
 // ReadFault maps a programmed cell level to the level the analog read
 // actually observes. row/col are cell coordinates within the tile; the
 // returned level must stay within the cell's range [0, 2^CellBits).
+// The hook must be a pure function of its arguments: the word-parallel
+// read path materializes each faulted cell once per DotAll call instead
+// of once per compute cycle (internal/fault's frozen fault maps satisfy
+// this by construction).
 type ReadFault func(row, col int, programmed uint16) uint16
 
 // SetReadFault installs (or, with nil, removes) the cell-read fault hook.
@@ -112,7 +126,14 @@ func New(spec Spec) *Crossbar {
 		panic(err)
 	}
 	n := spec.M * spec.M
-	return &Crossbar{spec: spec, cells: make([]uint16, n), writes: make([]uint32, n)}
+	w := (spec.M + 63) / 64
+	return &Crossbar{
+		spec:       spec,
+		cells:      make([]uint16, n),
+		writes:     make([]uint32, n),
+		planes:     make([]uint64, spec.M*spec.CellBits*w),
+		planeWords: w,
+	}
 }
 
 // Spec returns the crossbar's geometry.
@@ -157,6 +178,7 @@ func (c *Crossbar) ProgramVector(values []uint32, operandBits int) (float64, err
 			idx := row*c.spec.M + col0 + k
 			c.cells[idx] = cell
 			c.writes[idx]++
+			c.setPlanes(row, col0+k, cell)
 		}
 	}
 	c.opBits = operandBits
@@ -174,25 +196,65 @@ func (c *Crossbar) ProgramVector(values []uint32, operandBits int) (float64, err
 // The computation is bit-exact: per cycle each column accumulates the
 // analog sum of inputSlice×cell products, the ADC digitizes it, and the
 // S&A circuit shifts partial results by the DAC width per input cycle and
-// by the cell width per weight-slice position.
+// by the cell width per weight-slice position. Internally the column sums
+// are evaluated word-parallel over bit planes (64 cells per uint64 op);
+// DotAllRef retains the cell-at-a-time form and the equivalence harness
+// pins the two bit-identical.
 func (c *Crossbar) DotAll(input []uint32, inputBits int) ([]int64, int, error) {
+	out := make([]int64, c.nvecs)
+	cycles, err := c.DotAllInto(input, inputBits, out)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, cycles, nil
+}
+
+// DotAllInto is DotAll writing into dst (len must be Vectors()); the
+// steady-state query path reuses dst and the pooled plane scratch, so a
+// warmed-up simulate-mode query performs no allocations.
+func (c *Crossbar) DotAllInto(input []uint32, inputBits int, dst []int64) (int, error) {
+	cycles, err := c.checkQuery(input, inputBits)
+	if err != nil {
+		return 0, err
+	}
+	if len(dst) != c.nvecs {
+		return 0, fmt.Errorf("crossbar: result buffer has %d slots, %d vectors programmed", len(dst), c.nvecs)
+	}
+	c.dotWordParallel(input, inputBits, dst)
+	return cycles, nil
+}
+
+// checkQuery validates a query against the programmed layout and returns
+// the cycle count.
+func (c *Crossbar) checkQuery(input []uint32, inputBits int) (int, error) {
 	if c.nvecs == 0 {
-		return nil, 0, errors.New("crossbar: no vectors programmed")
+		return 0, errors.New("crossbar: no vectors programmed")
 	}
 	if len(input) != c.dims {
-		return nil, 0, fmt.Errorf("crossbar: input has %d dims, stored vectors have %d", len(input), c.dims)
+		return 0, fmt.Errorf("crossbar: input has %d dims, stored vectors have %d", len(input), c.dims)
 	}
 	if inputBits <= 0 || inputBits > 32 {
-		return nil, 0, fmt.Errorf("crossbar: input width %d outside [1,32]", inputBits)
+		return 0, fmt.Errorf("crossbar: input width %d outside [1,32]", inputBits)
 	}
 	maxVal := uint64(1)<<uint(inputBits) - 1
 	for _, v := range input {
 		if uint64(v) > maxVal {
-			return nil, 0, fmt.Errorf("crossbar: input value %d exceeds %d-bit width", v, inputBits)
+			return 0, fmt.Errorf("crossbar: input value %d exceeds %d-bit width", v, inputBits)
 		}
 	}
+	return c.spec.InputCycles(inputBits), nil
+}
+
+// DotAllRef is the retained cell-at-a-time reference implementation of
+// DotAll — a direct transcription of the Fig 2/3 pipeline, kept as the
+// executable specification the kernel-equivalence tests and fuzzers pin
+// the word-parallel path against. It must never be optimized.
+func (c *Crossbar) DotAllRef(input []uint32, inputBits int) ([]int64, int, error) {
+	cycles, err := c.checkQuery(input, inputBits)
+	if err != nil {
+		return nil, 0, err
+	}
 	cpo := c.spec.CellsPerOperand(c.opBits)
-	cycles := c.spec.InputCycles(inputBits)
 	dacMask := uint32(1)<<uint(c.spec.DACBits) - 1
 	out := make([]int64, c.nvecs)
 	for cyc := 0; cyc < cycles; cyc++ {
@@ -228,6 +290,9 @@ func (c *Crossbar) DotAll(input []uint32, inputBits int) ([]int64, int, error) {
 func (c *Crossbar) Reset() {
 	for i := range c.cells {
 		c.cells[i] = 0
+	}
+	for i := range c.planes {
+		c.planes[i] = 0
 	}
 	c.opBits, c.dims, c.nvecs = 0, 0, 0
 }

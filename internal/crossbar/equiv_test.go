@@ -1,0 +1,228 @@
+package crossbar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildRandom programs nvecs random dims-dim opBits-bit vectors into a
+// fresh crossbar of the given spec.
+func buildRandom(t testing.TB, spec Spec, rng *rand.Rand, nvecs, dims, opBits int) *Crossbar {
+	t.Helper()
+	c := New(spec)
+	maxVal := uint64(1)<<uint(opBits) - 1
+	for v := 0; v < nvecs; v++ {
+		vals := make([]uint32, dims)
+		for i := range vals {
+			vals[i] = uint32(rng.Uint64() & maxVal)
+		}
+		if _, err := c.ProgramVector(vals, opBits); err != nil {
+			t.Fatalf("ProgramVector: %v", err)
+		}
+	}
+	return c
+}
+
+// TestDotAllMatchesRef pins the word-parallel DotAll bit-identical to the
+// retained cell-at-a-time reference across a grid of geometries, operand
+// widths and edge sizes (1 dim, non-multiple-of-64 dims, full crossbars).
+func TestDotAllMatchesRef(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	specs := []Spec{
+		{M: 256, CellBits: 2, DACBits: 2, ReadLatencyNs: 29.31, WriteLatencyNs: 50.88}, // Table 5
+		{M: 64, CellBits: 1, DACBits: 1, ReadLatencyNs: 1, WriteLatencyNs: 1},
+		{M: 65, CellBits: 3, DACBits: 4, ReadLatencyNs: 1, WriteLatencyNs: 1},
+		{M: 16, CellBits: 16, DACBits: 16, ReadLatencyNs: 1, WriteLatencyNs: 1},
+		{M: 3, CellBits: 5, DACBits: 7, ReadLatencyNs: 1, WriteLatencyNs: 1},
+	}
+	for _, spec := range specs {
+		for _, opBits := range []int{1, 2, 7, 8, 17, 32} {
+			cpo := spec.CellsPerOperand(opBits)
+			maxVecs := spec.M / cpo
+			if maxVecs == 0 {
+				continue
+			}
+			for _, dims := range []int{1, 2, spec.M/2 + 1, spec.M} {
+				if dims <= 0 || dims > spec.M {
+					continue
+				}
+				nvecs := rng.Intn(maxVecs) + 1
+				c := buildRandom(t, spec, rng, nvecs, dims, opBits)
+				for _, inBits := range []int{1, 3, 8, 32} {
+					input := make([]uint32, dims)
+					maxIn := uint64(1)<<uint(inBits) - 1
+					for i := range input {
+						input[i] = uint32(rng.Uint64() & maxIn)
+					}
+					want, wantCyc, err := c.DotAllRef(input, inBits)
+					if err != nil {
+						t.Fatalf("DotAllRef: %v", err)
+					}
+					got, gotCyc, err := c.DotAll(input, inBits)
+					if err != nil {
+						t.Fatalf("DotAll: %v", err)
+					}
+					if gotCyc != wantCyc {
+						t.Fatalf("spec=%+v opBits=%d dims=%d: cycles %d, ref %d", spec, opBits, dims, gotCyc, wantCyc)
+					}
+					for v := range want {
+						if got[v] != want[v] {
+							t.Fatalf("spec M=%d h=%d dac=%d opBits=%d dims=%d inBits=%d vec %d: dot %d, ref %d",
+								spec.M, spec.CellBits, spec.DACBits, opBits, dims, inBits, v, got[v], want[v])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDotAllMatchesRefFaulted pins the equivalence with a read-fault hook
+// installed: the word-parallel path materializes faulted planes once per
+// call, the reference consults the hook per cycle; both must agree because
+// the hook is pure.
+func TestDotAllMatchesRefFaulted(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	spec := Spec{M: 96, CellBits: 2, DACBits: 2, ReadLatencyNs: 1, WriteLatencyNs: 1}
+	c := buildRandom(t, spec, rng, 5, 77, 8)
+	maxLevel := uint16(1)<<uint(spec.CellBits) - 1
+	c.SetReadFault(func(row, col int, level uint16) uint16 {
+		// Deterministic stuck-at-style perturbation.
+		if (row*31+col*17)%5 == 0 {
+			return maxLevel
+		}
+		if (row+col)%7 == 0 {
+			return level &^ 1
+		}
+		return level
+	})
+	input := make([]uint32, 77)
+	for i := range input {
+		input[i] = rng.Uint32() & 0xff
+	}
+	want, _, err := c.DotAllRef(input, 8)
+	if err != nil {
+		t.Fatalf("DotAllRef: %v", err)
+	}
+	got, _, err := c.DotAll(input, 8)
+	if err != nil {
+		t.Fatalf("DotAll: %v", err)
+	}
+	for v := range want {
+		if got[v] != want[v] {
+			t.Fatalf("faulted vec %d: dot %d, ref %d", v, got[v], want[v])
+		}
+	}
+	// Removing the hook must restore the clean planes exactly.
+	c.SetReadFault(nil)
+	clean, _, err := c.DotAllRef(input, 8)
+	if err != nil {
+		t.Fatalf("DotAllRef clean: %v", err)
+	}
+	got, _, err = c.DotAll(input, 8)
+	if err != nil {
+		t.Fatalf("DotAll clean: %v", err)
+	}
+	for v := range clean {
+		if got[v] != clean[v] {
+			t.Fatalf("clean vec %d: dot %d, ref %d", v, got[v], clean[v])
+		}
+	}
+}
+
+// TestDotAllAfterReset verifies the bit planes are rebuilt correctly after
+// Reset + re-program (Reset must clear them or stale bits would corrupt
+// the word-parallel sums).
+func TestDotAllAfterReset(t *testing.T) {
+	t.Parallel()
+	spec := Spec{M: 8, CellBits: 2, DACBits: 2, ReadLatencyNs: 1, WriteLatencyNs: 1}
+	c := New(spec)
+	if _, err := c.ProgramVector([]uint32{3, 3, 3}, 2); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := c.ProgramVector([]uint32{1, 0, 2}, 2); err != nil {
+		t.Fatal(err)
+	}
+	input := []uint32{1, 1, 1}
+	want, _, err := c.DotAllRef(input, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.DotAll(input, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want[0] || got[0] != 3 {
+		t.Fatalf("after reset: dot %d, ref %d, want 3", got[0], want[0])
+	}
+}
+
+// FuzzCrossbarEquivalence drives random geometries, cell/DAC widths,
+// operand widths and payload bytes through both DotAll implementations and
+// requires bit-identical dots and cycle counts.
+func FuzzCrossbarEquivalence(f *testing.F) {
+	f.Add([]byte("0123456789abcdef0123456789abcdef"), []byte("fedcba98"), byte(2), byte(2), byte(8), byte(8), byte(16))
+	f.Add([]byte("00"), []byte("7"), byte(1), byte(1), byte(1), byte(1), byte(4))
+	f.Add([]byte("\xff\xff\xff\xff\xff\xff\xff\xff"), []byte("\xff\xff"), byte(16), byte(16), byte(32), byte(32), byte(8))
+	f.Add([]byte("abcdefghij"), []byte("klm"), byte(3), byte(5), byte(7), byte(11), byte(65))
+	f.Fuzz(func(t *testing.T, payload, query []byte, hRaw, dacRaw, opRaw, inRaw, mRaw byte) {
+		h := int(hRaw)%16 + 1
+		dac := int(dacRaw)%16 + 1
+		opBits := int(opRaw)%32 + 1
+		inBits := int(inRaw)%32 + 1
+		m := int(mRaw)%96 + 1
+		spec := Spec{M: m, CellBits: h, DACBits: dac, ReadLatencyNs: 1, WriteLatencyNs: 1}
+		cpo := spec.CellsPerOperand(opBits)
+		maxVecs := m / cpo
+		if maxVecs == 0 || len(query) == 0 {
+			return
+		}
+		dims := len(query)
+		if dims > m {
+			dims = m
+		}
+		maxOp := uint64(1)<<uint(opBits) - 1
+		maxIn := uint64(1)<<uint(inBits) - 1
+		nvecs := len(payload) / dims
+		if nvecs > maxVecs {
+			nvecs = maxVecs
+		}
+		if nvecs == 0 {
+			return
+		}
+		c := New(spec)
+		vals := make([]uint32, dims)
+		for v := 0; v < nvecs; v++ {
+			for i := range vals {
+				vals[i] = uint32(uint64(payload[v*dims+i]) * 0x9e3779b1 & maxOp)
+			}
+			if _, err := c.ProgramVector(vals, opBits); err != nil {
+				t.Fatalf("ProgramVector: %v", err)
+			}
+		}
+		input := make([]uint32, dims)
+		for i := range input {
+			input[i] = uint32(uint64(query[i]) * 0x85ebca77 & maxIn)
+		}
+		want, wantCyc, err := c.DotAllRef(input, inBits)
+		if err != nil {
+			t.Fatalf("DotAllRef: %v", err)
+		}
+		got, gotCyc, err := c.DotAll(input, inBits)
+		if err != nil {
+			t.Fatalf("DotAll: %v", err)
+		}
+		if gotCyc != wantCyc {
+			t.Fatalf("cycles %d, ref %d", gotCyc, wantCyc)
+		}
+		for v := range want {
+			if got[v] != want[v] {
+				t.Fatalf("m=%d h=%d dac=%d op=%d in=%d dims=%d vec %d: dot %d, ref %d",
+					m, h, dac, opBits, inBits, dims, v, got[v], want[v])
+			}
+		}
+	})
+}

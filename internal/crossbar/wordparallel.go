@@ -1,0 +1,151 @@
+package crossbar
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// This file holds the word-parallel DotAll kernel: instead of walking the
+// grid cell by cell, the column sums of §II-A are computed over *bit
+// planes*. For cell bit t and input-slice bit u,
+//
+//	Σ_row slice(row)·level(row) = Σ_t Σ_u 2^(t+u) · |{row : level_t ∧ slice_u}|
+//
+// and the set intersection over up to 64 rows is one AND + POPCNT on a
+// uint64 — the same transformation real bit-serial PIM substrates apply,
+// here reused to make the *simulation* of the analog array word-parallel.
+// With the paper's Table 5 spec (2-bit cells, 2-bit DACs, 256 rows) the
+// inner loop shrinks from 256 multiply-adds to 4·⌈256/64⌉ = 16 word ops
+// per column. Results are bit-identical to DotAllRef: both evaluate the
+// exact same integer column sums, only the summation order over rows
+// changes (integer addition is associative, unlike the float kernels in
+// internal/vec which preserve evaluation order instead).
+
+// dotScratch is the per-call scratch of the word-parallel kernel: input
+// bit planes for one cycle and, when a read-fault hook is installed, the
+// faulted cell planes materialized once per call. Pooled so steady-state
+// queries are allocation-free and concurrent queries on different
+// crossbars never share a buffer (each Get is exclusive until Put).
+type dotScratch struct {
+	in      []uint64 // DACBits×W input planes for the current cycle
+	faulted []uint64 // usedCols×CellBits×W faulted cell planes
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(dotScratch) }}
+
+// grow returns s[:n], reallocating when the capacity is short. The
+// contents are undefined; callers zero what they use.
+func grow(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+// setPlanes mirrors one programmed cell into the bit planes. Cells are
+// written at most once per program (column groups are always fresh and
+// Reset clears the planes), so bits only ever need setting.
+func (c *Crossbar) setPlanes(row, col int, level uint16) {
+	w := c.planeWords
+	base := col*c.spec.CellBits*w + row>>6
+	bit := uint64(1) << (uint(row) & 63)
+	for t := 0; t < c.spec.CellBits; t++ {
+		if level>>uint(t)&1 == 1 {
+			c.planes[base+t*w] |= bit
+		}
+	}
+}
+
+// faultedPlanes materializes the bit planes the analog read observes under
+// the installed read-fault hook, covering the occupied columns only. The
+// hook is required to be pure (see ReadFault), so reading each cell once
+// per call is equivalent to the reference's once-per-cycle reads.
+func (c *Crossbar) faultedPlanes(sc *dotScratch, usedCols int) []uint64 {
+	h := c.spec.CellBits
+	w := c.planeWords
+	sc.faulted = grow(sc.faulted, usedCols*h*w)
+	fp := sc.faulted
+	for i := range fp {
+		fp[i] = 0
+	}
+	m := c.spec.M
+	for row := 0; row < c.dims; row++ {
+		bit := uint64(1) << (uint(row) & 63)
+		word := row >> 6
+		for col := 0; col < usedCols; col++ {
+			level := c.readFault(row, col, c.cells[row*m+col])
+			base := col*h*w + word
+			for t := 0; t < h; t++ {
+				if level>>uint(t)&1 == 1 {
+					fp[base+t*w] |= bit
+				}
+			}
+		}
+	}
+	return fp
+}
+
+// dotWordParallel accumulates the dot product of input with every
+// programmed vector into out (len == nvecs, pre-zeroed by callers via
+// make or explicit clearing below).
+func (c *Crossbar) dotWordParallel(input []uint32, inputBits int, out []int64) {
+	for i := range out {
+		out[i] = 0
+	}
+	spec := c.spec
+	h := spec.CellBits
+	dac := spec.DACBits
+	w := c.planeWords
+	cpo := spec.CellsPerOperand(c.opBits)
+	cycles := spec.InputCycles(inputBits)
+	dacMask := uint32(1)<<uint(dac) - 1
+	usedCols := c.nvecs * cpo
+
+	sc := scratchPool.Get().(*dotScratch)
+	planes := c.planes
+	if c.readFault != nil {
+		planes = c.faultedPlanes(sc, usedCols)
+	}
+	sc.in = grow(sc.in, dac*w)
+	in := sc.in
+
+	for cyc := 0; cyc < cycles; cyc++ {
+		inShift := uint(cyc * dac)
+		// Build the input bit planes for this cycle (LSB-first streaming,
+		// exactly the slice the DACs inject in the reference).
+		for i := range in {
+			in[i] = 0
+		}
+		for row := 0; row < c.dims; row++ {
+			slice := input[row] >> inShift & dacMask
+			for slice != 0 {
+				u := bits.TrailingZeros32(slice)
+				in[u*w+row>>6] |= 1 << (uint(row) & 63)
+				slice &= slice - 1
+			}
+		}
+		for v := 0; v < c.nvecs; v++ {
+			col0 := v * cpo
+			for k := 0; k < cpo; k++ {
+				cp := planes[(col0+k)*h*w : (col0+k+1)*h*w]
+				var colSum int64
+				for t := 0; t < h; t++ {
+					tp := cp[t*w : t*w+w]
+					for u := 0; u < dac; u++ {
+						up := in[u*w : u*w+w]
+						pc := 0
+						for i := 0; i < len(tp) && i < len(up); i++ {
+							pc += bits.OnesCount64(tp[i] & up[i])
+						}
+						colSum += int64(pc) << uint(t+u)
+					}
+				}
+				// S&A: shift by input-cycle and weight-slice position,
+				// identically to the reference.
+				wShift := uint((cpo - 1 - k) * h)
+				out[v] += colSum << inShift << wShift
+			}
+		}
+	}
+	scratchPool.Put(sc)
+}

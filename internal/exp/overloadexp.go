@@ -191,12 +191,29 @@ func ExtOverload(s *Suite) (*Table, error) {
 	for _, mult := range []int{1, 2, 4} {
 		clients := mult * overloadClientsBase
 		for _, resilient := range []bool{false, true} {
-			eng, err := build(resilient)
-			if err != nil {
-				return nil, err
-			}
-			cell, err := runCell(eng, clients)
-			if err != nil {
+			// A heavily loaded host (suite start-up, shared CI runner) can
+			// slow the first warmed queries past the deadline, poisoning
+			// the fresh shedder's p95 above the deadline itself — and since
+			// only successes feed the histogram, that engine then sheds
+			// every query including the warm-up's. The histogram is
+			// engine-local, so the recovery is a fresh engine, retried
+			// after the transient contention has passed.
+			var eng *serve.Engine
+			var cell *overloadCell
+			var err error
+			for attempt := 0; ; attempt++ {
+				eng, err = build(resilient)
+				if err != nil {
+					return nil, err
+				}
+				cell, err = runCell(eng, clients)
+				if err == nil {
+					break
+				}
+				closeErr := eng.Close()
+				if attempt < 2 && errors.Is(err, resilience.ErrShedDeadline) && closeErr == nil {
+					continue
+				}
 				return nil, fmt.Errorf("ext-overload %dx resilient=%v: %w", mult, resilient, err)
 			}
 			goodput := float64(cell.ok) / overloadWindow.Seconds()

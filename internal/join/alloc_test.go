@@ -1,0 +1,79 @@
+package join
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+// TestKNNRowZeroAllocs pins the per-row refine primitive allocation-free
+// once the Joiner's scratch is warm, on both the host and the PIM path.
+func TestKNNRowZeroAllocs(t *testing.T) {
+	const k = 5
+	r, s := testRelations(t, 8, 200, 32)
+	for _, tc := range []struct {
+		name string
+		j    *Joiner
+	}{
+		{"host", NewJoiner(s)},
+		{"pim", newPIMJoiner(t, s)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			meter := arch.NewMeter()
+			dst := make([]vec.Neighbor, 0, k)
+			var err error
+			for i := 0; i < 3; i++ { // warm scratch + meter buckets
+				if dst, err = tc.j.KNNRow(r.Row(i), k, -1, meter, dst[:0]); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				dst, err = tc.j.KNNRow(r.Row(0), k, -1, meter, dst[:0])
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if allocs != 0 {
+				t.Fatalf("%s: steady-state KNNRow allocated %.1f times per row, want 0", tc.name, allocs)
+			}
+			if len(dst) != k {
+				t.Fatalf("%s: returned %d neighbors, want %d", tc.name, len(dst), k)
+			}
+		})
+	}
+}
+
+// TestKNNRowMatchesKNN pins the per-row primitive identical to the batch
+// join: same neighbors and same meter activity, row by row.
+func TestKNNRowMatchesKNN(t *testing.T) {
+	const k = 4
+	r, s := testRelations(t, 6, 150, 32)
+	jBatch := newPIMJoiner(t, s)
+	m1 := arch.NewMeter()
+	want, err := jBatch.KNN(r, k, false, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := arch.NewMeter()
+	var dst []vec.Neighbor
+	for i := 0; i < r.N; i++ {
+		dst, err = jBatch.KNNRow(r.Row(i), k, -1, m2, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dst) != len(want[i]) {
+			t.Fatalf("row %d: %d neighbors, KNN gave %d", i, len(dst), len(want[i]))
+		}
+		for p := range dst {
+			if dst[p] != want[i][p] {
+				t.Fatalf("row %d pos %d: %+v, KNN gave %+v", i, p, dst[p], want[i][p])
+			}
+		}
+	}
+	for _, fn := range m1.Functions() {
+		if m1.Get(fn) != m2.Get(fn) {
+			t.Fatalf("meter %q diverged: %+v vs %+v", fn, m1.Get(fn), m2.Get(fn))
+		}
+	}
+}

@@ -25,6 +25,12 @@ const operandBytes = 4
 
 // Joiner joins an outer relation against a fixed inner relation S. With
 // a non-nil PIM index it runs the PIM-optimized path.
+//
+// A Joiner owns per-row scratch (top-k collector, query floors, dot
+// buffer) reused across outer rows, so the refine loops of KNN/Eps and
+// the public KNNRow primitive perform zero heap allocations per row once
+// warmed up. The scratch makes a Joiner non-reentrant: one Joiner serves
+// one goroutine.
 type Joiner struct {
 	S *vec.Matrix
 
@@ -32,6 +38,9 @@ type Joiner struct {
 	ix   *pimbound.EDIndex
 	pay  *pim.Payload
 	dots []int64
+
+	top    *vec.TopK
+	qFloor []uint32 // query floor scratch (PIM path)
 }
 
 // NewJoiner builds the host-only joiner over the inner relation.
@@ -48,7 +57,7 @@ func NewJoinerPIM(eng *pim.Engine, s *vec.Matrix, q quant.Quantizer, capacityN i
 	if err != nil {
 		return nil, err
 	}
-	return &Joiner{S: s, eng: eng, ix: ix, pay: pay}, nil
+	return &Joiner{S: s, eng: eng, ix: ix, pay: pay, qFloor: make([]uint32, s.D)}, nil
 }
 
 // Name reports which path the joiner runs.
@@ -61,10 +70,53 @@ func (j *Joiner) Name() string {
 
 // prepare runs the PIM pass for one outer row (PIM path only).
 func (j *Joiner) prepare(r []float64, meter *arch.Meter) (pimbound.EDQuery, error) {
-	qf := j.ix.Query(r)
+	qf := j.ix.QueryInto(r, j.qFloor)
 	var err error
 	j.dots, err = j.eng.QueryAll(meter, "LBPIM-ED", j.pay, qf.Floor, j.dots)
 	return qf, err
+}
+
+// KNNRow computes the k nearest inner rows of one outer row, appending
+// them to dst (ascending squared distance) and returning the extended
+// slice. exclude names an inner row to skip (the self-join identity
+// pair), or is negative for none. It is the per-row refine primitive KNN
+// batches over; a warmed-up Joiner performs zero heap allocations per
+// call when dst has capacity for k neighbors.
+func (j *Joiner) KNNRow(row []float64, k, exclude int, meter *arch.Meter, dst []vec.Neighbor) ([]vec.Neighbor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("join: k must be >= 1, got %d", k)
+	}
+	if len(row) != j.S.D {
+		return nil, fmt.Errorf("join: outer d=%d, inner d=%d", len(row), j.S.D)
+	}
+	var qf pimbound.EDQuery
+	if j.ix != nil {
+		var err error
+		if qf, err = j.prepare(row, meter); err != nil {
+			return nil, err
+		}
+	}
+	if j.top == nil {
+		j.top = vec.NewTopK(k)
+	} else {
+		j.top.Reset(k)
+	}
+	var exact, consults int64
+	for s := 0; s < j.S.N; s++ {
+		if s == exclude {
+			continue
+		}
+		if j.ix != nil {
+			consults++
+			if j.ix.LB(s, qf, j.dots[s]) > j.top.Threshold() {
+				continue
+			}
+		}
+		exact++
+		j.top.Push(s, measure.SqEuclidean(row, j.S.Row(s)))
+	}
+	j.recordCosts(meter, exact, consults)
+	return j.top.AppendResults(dst), nil
 }
 
 // KNN computes the kNN join R ⋉ₖ S: result[i] holds the k nearest inner
@@ -88,33 +140,21 @@ func (j *Joiner) KNN(r *vec.Matrix, k int, selfJoin bool, meter *arch.Meter) ([]
 		return nil, fmt.Errorf("join: inner relation has %d rows, need %d", j.S.N, minInner)
 	}
 	out := make([][]vec.Neighbor, r.N)
-	var exact, consults int64
+	// One flat neighbor arena for the whole join: row i appends into the
+	// disjoint stride-k region flat[i*k : (i+1)*k], so the per-row refine
+	// (KNNRow) allocates nothing.
+	flat := make([]vec.Neighbor, r.N*k)
 	for i := 0; i < r.N; i++ {
-		row := r.Row(i)
-		var qf pimbound.EDQuery
-		if j.ix != nil {
-			var err error
-			if qf, err = j.prepare(row, meter); err != nil {
-				return nil, err
-			}
+		exclude := -1
+		if selfJoin {
+			exclude = i
 		}
-		top := vec.NewTopK(k)
-		for s := 0; s < j.S.N; s++ {
-			if selfJoin && s == i {
-				continue
-			}
-			if j.ix != nil {
-				consults++
-				if j.ix.LB(s, qf, j.dots[s]) > top.Threshold() {
-					continue
-				}
-			}
-			exact++
-			top.Push(s, measure.SqEuclidean(row, j.S.Row(s)))
+		nbs, err := j.KNNRow(r.Row(i), k, exclude, meter, flat[i*k:i*k:(i+1)*k])
+		if err != nil {
+			return nil, err
 		}
-		out[i] = top.Results()
+		out[i] = nbs
 	}
-	j.recordCosts(meter, exact, consults)
 	return out, nil
 }
 

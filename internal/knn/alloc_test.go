@@ -1,0 +1,141 @@
+package knn
+
+import (
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/vec"
+)
+
+// Zero-allocation regression tests for the steady-state query paths: once
+// a searcher is warmed up (scratch buffers sized, meter buckets created),
+// SearchAppend must not touch the heap. A regression here silently
+// reintroduces per-query GC pressure on the hot path, so any allocation
+// fails the test outright.
+
+// searchersUnderTest builds every ED-family searcher over one dataset and
+// engine. All of them implement AppendSearcher.
+func searchersUnderTest(t *testing.T) []AppendSearcher {
+	t.Helper()
+	data, _ := testData(t, 300, 64)
+	q := defaultQuant(t)
+	eng := newEngine(t)
+	std := NewStandard(data)
+	ost, err := NewOST(data, data.D/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, err := NewSM(data, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnn, err := NewFNN(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdPIM, err := NewStandardPIM(eng, data, q, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smPIM, err := NewSMPIM(eng, data, q, 16, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ostPIM, err := NewOSTPIM(eng, data, q, data.D/2, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fnnPIM, err := NewFNNPIM(eng, data, q, data.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []AppendSearcher{std, ost, sm, fnn, stdPIM, smPIM, ostPIM, fnnPIM}
+}
+
+func TestSearchAppendZeroAllocs(t *testing.T) {
+	const k = 10
+	data, queries := testData(t, 300, 64)
+	_ = data
+	searchers := searchersUnderTest(t)
+	for _, s := range searchers {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			meter := arch.NewMeter()
+			dst := make([]vec.Neighbor, 0, k)
+			// Warm up: size scratch, create meter buckets, grow TopK.
+			for i := 0; i < 3; i++ {
+				dst = s.SearchAppend(queries.Row(i%queries.N), k, meter, dst[:0])
+			}
+			allocs := testing.AllocsPerRun(20, func() {
+				dst = s.SearchAppend(queries.Row(0), k, meter, dst[:0])
+			})
+			if allocs != 0 {
+				t.Fatalf("%s: steady-state SearchAppend allocated %.1f times per query, want 0", s.Name(), allocs)
+			}
+			if len(dst) != k {
+				t.Fatalf("%s: returned %d neighbors, want %d", s.Name(), len(dst), k)
+			}
+		})
+	}
+}
+
+// TestSearchAppendMatchesSearch pins the allocation-free path identical to
+// Search: same neighbors, same order, same meter activity.
+func TestSearchAppendMatchesSearch(t *testing.T) {
+	const k = 7
+	_, queries := testData(t, 300, 64)
+	for _, s := range searchersUnderTest(t) {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			var dst []vec.Neighbor
+			for qi := 0; qi < queries.N; qi++ {
+				m1 := arch.NewMeter()
+				m2 := arch.NewMeter()
+				want := s.Search(queries.Row(qi), k, m1)
+				dst = s.SearchAppend(queries.Row(qi), k, m2, dst[:0])
+				if len(dst) != len(want) {
+					t.Fatalf("query %d: %d neighbors, Search gave %d", qi, len(dst), len(want))
+				}
+				for i := range want {
+					if dst[i] != want[i] {
+						t.Fatalf("query %d pos %d: %+v, Search gave %+v", qi, i, dst[i], want[i])
+					}
+				}
+				for _, fn := range m1.Functions() {
+					if m1.Get(fn) != m2.Get(fn) {
+						t.Fatalf("query %d: meter %q diverged: %+v vs %+v", qi, fn, m1.Get(fn), m2.Get(fn))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSearchBatchPerQueryAllocs pins the batch arena: growing the batch
+// must not grow per-query allocations (the fixed overhead — result
+// header, arena, meters, pool — is amortized; each extra query costs 0).
+func TestSearchBatchPerQueryAllocs(t *testing.T) {
+	const k = 5
+	data, _ := testData(t, 300, 64)
+	prof := 64
+	queries := data.Slice(0, prof)
+	std := NewStandard(data)
+	newSearcher := func() (Searcher, error) { return std, nil }
+
+	run := func(n int) float64 {
+		qs := queries.Slice(0, n)
+		return testing.AllocsPerRun(5, func() {
+			if _, err := SearchBatch(newSearcher, qs, k, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run(8) // warm std's scratch
+	small, large := run(8), run(64)
+	// Per-query cost must be zero: all growth comes from the O(1)-per-call
+	// fixed overhead plus the two O(n) arena/result allocations, which
+	// differ by a handful of allocs, not by one-per-query.
+	if extra := large - small; extra > 8 {
+		t.Fatalf("batch of 64 allocates %.0f more than batch of 8 (%.0f vs %.0f); per-query path is allocating", extra, large, small)
+	}
+}

@@ -47,6 +47,11 @@ func SearchBatch(newSearcher func() (Searcher, error), queries *vec.Matrix, k, w
 		Neighbors: make([][]vec.Neighbor, queries.N),
 		Meter:     arch.NewMeter(),
 	}
+	// One flat neighbor arena for the whole batch: query qi appends into
+	// the disjoint stride-k region flat[qi*k : (qi+1)*k], so workers never
+	// contend and AppendSearcher workers allocate nothing per query. A
+	// query returns at most k neighbors, so the region never reallocates.
+	flat := make([]vec.Neighbor, queries.N*k)
 	meters := make([]*arch.Meter, workers)
 	err := pool.Run(context.Background(), queries.N, workers, func(w int) (pool.Worker, error) {
 		s, err := newSearcher()
@@ -55,6 +60,12 @@ func SearchBatch(newSearcher func() (Searcher, error), queries *vec.Matrix, k, w
 		}
 		m := arch.NewMeter()
 		meters[w] = m
+		if as, ok := s.(AppendSearcher); ok {
+			return func(qi int) error {
+				res.Neighbors[qi] = as.SearchAppend(queries.Row(qi), k, m, flat[qi*k:qi*k:(qi+1)*k])
+				return nil
+			}, nil
+		}
 		return func(qi int) error {
 			res.Neighbors[qi] = s.Search(queries.Row(qi), k, m)
 			return nil

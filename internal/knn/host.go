@@ -16,6 +16,7 @@ import (
 // Standard is the exact ED linear scan over a dataset.
 type Standard struct {
 	Data *vec.Matrix
+	top  *vec.TopK
 }
 
 // NewStandard builds the baseline scan.
@@ -26,13 +27,18 @@ func (s *Standard) Name() string { return "Standard" }
 
 // Search scans all objects with exact ED.
 func (s *Standard) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	top := vec.NewTopK(k)
+	return s.SearchAppend(q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (s *Standard) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	s.top = reuseTopK(s.top, k)
 	for i := 0; i < s.Data.N; i++ {
-		top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
+		s.top.Push(i, measure.SqEuclidean(s.Data.Row(i), q))
 	}
 	costExactScan(meter.C(arch.FuncED), int64(s.Data.N), s.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(s.Data.N) // heap maintenance
-	return top.Results()
+	return s.top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -43,6 +49,7 @@ func (s *Standard) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor 
 type OST struct {
 	Data   *vec.Matrix
 	Ix     *bound.OSTIndex
+	top    *vec.TopK
 	stages []StageStat
 }
 
@@ -64,8 +71,14 @@ func (o *OST) LastStages() []StageStat { return o.stages }
 
 // Search filters with LB_OST, then refines survivors with exact ED.
 func (o *OST) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
+	return o.SearchAppend(q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (o *OST) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
 	qTail := o.Ix.QueryTail(q)
-	top := vec.NewTopK(k)
+	o.top = reuseTopK(o.top, k)
+	top := o.top
 	survivors := 0
 	for i := 0; i < o.Data.N; i++ {
 		if o.Ix.LB(i, q, qTail) > top.Threshold() {
@@ -77,11 +90,10 @@ func (o *OST) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 	costBoundScan(meter.C("LBOST"), int64(o.Data.N), o.Ix.TransferDims())
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), o.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(o.Data.N)
-	o.stages = []StageStat{
-		{Name: "LBOST", In: o.Data.N, Out: survivors, TransferDims: o.Ix.TransferDims()},
-		{Name: "ED", In: survivors, Out: k, TransferDims: o.Data.D},
-	}
-	return top.Results()
+	o.stages = append(o.stages[:0],
+		StageStat{Name: "LBOST", In: o.Data.N, Out: survivors, TransferDims: o.Ix.TransferDims()},
+		StageStat{Name: "ED", In: survivors, Out: k, TransferDims: o.Data.D})
+	return top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -92,6 +104,8 @@ func (o *OST) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 type SM struct {
 	Data   *vec.Matrix
 	Ix     *bound.SMIndex
+	top    *vec.TopK
+	qMu    []float64 // query segment-mean scratch
 	stages []StageStat
 }
 
@@ -112,14 +126,22 @@ func (s *SM) LastStages() []StageStat { return s.stages }
 
 // Search filters with LB_SM, then refines survivors with exact ED.
 func (s *SM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	qMu, err := s.Ix.QueryMu(q)
-	if err != nil {
+	return s.SearchAppend(q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (s *SM) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	if s.qMu == nil {
+		s.qMu = make([]float64, s.Ix.Segs)
+	}
+	if err := s.Ix.QueryMuInto(q, s.qMu); err != nil {
 		panic(fmt.Sprintf("knn: SM query: %v", err)) // shape mismatch is a caller bug
 	}
-	top := vec.NewTopK(k)
+	s.top = reuseTopK(s.top, k)
+	top := s.top
 	survivors := 0
 	for i := 0; i < s.Data.N; i++ {
-		if s.Ix.LB(i, qMu) > top.Threshold() {
+		if s.Ix.LB(i, s.qMu) > top.Threshold() {
 			continue
 		}
 		survivors++
@@ -128,23 +150,31 @@ func (s *SM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 	costBoundScan(meter.C("LBSM"), int64(s.Data.N), s.Ix.TransferDims())
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), s.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
-	s.stages = []StageStat{
-		{Name: "LBSM", In: s.Data.N, Out: survivors, TransferDims: s.Ix.TransferDims()},
-		{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D},
-	}
-	return top.Results()
+	s.stages = append(s.stages[:0],
+		StageStat{Name: "LBSM", In: s.Data.N, Out: survivors, TransferDims: s.Ix.TransferDims()},
+		StageStat{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D})
+	return top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
 // FNN: cascade of LB_FNN bounds of increasing granularity + refinement.
 // ---------------------------------------------------------------------------
 
+// fnnQStats is one granularity's query-side segment statistics, reused
+// across queries by the cascaded searchers.
+type fnnQStats struct{ mu, sigma []float64 }
+
 // FNN applies the paper's three-level LB_FNN cascade (granularities near
 // d/64, d/16, d/4 — Fig 12a) before exact refinement.
 type FNN struct {
 	Data   *vec.Matrix
 	Levels []*bound.FNNIndex // ascending granularity
-	stages []StageStat
+
+	names   []string // per-level meter bucket / stage names
+	top     *vec.TopK
+	qs      []fnnQStats
+	entered []int
+	stages  []StageStat
 }
 
 // NewFNN builds the FNN searcher with the standard cascade for the data's
@@ -173,6 +203,11 @@ func NewFNNWithLevels(data *vec.Matrix, segCounts []int) (*FNN, error) {
 	if len(f.Levels) == 0 {
 		return nil, fmt.Errorf("knn: FNN needs at least one granularity")
 	}
+	for _, ix := range f.Levels {
+		f.names = append(f.names, fmt.Sprintf("LBFNN-%d", ix.Segs))
+		f.qs = append(f.qs, fnnQStats{mu: make([]float64, ix.Segs), sigma: make([]float64, ix.Segs)})
+	}
+	f.entered = make([]int, len(f.Levels)+1)
 	return f, nil
 }
 
@@ -185,23 +220,28 @@ func (f *FNN) LastStages() []StageStat { return f.stages }
 // Search runs the cascade. Each level is evaluated lazily: an object only
 // reaches level j+1 if level j failed to prune it, exactly as in Fig 12(a).
 func (f *FNN) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	type qstats struct{ mu, sigma []float64 }
-	qs := make([]qstats, len(f.Levels))
+	return f.SearchAppend(q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (f *FNN) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
 	for li, ix := range f.Levels {
-		mu, sigma, err := ix.QueryStats(q)
-		if err != nil {
+		if err := ix.QueryStatsInto(q, f.qs[li].mu, f.qs[li].sigma); err != nil {
 			panic(fmt.Sprintf("knn: FNN query: %v", err))
 		}
-		qs[li] = qstats{mu, sigma}
 	}
-	top := vec.NewTopK(k)
-	entered := make([]int, len(f.Levels)+1)
+	f.top = reuseTopK(f.top, k)
+	top := f.top
+	entered := f.entered
+	for i := range entered {
+		entered[i] = 0
+	}
 	f.stages = f.stages[:0]
 	for i := 0; i < f.Data.N; i++ {
 		pruned := false
 		for li, ix := range f.Levels {
 			entered[li]++
-			if ix.LB(i, qs[li].mu, qs[li].sigma) > top.Threshold() {
+			if ix.LB(i, f.qs[li].mu, f.qs[li].sigma) > top.Threshold() {
 				pruned = true
 				break
 			}
@@ -213,15 +253,14 @@ func (f *FNN) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
 		top.Push(i, measure.SqEuclidean(f.Data.Row(i), q))
 	}
 	for li, ix := range f.Levels {
-		name := fmt.Sprintf("LBFNN-%d", ix.Segs)
-		costBoundScan(meter.C(name), int64(entered[li]), ix.TransferDims())
+		costBoundScan(meter.C(f.names[li]), int64(entered[li]), ix.TransferDims())
 		f.stages = append(f.stages, StageStat{
-			Name: name, In: entered[li], Out: entered[li+1], TransferDims: ix.TransferDims(),
+			Name: f.names[li], In: entered[li], Out: entered[li+1], TransferDims: ix.TransferDims(),
 		})
 	}
 	survivors := entered[len(f.Levels)]
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), f.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(f.Data.N)
 	f.stages = append(f.stages, StageStat{Name: "ED", In: survivors, Out: k, TransferDims: f.Data.D})
-	return top.Results()
+	return top.AppendResults(dst)
 }

@@ -30,6 +30,35 @@ type Searcher interface {
 	Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor
 }
 
+// AppendSearcher is the allocation-free face of a Searcher: SearchAppend
+// appends the k nearest neighbors to dst (in the same ascending
+// (Dist, Index) order Search returns) and returns the extended slice.
+// Searchers reuse internal scratch buffers across calls, so a warmed-up
+// searcher performs zero heap allocations per query when dst has capacity
+// for k neighbors — the property the alloc regression tests pin. The
+// scratch makes SearchAppend non-reentrant: one searcher serves one
+// goroutine, exactly as Search always has (SearchBatch builds one per
+// worker).
+//
+// Every searcher in this package implements AppendSearcher, and Search is
+// defined as SearchAppend(q, k, meter, nil) — so both entry points return
+// identical neighbors and record identical meter activity.
+type AppendSearcher interface {
+	Searcher
+	SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor
+}
+
+// reuseTopK returns t reset for k neighbors, allocating only on first use
+// (or when k outgrows the retained heap) — the per-query collector reset
+// of every SearchAppend implementation.
+func reuseTopK(t *vec.TopK, k int) *vec.TopK {
+	if t == nil {
+		return vec.NewTopK(k)
+	}
+	t.Reset(k)
+	return t
+}
+
 // SearcherFunc adapts a function (plus a name) into a Searcher — the
 // closure analogue of http.HandlerFunc, used by tests and by callers
 // plugging ad-hoc searchers into the serving layer's Factory.

@@ -18,12 +18,21 @@ import (
 // fnnFilter wraps an LB_PIM-FNN payload pair (⌊µ⌋ and ⌊σ⌋ crossbar
 // payloads, Fig 10) and evaluates Theorem 2's bound for every object.
 type fnnFilter struct {
-	ix     *pimbound.FNNIndex
-	eng    *pim.Engine
-	muPay  *pim.Payload
-	sgPay  *pim.Payload
-	dotsMu []int64
-	dotsSg []int64
+	ix    *pimbound.FNNIndex
+	eng   *pim.Engine
+	muPay *pim.Payload
+	sgPay *pim.Payload
+	fname string // cached funcName, so the hot path never fmt.Sprintfs
+
+	// Steady-state scratch: the QueryAllParallel argument slices, the
+	// query feature buffers and the dot-product destinations are built
+	// once so prepare performs zero heap allocations per query.
+	pays     []*pim.Payload
+	inputs   [][]uint32
+	dsts     [][]int64
+	qMu, qSg []uint32
+	dotsMu   []int64
+	dotsSg   []int64
 }
 
 // newFNNFilter quantizes the dataset's segment statistics at granularity
@@ -33,7 +42,7 @@ func newFNNFilter(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, segs int
 	if err != nil {
 		return nil, err
 	}
-	f := &fnnFilter{ix: ix, eng: eng}
+	f := &fnnFilter{ix: ix, eng: eng, fname: fmt.Sprintf("LBPIM-FNN-%d", segs)}
 	f.muPay, err = eng.Program(tag+"/mu", data.N, segs, 2, ix.MuFloor)
 	if err != nil {
 		return nil, err
@@ -42,11 +51,16 @@ func newFNNFilter(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, segs int
 	if err != nil {
 		return nil, err
 	}
+	f.pays = []*pim.Payload{f.muPay, f.sgPay}
+	f.inputs = make([][]uint32, 2)
+	f.dsts = make([][]int64, 2)
+	f.qMu = make([]uint32, segs)
+	f.qSg = make([]uint32, segs)
 	return f, nil
 }
 
 // funcName is the meter bucket / stage name for this filter.
-func (f *fnnFilter) funcName() string { return fmt.Sprintf("LBPIM-FNN-%d", f.ix.Segs) }
+func (f *fnnFilter) funcName() string { return f.fname }
 
 // prepare runs the query's PIM passes and returns the query features;
 // bounds are then available for every object via lb. The ⌊µ⌋ and ⌊σ⌋
@@ -54,14 +68,13 @@ func (f *fnnFilter) funcName() string { return fmt.Sprintf("LBPIM-FNN-%d", f.ix.
 // crossbar b), so both dot products come out of one concurrent pass
 // (§V-C's parallel function groups).
 func (f *fnnFilter) prepare(q []float64, meter *arch.Meter) (pimbound.FNNQuery, error) {
-	qf, err := f.ix.Query(q)
+	qf, err := f.ix.QueryInto(q, f.qMu, f.qSg)
 	if err != nil {
 		return pimbound.FNNQuery{}, err
 	}
-	dsts, err := f.eng.QueryAllParallel(meter, f.funcName(),
-		[]*pim.Payload{f.muPay, f.sgPay},
-		[][]uint32{qf.MuFloor, qf.SigmaFloor},
-		[][]int64{f.dotsMu, f.dotsSg})
+	f.inputs[0], f.inputs[1] = qf.MuFloor, qf.SigmaFloor
+	f.dsts[0], f.dsts[1] = f.dotsMu, f.dotsSg
+	dsts, err := f.eng.QueryAllParallel(meter, f.fname, f.pays, f.inputs, f.dsts)
 	if err != nil {
 		return pimbound.FNNQuery{}, err
 	}
@@ -92,9 +105,11 @@ func (f *fnnFilter) recordProgram(meter *arch.Meter) {
 
 // StandardPIM is the PIM-optimized linear scan.
 type StandardPIM struct {
-	Data   *vec.Matrix
-	filter *fnnFilter
-	stages []StageStat
+	Data     *vec.Matrix
+	filter   *fnnFilter
+	spanName string
+	top      *vec.TopK
+	stages   []StageStat
 }
 
 // NewStandardPIM sizes the compressed dimensionality with Theorem 4
@@ -110,7 +125,7 @@ func NewStandardPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capaci
 	if err != nil {
 		return nil, err
 	}
-	return &StandardPIM{Data: data, filter: f}, nil
+	return &StandardPIM{Data: data, filter: f, spanName: "knn.Standard-PIM"}, nil
 }
 
 // S returns the Theorem 4 compressed dimensionality in use.
@@ -127,26 +142,38 @@ func (s *StandardPIM) RecordPreprocessing(meter *arch.Meter) { s.filter.recordPr
 
 // Search filters with LB_PIM-FNN and refines survivors exactly.
 func (s *StandardPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	return s.SearchCtx(context.Background(), q, k, meter)
+	return s.searchAppend(context.Background(), q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (s *StandardPIM) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	return s.searchAppend(context.Background(), q, k, meter, dst)
 }
 
 // SearchCtx implements ContextSearcher: Search with per-phase spans
 // (pim-dot, bound-eval, refine) emitted into the context's trace.
 func (s *StandardPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	_, sp := obs.StartSpan(ctx, "knn."+s.Name())
+	return s.searchAppend(ctx, q, k, meter, nil)
+}
+
+func (s *StandardPIM) searchAppend(ctx context.Context, q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, s.spanName)
 	defer sp.End()
 	pd := sp.StartChild("pim-dot")
 	qf, err := s.filter.prepare(q, meter)
 	if err != nil {
 		panic(fmt.Sprintf("knn: Standard-PIM prepare: %v", err))
 	}
-	pd.SetAttr("func", s.filter.funcName())
-	pd.SetAttr("dots", 2*s.Data.N)
+	if pd != nil {
+		pd.SetAttr("func", s.filter.funcName())
+		pd.SetAttr("dots", 2*s.Data.N)
+	}
 	pd.End()
 	be := sp.StartChild("bound-eval")
 	traced := sp != nil
 	var refineDur time.Duration
-	top := vec.NewTopK(k)
+	s.top = reuseTopK(s.top, k)
+	top := s.top
 	survivors := 0
 	for i := 0; i < s.Data.N; i++ {
 		if s.filter.lb(i, qf) > top.Threshold() {
@@ -170,11 +197,10 @@ func (s *StandardPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *
 	costPIMBound(meter.C(fn), int64(s.Data.N), s.filter.hostOperands())
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), s.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(s.Data.N)
-	s.stages = []StageStat{
-		{Name: fn, In: s.Data.N, Out: survivors, TransferDims: s.filter.hostOperands()},
-		{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D},
-	}
-	return top.Results()
+	s.stages = append(s.stages[:0],
+		StageStat{Name: fn, In: s.Data.N, Out: survivors, TransferDims: s.filter.hostOperands()},
+		StageStat{Name: "ED", In: survivors, Out: k, TransferDims: s.Data.D})
+	return top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -190,7 +216,13 @@ type FNNPIM struct {
 	filter     *fnnFilter
 	HostLevels []*bound.FNNIndex // remaining original bounds, ascending granularity
 	variant    string
-	stages     []StageStat
+	spanName   string
+
+	hostNames []string // per-host-level meter bucket / stage names
+	top       *vec.TopK
+	qs        []fnnQStats
+	entered   []int
+	stages    []StageStat
 }
 
 // NewFNNPIM builds the default plan: LB_PIM-FNN(s) followed by the
@@ -216,7 +248,7 @@ func newFNNPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN i
 	if err != nil {
 		return nil, err
 	}
-	a := &FNNPIM{Data: data, filter: f, variant: variant}
+	a := &FNNPIM{Data: data, filter: f, variant: variant, spanName: "knn." + variant}
 	for _, segs := range hostSegs {
 		if segs == s {
 			continue // subsumed by the PIM bound at equal granularity
@@ -226,7 +258,10 @@ func newFNNPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, capacityN i
 			return nil, err
 		}
 		a.HostLevels = append(a.HostLevels, ix)
+		a.hostNames = append(a.hostNames, fmt.Sprintf("LBFNN-%d", segs))
+		a.qs = append(a.qs, fnnQStats{mu: make([]float64, segs), sigma: make([]float64, segs)})
 	}
+	a.entered = make([]int, len(a.HostLevels)+2) // [pim, host..., exact]
 	return a, nil
 }
 
@@ -245,37 +280,49 @@ func (a *FNNPIM) RecordPreprocessing(meter *arch.Meter) { a.filter.recordProgram
 // Search runs the PIM bound first (it is computed in one batch on the
 // array), then the retained host bounds, then exact refinement.
 func (a *FNNPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	return a.SearchCtx(context.Background(), q, k, meter)
+	return a.searchAppend(context.Background(), q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (a *FNNPIM) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	return a.searchAppend(context.Background(), q, k, meter, dst)
 }
 
 // SearchCtx implements ContextSearcher: Search with per-phase spans
 // (pim-dot, bound-eval with one event per cascade stage, refine) emitted
 // into the context's trace.
 func (a *FNNPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	_, sp := obs.StartSpan(ctx, "knn."+a.variant)
+	return a.searchAppend(ctx, q, k, meter, nil)
+}
+
+func (a *FNNPIM) searchAppend(ctx context.Context, q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, a.spanName)
 	defer sp.End()
 	pd := sp.StartChild("pim-dot")
 	qf, err := a.filter.prepare(q, meter)
 	if err != nil {
 		panic(fmt.Sprintf("knn: %s prepare: %v", a.variant, err))
 	}
-	pd.SetAttr("func", a.filter.funcName())
-	pd.SetAttr("dots", 2*a.Data.N)
+	if pd != nil {
+		pd.SetAttr("func", a.filter.funcName())
+		pd.SetAttr("dots", 2*a.Data.N)
+	}
 	pd.End()
-	type qstats struct{ mu, sigma []float64 }
-	qs := make([]qstats, len(a.HostLevels))
+	qs := a.qs
 	for li, ix := range a.HostLevels {
-		mu, sigma, serr := ix.QueryStats(q)
-		if serr != nil {
+		if serr := ix.QueryStatsInto(q, qs[li].mu, qs[li].sigma); serr != nil {
 			panic(fmt.Sprintf("knn: %s query: %v", a.variant, serr))
 		}
-		qs[li] = qstats{mu, sigma}
 	}
 	be := sp.StartChild("bound-eval")
 	traced := sp != nil
 	var refineDur time.Duration
-	top := vec.NewTopK(k)
-	entered := make([]int, len(a.HostLevels)+2) // [pim, host..., exact]
+	a.top = reuseTopK(a.top, k)
+	top := a.top
+	entered := a.entered // [pim, host..., exact]
+	for i := range entered {
+		entered[i] = 0
+	}
 	for i := 0; i < a.Data.N; i++ {
 		entered[0]++
 		if a.filter.lb(i, qf) > top.Threshold() {
@@ -308,10 +355,9 @@ func (a *FNNPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 		Name: fn, In: entered[0], Out: entered[1], TransferDims: a.filter.hostOperands(),
 	})
 	for li, ix := range a.HostLevels {
-		name := fmt.Sprintf("LBFNN-%d", ix.Segs)
-		costBoundScan(meter.C(name), int64(entered[1+li]), ix.TransferDims())
+		costBoundScan(meter.C(a.hostNames[li]), int64(entered[1+li]), ix.TransferDims())
 		a.stages = append(a.stages, StageStat{
-			Name: name, In: entered[1+li], Out: entered[2+li], TransferDims: ix.TransferDims(),
+			Name: a.hostNames[li], In: entered[1+li], Out: entered[2+li], TransferDims: ix.TransferDims(),
 		})
 	}
 	survivors := entered[1+len(a.HostLevels)]
@@ -325,7 +371,7 @@ func (a *FNNPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 		be.AddChild("refine", refineDur, obs.A("in", survivors), obs.A("out", k), obs.A("transfer_dims", a.Data.D))
 		be.End()
 	}
-	return top.Results()
+	return top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -342,6 +388,10 @@ type SMPIM struct {
 	eng    *pim.Engine
 	pay    *pim.Payload
 	dots   []int64
+	top    *vec.TopK
+	qMu    []float64 // query segment-mean scratch
+	qSg    []float64 // query segment-σ scratch (computed, discarded)
+	qFloor []uint32  // query floor scratch
 	stages []StageStat
 }
 
@@ -364,7 +414,10 @@ func NewSMPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, segs, capaci
 		copy(mus.Row(i), mu)
 	}
 	ix := pimbound.BuildED(mus, q)
-	a := &SMPIM{Data: data, Ix: ix, L: data.D / segs, eng: eng}
+	a := &SMPIM{
+		Data: data, Ix: ix, L: data.D / segs, eng: eng,
+		qMu: make([]float64, segs), qSg: make([]float64, segs), qFloor: make([]uint32, segs),
+	}
 	var err error
 	a.pay, err = eng.Program("sm-pim/mu", data.N, segs, 1, ix.Floor)
 	if err != nil {
@@ -386,31 +439,43 @@ func (a *SMPIM) RecordPreprocessing(meter *arch.Meter) {
 
 // Search filters with LB_PIM-SM and refines survivors exactly.
 func (a *SMPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	return a.SearchCtx(context.Background(), q, k, meter)
+	return a.searchAppend(context.Background(), q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (a *SMPIM) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	return a.searchAppend(context.Background(), q, k, meter, dst)
 }
 
 // SearchCtx implements ContextSearcher: Search with per-phase spans
 // emitted into the context's trace.
 func (a *SMPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	_, sp := obs.StartSpan(ctx, "knn."+a.Name())
+	return a.searchAppend(ctx, q, k, meter, nil)
+}
+
+func (a *SMPIM) searchAppend(ctx context.Context, q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn.SM-PIM")
 	defer sp.End()
-	mu, _, err := vec.SegmentStats(q, a.Ix.D)
-	if err != nil {
+	if err := vec.SegmentStatsInto(q, a.Ix.D, a.qMu, a.qSg); err != nil {
 		panic(fmt.Sprintf("knn: SM-PIM query: %v", err))
 	}
-	qf := a.Ix.Query(mu)
+	qf := a.Ix.QueryInto(a.qMu, a.qFloor)
 	pd := sp.StartChild("pim-dot")
+	var err error
 	a.dots, err = a.eng.QueryAll(meter, "LBPIM-SM", a.pay, qf.Floor, a.dots)
 	if err != nil {
 		panic(fmt.Sprintf("knn: SM-PIM query-all: %v", err))
 	}
-	pd.SetAttr("func", "LBPIM-SM")
-	pd.SetAttr("dots", a.Data.N)
+	if pd != nil {
+		pd.SetAttr("func", "LBPIM-SM")
+		pd.SetAttr("dots", a.Data.N)
+	}
 	pd.End()
 	be := sp.StartChild("bound-eval")
 	traced := sp != nil
 	var refineDur time.Duration
-	top := vec.NewTopK(k)
+	a.top = reuseTopK(a.top, k)
+	top := a.top
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
 		if float64(a.L)*a.Ix.LB(i, qf, a.dots[i]) > top.Threshold() {
@@ -433,11 +498,10 @@ func (a *SMPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.M
 	costPIMBound(meter.C("LBPIM-SM"), int64(a.Data.N), 2)
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
-	a.stages = []StageStat{
-		{Name: "LBPIM-SM", In: a.Data.N, Out: survivors, TransferDims: 2},
-		{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D},
-	}
-	return top.Results()
+	a.stages = append(a.stages[:0],
+		StageStat{Name: "LBPIM-SM", In: a.Data.N, Out: survivors, TransferDims: 2},
+		StageStat{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D})
+	return top.AppendResults(dst)
 }
 
 // ---------------------------------------------------------------------------
@@ -457,6 +521,8 @@ type OSTPIM struct {
 	eng    *pim.Engine
 	pay    *pim.Payload
 	dots   []int64
+	top    *vec.TopK
+	qFloor []uint32 // query head floor scratch
 	stages []StageStat
 }
 
@@ -480,7 +546,7 @@ func NewOSTPIM(eng *pim.Engine, data *vec.Matrix, q quant.Quantizer, d0, capacit
 		tails[i] = vec.Norm(row[d0:])
 	}
 	ix := pimbound.BuildED(heads, q)
-	a := &OSTPIM{Data: data, Ix: ix, Tail: tails, D0: d0, eng: eng}
+	a := &OSTPIM{Data: data, Ix: ix, Tail: tails, D0: d0, eng: eng, qFloor: make([]uint32, d0)}
 	var err error
 	a.pay, err = eng.Program("ost-pim/head", data.N, d0, 1, ix.Floor)
 	if err != nil {
@@ -502,15 +568,24 @@ func (a *OSTPIM) RecordPreprocessing(meter *arch.Meter) {
 
 // Search filters with LB_PIM-OST and refines survivors exactly.
 func (a *OSTPIM) Search(q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	return a.SearchCtx(context.Background(), q, k, meter)
+	return a.searchAppend(context.Background(), q, k, meter, nil)
+}
+
+// SearchAppend implements AppendSearcher.
+func (a *OSTPIM) SearchAppend(q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	return a.searchAppend(context.Background(), q, k, meter, dst)
 }
 
 // SearchCtx implements ContextSearcher: Search with per-phase spans
 // emitted into the context's trace.
 func (a *OSTPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.Meter) []vec.Neighbor {
-	_, sp := obs.StartSpan(ctx, "knn."+a.Name())
+	return a.searchAppend(ctx, q, k, meter, nil)
+}
+
+func (a *OSTPIM) searchAppend(ctx context.Context, q []float64, k int, meter *arch.Meter, dst []vec.Neighbor) []vec.Neighbor {
+	_, sp := obs.StartSpan(ctx, "knn.OST-PIM")
 	defer sp.End()
-	qf := a.Ix.Query(q[:a.D0])
+	qf := a.Ix.QueryInto(q[:a.D0], a.qFloor)
 	qTail := vec.Norm(q[a.D0:])
 	pd := sp.StartChild("pim-dot")
 	var err error
@@ -518,13 +593,16 @@ func (a *OSTPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 	if err != nil {
 		panic(fmt.Sprintf("knn: OST-PIM query-all: %v", err))
 	}
-	pd.SetAttr("func", "LBPIM-OST")
-	pd.SetAttr("dots", a.Data.N)
+	if pd != nil {
+		pd.SetAttr("func", "LBPIM-OST")
+		pd.SetAttr("dots", a.Data.N)
+	}
 	pd.End()
 	be := sp.StartChild("bound-eval")
 	traced := sp != nil
 	var refineDur time.Duration
-	top := vec.NewTopK(k)
+	a.top = reuseTopK(a.top, k)
+	top := a.top
 	survivors := 0
 	for i := 0; i < a.Data.N; i++ {
 		dt := a.Tail[i] - qTail
@@ -549,9 +627,8 @@ func (a *OSTPIM) SearchCtx(ctx context.Context, q []float64, k int, meter *arch.
 	costPIMBound(meter.C("LBPIM-OST"), int64(a.Data.N), 3)
 	costExactRefine(meter.C(arch.FuncED), int64(survivors), a.Data.D)
 	meter.C(arch.FuncOther).Ops += int64(a.Data.N)
-	a.stages = []StageStat{
-		{Name: "LBPIM-OST", In: a.Data.N, Out: survivors, TransferDims: 3},
-		{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D},
-	}
-	return top.Results()
+	a.stages = append(a.stages[:0],
+		StageStat{Name: "LBPIM-OST", In: a.Data.N, Out: survivors, TransferDims: 3},
+		StageStat{Name: "ED", In: survivors, Out: k, TransferDims: a.Data.D})
+	return top.AppendResults(dst)
 }

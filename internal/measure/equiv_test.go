@@ -1,0 +1,64 @@
+package measure
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests pinning the unrolled SqEuclidean kernel bit-identical
+// to the retained reference (same accumulator, same evaluation order) —
+// the license for using it under the byte-identical eval goldens.
+
+func TestSqEuclideanMatchesRef(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 63, 64, 65, 128, 257} {
+		for rep := 0; rep < 4; rep++ {
+			p := make([]float64, n)
+			q := make([]float64, n)
+			for i := range p {
+				p[i] = rng.NormFloat64()
+				q[i] = rng.NormFloat64() * 1e3
+			}
+			got, want := SqEuclidean(p, q), SqEuclideanRef(p, q)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: SqEuclidean=%x, ref=%x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// FuzzMeasureKernelEquivalence drives arbitrary byte payloads through the
+// optimized distance kernel and its reference, requiring bit-identical
+// sums.
+func FuzzMeasureKernelEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("0123456789abcdef0123456789abcdef"))
+	seed := make([]byte, 8*17)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 16
+		p := make([]float64, n)
+		q := make([]float64, n)
+		for i := 0; i < n; i++ {
+			fp := math.Float64frombits(binary.LittleEndian.Uint64(data[i*16:]))
+			fq := math.Float64frombits(binary.LittleEndian.Uint64(data[i*16+8:]))
+			if math.IsNaN(fp) || math.IsInf(fp, 0) {
+				fp = float64(i)
+			}
+			if math.IsNaN(fq) || math.IsInf(fq, 0) {
+				fq = -float64(i)
+			}
+			p[i], q[i] = fp, fq
+		}
+		got, want := SqEuclidean(p, q), SqEuclideanRef(p, q)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: SqEuclidean=%x, ref=%x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+	})
+}

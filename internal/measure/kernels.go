@@ -1,0 +1,30 @@
+// Optimized distance kernel. This file must stay free of bounds checks:
+// the CI kernel-verify job compiles it with -d=ssa/check_bce and fails on
+// any IsInBounds. The retained reference lives in kernels_ref.go.
+package measure
+
+// sqEuclideanKernel is the 4-wide unrolled, bounds-check-free ED loop —
+// the single hottest kernel in the repository (every refine step of every
+// mining task lands here). Float adds stay in ascending index order into
+// one accumulator so the result is bit-identical to the reference; see
+// internal/vec/kernels.go for the ordering invariant.
+func sqEuclideanKernel(p, q []float64) float64 {
+	var s float64
+	for len(p) >= 4 && len(q) >= 4 {
+		d0 := p[0] - q[0]
+		s += d0 * d0
+		d1 := p[1] - q[1]
+		s += d1 * d1
+		d2 := p[2] - q[2]
+		s += d2 * d2
+		d3 := p[3] - q[3]
+		s += d3 * d3
+		p, q = p[4:], q[4:]
+	}
+	for len(p) > 0 && len(q) > 0 {
+		d := p[0] - q[0]
+		s += d * d
+		p, q = p[1:], q[1:]
+	}
+	return s
+}

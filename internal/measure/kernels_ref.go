@@ -1,0 +1,22 @@
+package measure
+
+import "fmt"
+
+// Retained scalar reference — the executable specification the
+// kernel-equivalence harness pins sqEuclideanKernel against. Keeps its
+// natural bounds checks; never optimize it.
+
+// SqEuclideanRef is the retained scalar reference for SqEuclidean, the
+// executable specification the equivalence tests and fuzzers pin the
+// unrolled kernel against. It must never be optimized.
+func SqEuclideanRef(p, q []float64) float64 {
+	if len(p) != len(q) {
+		panic(fmt.Sprintf("measure: ED of mismatched lengths %d and %d", len(p), len(q)))
+	}
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return s
+}

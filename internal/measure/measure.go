@@ -50,17 +50,14 @@ func (k Kind) String() string {
 func (k Kind) Distance() bool { return k == ED || k == HD }
 
 // SqEuclidean returns ED(p,q) = Σ (pᵢ−qᵢ)², the paper's squared Euclidean
-// distance. Panics on length mismatch.
+// distance. Panics on length mismatch. The unrolled kernel is
+// bit-identical to SqEuclideanRef (single accumulator, ascending index
+// order — differentially tested).
 func SqEuclidean(p, q []float64) float64 {
 	if len(p) != len(q) {
 		panic(fmt.Sprintf("measure: ED of mismatched lengths %d and %d", len(p), len(q)))
 	}
-	var s float64
-	for i := range p {
-		d := p[i] - q[i]
-		s += d * d
-	}
-	return s
+	return sqEuclideanKernel(p, q)
 }
 
 // Cosine returns CS(p,q) = p·q / (‖p‖‖q‖). If either vector has zero norm

@@ -2,6 +2,7 @@ package pim
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pimmine/internal/arch"
@@ -362,9 +363,16 @@ func (e *Engine) QueryAll(meter *arch.Meter, fn string, p *Payload, input []uint
 	return dst, nil
 }
 
+// partPool holds the per-tile partial-dot buffers of simulateQuery, so a
+// warmed-up simulate-mode query allocates nothing and concurrent shard
+// engines never share a buffer.
+var partPool = sync.Pool{New: func() any { return new([]int64) }}
+
 // simulateQuery runs the query through the functional crossbar tiles.
 func (e *Engine) simulateQuery(p *Payload, input []uint32, dst []int64) error {
 	m := e.cfg.Crossbar.M
+	pp := partPool.Get().(*[]int64)
+	defer partPool.Put(pp)
 	for g, tiles := range p.xbars {
 		base := g * p.perGroup
 		count := minInt(p.perGroup, p.N-base)
@@ -376,8 +384,11 @@ func (e *Engine) simulateQuery(p *Payload, input []uint32, dst []int64) error {
 		for c, xb := range tiles {
 			lo := c * m
 			hi := minInt(lo+m, p.Dims)
-			part, _, err := xb.DotAll(input[lo:hi], p.OpBits)
-			if err != nil {
+			if cap(*pp) < xb.Vectors() {
+				*pp = make([]int64, xb.Vectors())
+			}
+			part := (*pp)[:xb.Vectors()]
+			if _, err := xb.DotAllInto(input[lo:hi], p.OpBits, part); err != nil {
 				return fmt.Errorf("pim: querying payload %q group %d chunk %d: %w", p.Name, g, c, err)
 			}
 			for v := 0; v < count; v++ {

@@ -1,0 +1,81 @@
+package pim
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pimmine/internal/arch"
+)
+
+// TestSimulateQueryAllConcurrent hammers simulate-mode QueryAll from many
+// goroutines over one shared engine and payload — the serve layer's shard
+// workers do exactly this. Under -race it proves the shared per-tile
+// partial-dot pool (partPool) never hands the same buffer to two in-flight
+// queries; the value check proves pooled buffers are correctly re-zeroed.
+func TestSimulateQueryAllConcurrent(t *testing.T) {
+	t.Parallel()
+	cfg := smallCfg()
+	eng, err := NewEngine(cfg, ModeSimulate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n, dims = 37, 21 // dims > M=8 forces multi-tile partials
+	rng := rand.New(rand.NewSource(59))
+	rows := make([][]uint32, n)
+	for i := range rows {
+		rows[i] = make([]uint32, dims)
+		for j := range rows[i] {
+			rows[i][j] = rng.Uint32() % 256
+		}
+	}
+	p, err := eng.Program("t", n, dims, 1, func(i int) []uint32 { return rows[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const iters = 40
+	inputs := make([][]uint32, workers)
+	wants := make([][]int64, workers)
+	for w := 0; w < workers; w++ {
+		in := make([]uint32, dims)
+		for j := range in {
+			in[j] = rng.Uint32() % 256
+		}
+		inputs[w] = in
+		want, err := eng.QueryAll(arch.NewMeter(), "f", p, in, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants[w] = want
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := arch.NewMeter()
+			dst := make([]int64, n)
+			for it := 0; it < iters; it++ {
+				if _, err := eng.QueryAll(m, "f", p, inputs[w], dst); err != nil {
+					errs <- err.Error()
+					return
+				}
+				for i := range dst {
+					if dst[i] != wants[w][i] {
+						errs <- "concurrent simulate QueryAll diverged from serial result"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -79,10 +79,19 @@ func (ix *EDIndex) Floor(i int) []uint32 { return ix.Floors[i*ix.D : (i+1)*ix.D]
 
 // Query computes Φ(q̄) and ⌊q̄⌋ for a query vector.
 func (ix *EDIndex) Query(qv []float64) EDQuery {
+	return ix.QueryInto(qv, make([]uint32, ix.D))
+}
+
+// QueryInto is Query writing the floors into a caller-owned buffer of len
+// D — the allocation-free form the steady-state search paths use. The
+// returned EDQuery aliases floor.
+func (ix *EDIndex) QueryInto(qv []float64, floor []uint32) EDQuery {
 	if len(qv) != ix.D {
 		panic(fmt.Sprintf("pimbound: query has %d dims, index has %d", len(qv), ix.D))
 	}
-	floor := make([]uint32, ix.D)
+	if len(floor) != ix.D {
+		panic(fmt.Sprintf("pimbound: floor buffer of %d, index has %d dims", len(floor), ix.D))
+	}
 	phi := edFeatures(qv, ix.Q, floor)
 	return EDQuery{Phi: phi, Floor: floor}
 }
@@ -175,8 +184,16 @@ func (ix *FNNIndex) SigmaFloor(i int) []uint32 { return ix.SigmaFloors[i*ix.Segs
 
 // Query computes the query-side features once per query.
 func (ix *FNNIndex) Query(qv []float64) (FNNQuery, error) {
-	mu := make([]uint32, ix.Segs)
-	sg := make([]uint32, ix.Segs)
+	return ix.QueryInto(qv, make([]uint32, ix.Segs), make([]uint32, ix.Segs))
+}
+
+// QueryInto is Query writing the floored segment statistics into
+// caller-owned buffers (both len Segs) — the allocation-free form the
+// steady-state search paths use. The returned FNNQuery aliases mu and sg.
+func (ix *FNNIndex) QueryInto(qv []float64, mu, sg []uint32) (FNNQuery, error) {
+	if len(mu) != ix.Segs || len(sg) != ix.Segs {
+		return FNNQuery{}, fmt.Errorf("pimbound: segment buffers of %d/%d, want %d", len(mu), len(sg), ix.Segs)
+	}
 	phi, err := fnnFeatures(qv, ix.Q, ix.Segs, mu, sg)
 	if err != nil {
 		return FNNQuery{}, err
@@ -198,16 +215,19 @@ func (ix *FNNIndex) HostDots(i int, qf FNNQuery) (dotMu, dotSigma int64) {
 }
 
 // fnnFeatures computes segment stats of the *scaled* vector v̄ = v·α,
-// floors them into mu/sg, and returns Φ(p̂).
+// floors them into mu/sg, and returns Φ(p̂). The per-segment stats are
+// computed inline (bit-identical to vec.SegmentStats, which evaluates the
+// same Mean and Std per segment) so the query path never allocates.
 func fnnFeatures(v []float64, q quant.Quantizer, segs int, mu, sg []uint32) (float64, error) {
-	ms, ss, err := vec.SegmentStats(v, segs)
-	if err != nil {
-		return 0, err
+	if segs <= 0 || len(v)%segs != 0 {
+		return 0, fmt.Errorf("pimbound: cannot split %d dims into %d equal segments", len(v), segs)
 	}
+	l := len(v) / segs
 	var phi float64
 	for i := 0; i < segs; i++ {
-		sm := q.Scaled(ms[i]) // mean scales linearly with α
-		sd := q.Scaled(ss[i]) // σ scales linearly with α
+		seg := v[i*l : (i+1)*l]
+		sm := q.Scaled(vec.Mean(seg)) // mean scales linearly with α
+		sd := q.Scaled(vec.Std(seg))  // σ scales linearly with α
 		fm := uint32(sm)
 		fd := uint32(sd)
 		mu[i] = fm

@@ -1,0 +1,198 @@
+package vec
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The unrolled kernels must be BIT-identical to the retained references —
+// not merely close. For the float kernels that requires the kernels to
+// preserve the references' accumulator structure and evaluation order
+// (IEEE 754 float addition is not associative); the integer kernel is free
+// to reassociate. These differential tests and the fuzzer below are what
+// license the optimized kernels to replace the references everywhere,
+// including under the byte-identical eval goldens.
+
+// lengths crosses every unroll boundary: the 4-wide body, the tail, and
+// the empty case.
+var lengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 63, 64, 65, 100, 128, 257}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return v
+}
+
+func TestDotMatchesRef(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range lengths {
+		for rep := 0; rep < 4; rep++ {
+			a, b := randFloats(rng, n), randFloats(rng, n)
+			got, want := Dot(a, b), DotRef(a, b)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: Dot=%x, DotRef=%x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestSqNormMatchesRef(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range lengths {
+		for rep := 0; rep < 4; rep++ {
+			a := randFloats(rng, n)
+			got, want := SqNorm(a), SqNormRef(a)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("n=%d: SqNorm=%x, SqNormRef=%x", n, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	}
+}
+
+func TestIntDotMatchesRef(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range lengths {
+		for rep := 0; rep < 4; rep++ {
+			a := make([]uint32, n)
+			b := make([]uint32, n)
+			for i := range a {
+				a[i] = rng.Uint32()
+				b[i] = rng.Uint32()
+			}
+			got, want := IntDot(a, b), IntDotRef(a, b)
+			if got != want {
+				t.Fatalf("n=%d: IntDot=%d, IntDotRef=%d", n, got, want)
+			}
+		}
+	}
+}
+
+func TestKernelsPanicOnMismatch(t *testing.T) {
+	t.Parallel()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic on length mismatch", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Dot", func() { Dot([]float64{1}, []float64{1, 2}) })
+	mustPanic("IntDot", func() { IntDot([]uint32{1}, []uint32{1, 2}) })
+}
+
+// floatsFromBytes decodes len(data)/8 float64s, mapping non-finite values
+// to small finite ones so equality stays meaningful (NaN != NaN would make
+// every comparison vacuous, and Inf−Inf poisons the reference too).
+func floatsFromBytes(data []byte) []float64 {
+	n := len(data) / 8
+	v := make([]float64, n)
+	for i := 0; i < n; i++ {
+		f := math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			f = float64(i) * 0.5
+		}
+		v[i] = f
+	}
+	return v
+}
+
+// FuzzVecKernelEquivalence drives arbitrary float and integer payloads
+// through the optimized kernels and their references, requiring
+// bit-identical results at every split of the payload into (a, b).
+func FuzzVecKernelEquivalence(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte("0123456789abcdef0123456789abcdef0123456789abcdef"), uint8(3))
+	f.Add([]byte("\x00\x00\x00\x00\x00\x00\xf0\x7f\x01\x02\x03\x04\x05\x06\x07\x08"), uint8(1)) // +Inf bits
+	seed := make([]byte, 8*33)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed, uint8(16))
+	f.Fuzz(func(t *testing.T, data []byte, splitRaw uint8) {
+		all := floatsFromBytes(data)
+		if len(all) == 0 {
+			return
+		}
+		// Split into two equal-length operands at a fuzzed offset.
+		n := len(all) / 2
+		off := int(splitRaw) % (len(all) - n + 1)
+		a, b := all[:n], all[off:off+n]
+		if got, want := Dot(a, b), DotRef(a, b); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: Dot=%x, DotRef=%x", n, math.Float64bits(got), math.Float64bits(want))
+		}
+		if got, want := SqNorm(all), SqNormRef(all); math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("n=%d: SqNorm=%x, SqNormRef=%x", len(all), math.Float64bits(got), math.Float64bits(want))
+		}
+		ia := make([]uint32, n)
+		ib := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			ia[i] = uint32(math.Float64bits(a[i]))
+			ib[i] = uint32(math.Float64bits(b[i]) >> 32)
+		}
+		if got, want := IntDot(ia, ib), IntDotRef(ia, ib); got != want {
+			t.Fatalf("n=%d: IntDot=%d, IntDotRef=%d", n, got, want)
+		}
+	})
+}
+
+// TestTopKAppendResultsMatchesResults pins the allocation-free result path
+// bit-identical to Results across random insertion histories.
+func TestTopKAppendResultsMatchesResults(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(11))
+	dst := make([]Neighbor, 0, 32)
+	for rep := 0; rep < 200; rep++ {
+		k := rng.Intn(8) + 1
+		top := NewTopK(k)
+		n := rng.Intn(40)
+		for i := 0; i < n; i++ {
+			top.Push(i, float64(rng.Intn(10))) // many distance ties
+		}
+		want := top.Results()
+		dst = top.AppendResults(dst[:0])
+		if len(dst) != len(want) {
+			t.Fatalf("rep %d: AppendResults len %d, Results len %d", rep, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("rep %d pos %d: AppendResults %+v, Results %+v", rep, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKReset pins Reset's reuse semantics: emptied, re-armed for the
+// new k, and allocation-free when the retained heap suffices.
+func TestTopKReset(t *testing.T) {
+	t.Parallel()
+	top := NewTopK(8)
+	for i := 0; i < 20; i++ {
+		top.Push(i, float64(20-i))
+	}
+	top.Reset(3)
+	if top.Len() != 0 || top.Full() {
+		t.Fatalf("after Reset: len=%d full=%v", top.Len(), top.Full())
+	}
+	for i := 0; i < 10; i++ {
+		top.Push(i, float64(i))
+	}
+	res := top.Results()
+	if len(res) != 3 || res[0].Index != 0 || res[2].Index != 2 {
+		t.Fatalf("after Reset(3): %+v", res)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		top.Reset(3)
+		top.Push(1, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset+Push allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,73 @@
+package vec
+
+// This file holds the unrolled hot-loop kernels behind Dot, IntDot and
+// SqNorm, plus the retained scalar references the kernel-equivalence
+// harness pins them against.
+//
+// The loops use the slice-advancing idiom (index constants 0..3 under a
+// len>=4 guard, then a=a[4:]) so the compiler's prove pass eliminates
+// every bounds check — `go build -gcflags=-d=ssa/check_bce` reports no
+// IsInBounds in this file, which the CI kernel-verify job asserts — and
+// the 4-wide bodies vectorize under GOAMD64=v3.
+//
+// CRITICAL INVARIANT — float kernels preserve evaluation order. The float
+// accumulations run in strictly ascending index order into a single
+// accumulator, exactly like the references: reassociating float adds
+// (e.g. four partial sums) would change low-order bits and break the
+// byte-identical differential goldens in internal/eval. Only the integer
+// kernel uses multiple accumulators, because integer addition is
+// associative and the reassociation is exact.
+
+// dotKernel is the unrolled float dot product. Single accumulator,
+// ascending index order — bit-identical to DotRef.
+func dotKernel(a, b []float64) float64 {
+	var s float64
+	for len(a) >= 4 && len(b) >= 4 {
+		s += a[0] * b[0]
+		s += a[1] * b[1]
+		s += a[2] * b[2]
+		s += a[3] * b[3]
+		a, b = a[4:], b[4:]
+	}
+	for len(a) > 0 && len(b) > 0 {
+		s += a[0] * b[0]
+		a, b = a[1:], b[1:]
+	}
+	return s
+}
+
+// intDotKernel is the unrolled integer dot product. Four independent
+// accumulators break the add dependency chain (exact for integers).
+func intDotKernel(a, b []uint32) int64 {
+	var s0, s1, s2, s3 int64
+	for len(a) >= 4 && len(b) >= 4 {
+		s0 += int64(a[0]) * int64(b[0])
+		s1 += int64(a[1]) * int64(b[1])
+		s2 += int64(a[2]) * int64(b[2])
+		s3 += int64(a[3]) * int64(b[3])
+		a, b = a[4:], b[4:]
+	}
+	for len(a) > 0 && len(b) > 0 {
+		s0 += int64(a[0]) * int64(b[0])
+		a, b = a[1:], b[1:]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// sqNormKernel is the unrolled squared norm. Single accumulator,
+// ascending index order — bit-identical to SqNormRef.
+func sqNormKernel(a []float64) float64 {
+	var s float64
+	for len(a) >= 4 {
+		s += a[0] * a[0]
+		s += a[1] * a[1]
+		s += a[2] * a[2]
+		s += a[3] * a[3]
+		a = a[4:]
+	}
+	for len(a) > 0 {
+		s += a[0] * a[0]
+		a = a[1:]
+	}
+	return s
+}

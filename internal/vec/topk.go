@@ -2,6 +2,7 @@ package vec
 
 import (
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -44,6 +45,20 @@ func NewTopK(k int) *TopK {
 		panic("vec: TopK requires k >= 1")
 	}
 	return &TopK{k: k, heap: make([]Neighbor, 0, k)}
+}
+
+// Reset empties the collector and re-arms it for k neighbors, reusing the
+// heap's storage when it is large enough — the allocation-free per-query
+// reset of the steady-state search paths.
+func (t *TopK) Reset(k int) {
+	if k < 1 {
+		panic("vec: TopK requires k >= 1")
+	}
+	if cap(t.heap) < k {
+		t.heap = make([]Neighbor, 0, k)
+	}
+	t.k = k
+	t.heap = t.heap[:0]
 }
 
 // Len returns how many neighbors are currently held (≤ k).
@@ -95,6 +110,28 @@ func (t *TopK) Results() []Neighbor {
 		return out[i].Index < out[j].Index
 	})
 	return out
+}
+
+// AppendResults appends the collected neighbors to dst in the same
+// ascending (Dist, Index) order Results uses and returns the extended
+// slice. With a dst of sufficient capacity it performs no allocations
+// (slices.SortFunc sorts in place without boxing); the heap is left
+// intact. Because the order is total, the output is identical to
+// Results() regardless of insertion history.
+func (t *TopK) AppendResults(dst []Neighbor) []Neighbor {
+	start := len(dst)
+	dst = append(dst, t.heap...)
+	slices.SortFunc(dst[start:], func(a, b Neighbor) int {
+		switch {
+		case a.Dist < b.Dist:
+			return -1
+		case a.Dist > b.Dist:
+			return 1
+		default:
+			return a.Index - b.Index
+		}
+	})
+	return dst
 }
 
 func (t *TopK) siftUp(i int) {

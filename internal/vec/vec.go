@@ -75,39 +75,40 @@ func (m *Matrix) Bytes(operandBits int) int64 {
 	return int64(m.N) * int64(m.D) * int64(operandBits) / 8
 }
 
+// checkLens panics on a float-slice length mismatch with op's message.
+func checkLens(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panicLens(op, len(a), len(b))
+	}
+}
+
+func panicLens(op string, la, lb int) {
+	panic(fmt.Sprintf("vec: %s of mismatched lengths %d and %d", op, la, lb))
+}
+
 // Dot returns the inner product of a and b. It panics if the lengths differ,
 // because a length mismatch is always a programming error in this codebase.
+// The unrolled kernel is bit-identical to DotRef (same accumulator, same
+// evaluation order — differentially tested).
 func Dot(a, b []float64) float64 {
-	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: dot of mismatched lengths %d and %d", len(a), len(b)))
-	}
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+	checkLens("dot", a, b)
+	return dotKernel(a, b)
 }
 
 // IntDot returns the inner product of two non-negative integer vectors as
 // an int64, mirroring what the ReRAM crossbar computes in the analog domain.
+// Differentially tested bit-identical to IntDotRef.
 func IntDot(a, b []uint32) int64 {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("vec: intdot of mismatched lengths %d and %d", len(a), len(b)))
+		panicLens("intdot", len(a), len(b))
 	}
-	var s int64
-	for i := range a {
-		s += int64(a[i]) * int64(b[i])
-	}
-	return s
+	return intDotKernel(a, b)
 }
 
-// SqNorm returns the squared L2 norm Σ aᵢ².
+// SqNorm returns the squared L2 norm Σ aᵢ². Differentially tested
+// bit-identical to SqNormRef.
 func SqNorm(a []float64) float64 {
-	var s float64
-	for _, v := range a {
-		s += v * v
-	}
-	return s
+	return sqNormKernel(a)
 }
 
 // Norm returns the L2 norm.
@@ -154,19 +155,34 @@ func Std(a []float64) float64 {
 // d must be divisible by segs; callers pick segment counts accordingly
 // (the dataset generators use power-of-two-friendly dimensionalities).
 func SegmentStats(v []float64, segs int) (mu, sigma []float64, err error) {
-	d := len(v)
-	if segs <= 0 || d%segs != 0 {
-		return nil, nil, fmt.Errorf("vec: cannot split %d dims into %d equal segments", d, segs)
+	if segs <= 0 || len(v)%segs != 0 {
+		return nil, nil, fmt.Errorf("vec: cannot split %d dims into %d equal segments", len(v), segs)
 	}
-	l := d / segs
 	mu = make([]float64, segs)
 	sigma = make([]float64, segs)
+	if err := SegmentStatsInto(v, segs, mu, sigma); err != nil {
+		return nil, nil, err
+	}
+	return mu, sigma, nil
+}
+
+// SegmentStatsInto is SegmentStats writing into caller-owned buffers (both
+// len segs), the allocation-free form the steady-state query paths use.
+func SegmentStatsInto(v []float64, segs int, mu, sigma []float64) error {
+	d := len(v)
+	if segs <= 0 || d%segs != 0 {
+		return fmt.Errorf("vec: cannot split %d dims into %d equal segments", d, segs)
+	}
+	if len(mu) != segs || len(sigma) != segs {
+		return fmt.Errorf("vec: segment buffers of %d/%d, want %d", len(mu), len(sigma), segs)
+	}
+	l := d / segs
 	for i := 0; i < segs; i++ {
 		seg := v[i*l : (i+1)*l]
 		mu[i] = Mean(seg)
 		sigma[i] = Std(seg)
 	}
-	return mu, sigma, nil
+	return nil
 }
 
 // Scale multiplies every element of a by f in place.

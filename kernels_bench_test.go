@@ -1,0 +1,169 @@
+// Kernel-layer microbenchmarks: the optimized hot-path kernels against
+// their retained scalar references, with allocation reporting. The CI
+// bench-smoke step runs these and fails if any steady-state path
+// (wordparallel crossbar dot, SearchAppend, KNNRow) reports a nonzero
+// allocs/op — the executable form of the zero-alloc contract that the
+// AllocsPerRun tests pin per package.
+//
+//	go test -bench='Kernel|CrossbarDot|VecDistance|Refine' -benchmem -run='^$'
+package pimmine_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/crossbar"
+	"pimmine/internal/dataset"
+	"pimmine/internal/join"
+	"pimmine/internal/knn"
+	"pimmine/internal/measure"
+	"pimmine/internal/pim"
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// BenchmarkCrossbarDot compares the cell-at-a-time reference against the
+// word-parallel bit-plane kernel on the paper's Table 5 geometry. The
+// wordparallel case must stay at 0 allocs/op (pooled scratch).
+func BenchmarkCrossbarDot(b *testing.B) {
+	spec := crossbar.Spec{M: 256, CellBits: 2, DACBits: 2, ReadLatencyNs: 29.31, WriteLatencyNs: 50.88}
+	const dims, opBits = 256, 8
+	rng := rand.New(rand.NewSource(1))
+	xb := crossbar.New(spec)
+	for v := 0; v < spec.VectorsPerCrossbar(dims, opBits); v++ {
+		vals := make([]uint32, dims)
+		for i := range vals {
+			vals[i] = rng.Uint32() & 0xff
+		}
+		if _, err := xb.ProgramVector(vals, opBits); err != nil {
+			b.Fatal(err)
+		}
+	}
+	input := make([]uint32, dims)
+	for i := range input {
+		input[i] = rng.Uint32() & 0xff
+	}
+	dst := make([]int64, xb.Vectors())
+	b.Run("ref", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := xb.DotAllRef(input, opBits); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("wordparallel", func(b *testing.B) {
+		if _, err := xb.DotAllInto(input, opBits, dst); err != nil {
+			b.Fatal(err) // warm the scratch pool before counting
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := xb.DotAllInto(input, opBits, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkVecDistance times the unrolled distance kernels against their
+// retained references at a Table 6 dimensionality (MSD, d=420).
+func BenchmarkVecDistance(b *testing.B) {
+	const d = 420
+	rng := rand.New(rand.NewSource(2))
+	fa, fb := make([]float64, d), make([]float64, d)
+	ia, ib := make([]uint32, d), make([]uint32, d)
+	for i := 0; i < d; i++ {
+		fa[i], fb[i] = rng.NormFloat64(), rng.NormFloat64()
+		ia[i], ib[i] = rng.Uint32()&0xff, rng.Uint32()&0xff
+	}
+	var fsink float64
+	var isink int64
+	for _, bc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Dot/ref", func() { fsink = vec.DotRef(fa, fb) }},
+		{"Dot/opt", func() { fsink = vec.Dot(fa, fb) }},
+		{"IntDot/ref", func() { isink = vec.IntDotRef(ia, ib) }},
+		{"IntDot/opt", func() { isink = vec.IntDot(ia, ib) }},
+		{"SqNorm/ref", func() { fsink = vec.SqNormRef(fa) }},
+		{"SqNorm/opt", func() { fsink = vec.SqNorm(fa) }},
+		{"SqEuclidean/ref", func() { fsink = measure.SqEuclideanRef(fa, fb) }},
+		{"SqEuclidean/opt", func() { fsink = measure.SqEuclidean(fa, fb) }},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bc.fn()
+			}
+		})
+	}
+	_, _ = fsink, isink
+}
+
+// BenchmarkRefine times the steady-state filter-and-refine paths — host
+// and PIM SearchAppend, and the per-row join refine. All three must stay
+// at 0 allocs/op once scratch is warm.
+func BenchmarkRefine(b *testing.B) {
+	const k = 10
+	prof, err := dataset.ByName("Notre")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := dataset.Generate(prof, 2000, 3)
+	q, err := quant.New(quant.DefaultAlpha)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stdPIM, err := knn.NewStandardPIM(eng, ds.X, q, prof.FullN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jEng, err := pim.NewEngine(arch.Default(), pim.ModeExact)
+	if err != nil {
+		b.Fatal(err)
+	}
+	joiner, err := join.NewJoinerPIM(jEng, ds.X, q, prof.FullN)
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := ds.X.Row(7)
+	meter := arch.NewMeter()
+	dst := make([]vec.Neighbor, 0, k)
+
+	searchers := []struct {
+		name string
+		s    knn.AppendSearcher
+	}{
+		{"host-search", knn.NewStandard(ds.X)},
+		{"pim-search", stdPIM},
+	}
+	for _, bc := range searchers {
+		b.Run(bc.name, func(b *testing.B) {
+			dst = bc.s.SearchAppend(query, k, meter, dst[:0]) // warm scratch
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst = bc.s.SearchAppend(query, k, meter, dst[:0])
+			}
+		})
+	}
+	b.Run("join-row", func(b *testing.B) {
+		if dst, err = joiner.KNNRow(query, k, -1, meter, dst[:0]); err != nil {
+			b.Fatal(err) // warm scratch
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if dst, err = joiner.KNNRow(query, k, -1, meter, dst[:0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

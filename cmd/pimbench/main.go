@@ -22,11 +22,16 @@
 // baseline congestion-collapses into timeouts while admission control
 // and deadline shedding keep the resilient engine near peak goodput,
 // answering the excess with typed errors in microseconds.
+// `pimbench ext-serve-net` drives tenant-tagged HTTP clients through the
+// network front-end (internal/netserve) at 1×/2× capacity with a 10:1
+// hot-tenant skew and reports goodput plus Jain's fairness index for a
+// shared queue versus per-tenant weighted-fair queueing.
 //
-// Flag combinations are validated before anything runs: bad -format
-// values, -out without -format json, non-positive -scale/-queries,
-// negative sample rates, and -trace-sample/-hold without -metrics-addr
-// all fail fast with a clear error.
+// Flag combinations are validated before anything runs — including
+// before the -list early exit: bad -format values, -out without -format
+// json, non-positive -scale/-queries, negative sample rates, unknown
+// experiment ids and -trace-sample/-hold without -metrics-addr all fail
+// fast with exit code 2 and a clear error.
 //
 // Observability: -metrics-addr starts an HTTP listener serving
 // Prometheus text format at /metrics, expvar JSON at /debug/vars and
@@ -43,6 +48,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -54,35 +60,50 @@ import (
 )
 
 func main() {
-	scale := flag.Int("scale", 2000, "generated rows per dataset (full-scale N still drives Theorem 4)")
-	queries := flag.Int("queries", 5, "query batch size for kNN experiments")
-	seed := flag.Int64("seed", 1, "generation seed")
-	full := flag.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
-	shards := flag.Int("shards", 8, "max shard count for the ext-serve sweep")
-	format := flag.String("format", "text", "output format: text|markdown|csv|json")
-	outDir := flag.String("out", "", "also write one BENCH_<id>.json artifact per experiment into this directory")
-	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
-	traceSample := flag.Int("trace-sample", 1, "with -metrics-addr: trace one query in N (0 disables tracing)")
-	hold := flag.Duration("hold", 0, "with -metrics-addr: keep serving for this long after experiments finish")
-	churn := flag.Bool("churn", false, "run the mutable-engine churn workload (shorthand for the ext-churn experiment id)")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if *list {
-		fmt.Println(strings.Join(exp.IDs(), "\n"))
-		return
+// run is main minus the process exit, so tests can drive the full flag
+// surface and assert exit codes: 0 success, 1 runtime failure, 2 usage
+// error. Every usage error — bad flag, bad combination, unknown id —
+// must exit non-zero even when combined with -list, so CI scripts can
+// trust `pimbench ... && next-step`.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pimbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	scale := fs.Int("scale", 2000, "generated rows per dataset (full-scale N still drives Theorem 4)")
+	queries := fs.Int("queries", 5, "query batch size for kNN experiments")
+	seed := fs.Int64("seed", 1, "generation seed")
+	full := fs.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
+	shards := fs.Int("shards", 8, "max shard count for the ext-serve sweep")
+	format := fs.String("format", "text", "output format: text|markdown|csv|json")
+	outDir := fs.String("out", "", "also write one BENCH_<id>.json artifact per experiment into this directory")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
+	traceSample := fs.Int("trace-sample", 1, "with -metrics-addr: trace one query in N (0 disables tracing)")
+	hold := fs.Duration("hold", 0, "with -metrics-addr: keep serving for this long after experiments finish")
+	churn := fs.Bool("churn", false, "run the mutable-engine churn workload (shorthand for the ext-churn experiment id)")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
 
-	ids := flag.Args()
+	ids := fs.Args()
 	if *churn {
 		ids = append(ids, "ext-churn")
 	}
 	if len(ids) == 0 {
 		ids = exp.IDs()
 	}
+	// Validate before the -list early exit: `pimbench -list -scale 0`
+	// must fail like any other bad invocation, not silently succeed.
 	if err := validateFlags(*scale, *queries, *shards, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
-		fmt.Fprintln(os.Stderr, "pimbench:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "pimbench:", err)
+		return 2
+	}
+
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(exp.IDs(), "\n"))
+		return 0
 	}
 
 	suite := exp.NewSuite()
@@ -99,17 +120,17 @@ func main() {
 		srv := &http.Server{Addr: *metricsAddr, Handler: observer.Handler()}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				fmt.Fprintf(os.Stderr, "pimbench: metrics server: %v\n", err)
+				fmt.Fprintf(stderr, "pimbench: metrics server: %v\n", err)
 				os.Exit(1)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "pimbench: observability on http://%s (/metrics /debug/vars /debug/traces)\n", *metricsAddr)
+		fmt.Fprintf(stderr, "pimbench: observability on http://%s (/metrics /debug/vars /debug/traces)\n", *metricsAddr)
 	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "pimbench:", err)
+			return 1
 		}
 	}
 
@@ -118,37 +139,38 @@ func main() {
 		start := time.Now()
 		tbl, err := runner(suite)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "pimbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "pimbench: %s: %v\n", id, err)
+			return 1
 		}
 		out, err := tbl.Render(*format)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pimbench:", err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, "pimbench:", err)
+			return 2
 		}
-		fmt.Print(out)
+		fmt.Fprint(stdout, out)
 		if *format == "text" {
-			fmt.Printf("(wall clock %.1fs)\n", time.Since(start).Seconds())
+			fmt.Fprintf(stdout, "(wall clock %.1fs)\n", time.Since(start).Seconds())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 		if *outDir != "" {
 			js, err := tbl.JSON()
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "pimbench:", err)
-				os.Exit(2)
+				fmt.Fprintln(stderr, "pimbench:", err)
+				return 2
 			}
 			path := filepath.Join(*outDir, "BENCH_"+id+".json")
 			if err := os.WriteFile(path, []byte(js), 0o644); err != nil {
-				fmt.Fprintln(os.Stderr, "pimbench:", err)
-				os.Exit(1)
+				fmt.Fprintln(stderr, "pimbench:", err)
+				return 1
 			}
-			fmt.Fprintf(os.Stderr, "pimbench: wrote %s\n", path)
+			fmt.Fprintf(stderr, "pimbench: wrote %s\n", path)
 		}
 	}
 	if *metricsAddr != "" && *hold > 0 {
-		fmt.Fprintf(os.Stderr, "pimbench: holding metrics server for %s\n", *hold)
+		fmt.Fprintf(stderr, "pimbench: holding metrics server for %s\n", *hold)
 		time.Sleep(*hold)
 	}
+	return 0
 }
 
 // validateFlags rejects bad flag combinations up front, before any

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI contract: every usage error exits 2 —
+// including ones combined with -list, which used to return before
+// validation and exit 0 on bad flags — and -list itself exits 0 with
+// the full experiment registry on stdout.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"list ok", []string{"-list"}, 0},
+		{"unknown flag", []string{"-no-such-flag"}, 2},
+		{"bad scale", []string{"-scale", "0", "ext-overload"}, 2},
+		{"bad scale with list", []string{"-list", "-scale", "0"}, 2},
+		{"bad format with list", []string{"-list", "-format", "bogus"}, 2},
+		{"bad format", []string{"-format", "bogus", "ext-serve-net"}, 2},
+		{"out without json", []string{"-out", t.TempDir(), "ext-serve-net"}, 2},
+		{"unknown id", []string{"no-such-experiment"}, 2},
+		{"trace-sample without metrics", []string{"-trace-sample", "4", "ext-overload"}, 2},
+		{"hold without metrics", []string{"-hold", "5s", "ext-overload"}, 2},
+		{"negative queries", []string{"-queries", "-1", "table1"}, 2},
+	}
+	for _, tc := range cases {
+		var stdout, stderr bytes.Buffer
+		if got := run(tc.args, &stdout, &stderr); got != tc.want {
+			t.Errorf("%s: run(%v) = %d, want %d (stderr: %s)", tc.name, tc.args, got, tc.want, stderr.String())
+		}
+		if tc.want != 0 && stderr.Len() == 0 {
+			t.Errorf("%s: usage error with empty stderr", tc.name)
+		}
+	}
+}
+
+// TestRunListShowsAllExperiments keeps -list as the discovery surface:
+// the network-serving and overload sweeps must be registered.
+func TestRunListShowsAllExperiments(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("run(-list) = %d: %s", got, stderr.String())
+	}
+	for _, id := range []string{"ext-serve-net", "ext-overload", "ext-serve", "table1"} {
+		if !strings.Contains(stdout.String(), id) {
+			t.Errorf("-list output missing %q", id)
+		}
+	}
+}

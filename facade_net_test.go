@@ -1,0 +1,88 @@
+package pimmine_test
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pimmine"
+)
+
+// TestFacadeNetServer exercises the network front-end purely through the
+// root facade: build an engine, wrap it in a NetServer with a provisioned
+// tenant, serve one query over the wire, exhaust the tenant's quota, and
+// drain. Pins that the facade re-exports (NetServer, NetServerOptions,
+// NetTenantConfig, ErrQuotaExceeded) stay wired to the real packages.
+func TestFacadeNetServer(t *testing.T) {
+	t.Parallel()
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 100, 5)
+	eng, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := pimmine.NewNetServer(pimmine.NetServerOptions{
+		Engine:  eng,
+		Tenants: []pimmine.NetTenantConfig{{Name: "paid", Weight: 2, Rate: 100, Burst: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	q := ds.Queries(1, 13).Row(0)
+	body, err := json.Marshal(map[string]any{"tenant": "paid", "query": q, "k": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() (int, string) {
+		resp, err := ts.Client().Post(ts.URL+"/v1/search", "application/json", strings.NewReader(string(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(data)
+	}
+
+	status, data := post()
+	if status != 200 {
+		t.Fatalf("first request: status %d: %s", status, data)
+	}
+	var qr struct {
+		Neighbors []struct {
+			Index int     `json:"index"`
+			Dist  float64 `json:"dist"`
+		} `json:"neighbors"`
+	}
+	if err := json.Unmarshal([]byte(data), &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Neighbors) != 4 {
+		t.Fatalf("got %d neighbors, want 4", len(qr.Neighbors))
+	}
+
+	// Burst 1 is spent; the second request trips the facade-exported
+	// quota sentinel, rendered as 429 quota_exceeded on the wire.
+	status, data = post()
+	if status != 429 || !strings.Contains(data, "quota_exceeded") {
+		t.Fatalf("over-quota: status %d body %s", status, data)
+	}
+	if !errors.Is(pimmine.ErrQuotaExceeded, pimmine.ErrQuotaExceeded) {
+		t.Fatal("ErrQuotaExceeded must be a stable sentinel")
+	}
+
+	if err := srv.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Search(t.Context(), q, 4); !errors.Is(err, pimmine.ErrEngineClosed) {
+		t.Fatalf("post-drain engine err = %v, want ErrEngineClosed", err)
+	}
+}

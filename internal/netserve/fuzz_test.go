@@ -1,0 +1,130 @@
+package netserve_test
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pimmine/internal/netserve"
+	"pimmine/internal/quant"
+)
+
+// TestDecodeQueryRequest pins the decoder's typed rejections on the
+// interesting hand-written inputs (the fuzzer then explores around
+// them).
+func TestDecodeQueryRequest(t *testing.T) {
+	t.Parallel()
+	const dims, maxK = 3, 16
+	cases := []struct {
+		name    string
+		body    string
+		wantErr error // nil = must decode
+	}{
+		{"valid", `{"tenant":"a","query":[0.1,0.2,0.3],"k":5}`, nil},
+		{"valid boundary", `{"query":[0,1,0.5],"k":16}`, nil},
+		{"malformed json", `{"query":[0.1`, netserve.ErrBadRequest},
+		{"trailing garbage", `{"query":[0.1,0.2,0.3],"k":1}{"x":1}`, netserve.ErrBadRequest},
+		{"unknown field", `{"query":[0.1,0.2,0.3],"k":1,"mode":"turbo"}`, netserve.ErrBadRequest},
+		{"wrong dims", `{"query":[0.1,0.2],"k":1}`, netserve.ErrBadRequest},
+		{"missing query", `{"k":1}`, netserve.ErrBadRequest},
+		{"k zero", `{"query":[0.1,0.2,0.3],"k":0}`, netserve.ErrBadRequest},
+		{"k oversize", `{"query":[0.1,0.2,0.3],"k":17}`, netserve.ErrBadRequest},
+		{"out of range", `{"query":[0.1,2.5,0.3],"k":1}`, quant.ErrOutOfRange},
+		{"negative value", `{"query":[-0.1,0.2,0.3],"k":1}`, quant.ErrOutOfRange},
+		{"json NaN literal", `{"query":[NaN,0.2,0.3],"k":1}`, netserve.ErrBadRequest},
+		{"json Inf exponent", `{"query":[1e999,0.2,0.3],"k":1}`, netserve.ErrBadRequest},
+	}
+	for _, tc := range cases {
+		req, err := netserve.DecodeQueryRequest([]byte(tc.body), dims, maxK)
+		if tc.wantErr == nil {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.wantErr) {
+			t.Errorf("%s: err = %v, want chain through %v", tc.name, err, tc.wantErr)
+		}
+		// Every rejection must carry the wire sentinel so the server can
+		// map it to 400.
+		if !errors.Is(err, netserve.ErrBadRequest) {
+			t.Errorf("%s: rejection %v does not wrap ErrBadRequest", tc.name, err)
+		}
+		if req != nil {
+			t.Errorf("%s: rejected decode still returned a request", tc.name)
+		}
+	}
+
+	// Batch decoder: same per-query contract plus the batch cap.
+	if _, err := netserve.DecodeBatchRequest([]byte(`{"queries":[[0.1,0.2,0.3],[0.4,0.5,0.6]],"k":2}`), dims, maxK, 8); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if _, err := netserve.DecodeBatchRequest([]byte(`{"queries":[],"k":2}`), dims, maxK, 8); !errors.Is(err, netserve.ErrBadRequest) {
+		t.Fatalf("empty batch err = %v", err)
+	}
+	long := `{"queries":[` + strings.Repeat(`[0.1,0.2,0.3],`, 8) + `[0.1,0.2,0.3]],"k":2}`
+	if _, err := netserve.DecodeBatchRequest([]byte(long), dims, maxK, 8); !errors.Is(err, netserve.ErrBadRequest) {
+		t.Fatalf("oversize batch err = %v", err)
+	}
+}
+
+// FuzzDecodeQueryRequest fuzzes the wire decoder: whatever the bytes,
+// it must never panic, every rejection must wrap ErrBadRequest (the
+// typed 400), and every accepted request must satisfy the validated
+// invariants — dims match, k in range, all values finite in [0,1] — and
+// re-encode/decode to the same value.
+func FuzzDecodeQueryRequest(f *testing.F) {
+	f.Add([]byte(`{"tenant":"a","query":[0.1,0.2,0.3],"k":5}`))
+	f.Add([]byte(`{"query":[0,1,0.5],"k":1}`))
+	f.Add([]byte(`{"query":[0.1,2.5,0.3],"k":1}`))
+	f.Add([]byte(`{"query":[1e999,0,0],"k":1}`))
+	f.Add([]byte(`{"query":[0.1`))
+	f.Add([]byte(`{"k":17,"query":[0.1,0.2,0.3]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const dims, maxK = 3, 16
+		req, err := netserve.DecodeQueryRequest(data, dims, maxK)
+		if err != nil {
+			if !errors.Is(err, netserve.ErrBadRequest) {
+				t.Fatalf("rejection without ErrBadRequest chain: %v", err)
+			}
+			if req != nil {
+				t.Fatal("error with non-nil request")
+			}
+			return
+		}
+		if len(req.Query) != dims {
+			t.Fatalf("accepted query with %d dims", len(req.Query))
+		}
+		if req.K < 1 || req.K > maxK {
+			t.Fatalf("accepted k=%d", req.K)
+		}
+		for _, v := range req.Query {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+				t.Fatalf("accepted out-of-contract value %v", v)
+			}
+		}
+		// Round-trip: an accepted request re-encodes to a body the decoder
+		// accepts identically.
+		enc, merr := json.Marshal(req)
+		if merr != nil {
+			t.Fatalf("re-encode: %v", merr)
+		}
+		again, aerr := netserve.DecodeQueryRequest(enc, dims, maxK)
+		if aerr != nil {
+			t.Fatalf("re-decode of accepted request failed: %v", aerr)
+		}
+		if again.Tenant != req.Tenant || again.K != req.K || len(again.Query) != len(req.Query) {
+			t.Fatal("round-trip changed the request")
+		}
+		for i := range req.Query {
+			if math.Float64bits(again.Query[i]) != math.Float64bits(req.Query[i]) {
+				t.Fatalf("round-trip changed query[%d]: %x -> %x", i,
+					math.Float64bits(req.Query[i]), math.Float64bits(again.Query[i]))
+			}
+		}
+	})
+}

@@ -1,0 +1,9 @@
+//go:build race
+
+package netserve_test
+
+import "time"
+
+// Under -race everything is ~5-20x slower; scale the paced service
+// times and measurement windows so backlogs still form.
+const raceScale time.Duration = 6

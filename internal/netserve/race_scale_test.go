@@ -1,0 +1,9 @@
+//go:build !race
+
+package netserve_test
+
+import "time"
+
+// raceScale stretches paced service times and measurement windows when
+// the race detector multiplies scheduling cost; 1 in normal builds.
+const raceScale time.Duration = 1

@@ -1,0 +1,170 @@
+// Wire format: the JSON request/response types of the network serving
+// front-end, and the strict decoders that gate what reaches the engine.
+// Decoding is deliberately a pure function of the request bytes plus the
+// engine's static shape (dims, caps) so it can be fuzzed in isolation
+// (FuzzDecodeQueryRequest) and so a malformed request is rejected with a
+// typed error before it costs any admission or crossbar budget.
+package netserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"pimmine/internal/quant"
+	"pimmine/internal/vec"
+)
+
+// ErrBadRequest marks a request rejected at the wire boundary —
+// malformed JSON, missing or mis-shaped fields, out-of-cap k or batch
+// size, or query values the quantization contract refuses
+// (quant.ErrNotFinite / quant.ErrOutOfRange wrap it alongside). It maps
+// to HTTP 400.
+var ErrBadRequest = errors.New("netserve: bad request")
+
+// QueryRequest is the body of POST /v1/search.
+type QueryRequest struct {
+	// Tenant identifies the caller for quota and fairness accounting;
+	// empty falls back to the X-Tenant header, then to "default".
+	Tenant string `json:"tenant,omitempty"`
+	// Query is the kNN query vector, normalized into [0,1] like every
+	// dataset this engine serves (the §V-B quantization contract).
+	Query []float64 `json:"query"`
+	// K is the neighbor count, 1..MaxK.
+	K int `json:"k"`
+}
+
+// BatchRequest is the body of POST /v1/search/batch.
+type BatchRequest struct {
+	Tenant  string      `json:"tenant,omitempty"`
+	Queries [][]float64 `json:"queries"`
+	K       int         `json:"k"`
+}
+
+// NeighborWire is one kNN result on the wire. Dist round-trips through
+// JSON bit-exactly: encoding/json renders float64 in shortest form,
+// which strconv parses back to the identical bits — the property the
+// differential suite pins.
+type NeighborWire struct {
+	Index int     `json:"index"`
+	Dist  float64 `json:"dist"`
+}
+
+// QueryResponse is one query's answer on the wire.
+type QueryResponse struct {
+	Neighbors []NeighborWire `json:"neighbors"`
+	// Degraded and BreakerOpen surface the engine's exactness-preserving
+	// fallbacks (results are still exact; only throughput modeling
+	// degrades).
+	Degraded    []int `json:"degraded,omitempty"`
+	BreakerOpen []int `json:"breaker_open,omitempty"`
+}
+
+// BatchLine is one NDJSON line of the streaming batch response: either
+// a result or a per-query error, tagged with the query's index so the
+// stream stays self-describing even though lines are written in order.
+type BatchLine struct {
+	Index  int            `json:"index"`
+	Result *QueryResponse `json:"result,omitempty"`
+	Error  *ErrorBody     `json:"error,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope (also the non-200 response
+// body). Code is the machine-readable name from the sentinel mapping in
+// status.go.
+type ErrorBody struct {
+	Error        string `json:"error"`
+	Code         string `json:"code"`
+	RetryAfterMs int64  `json:"retry_after_ms,omitempty"`
+}
+
+// decodeStrict unmarshals one JSON value with unknown fields rejected
+// and trailing garbage refused.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("%w: trailing data after JSON body", ErrBadRequest)
+	}
+	return nil
+}
+
+// checkQuery validates one query vector against the engine shape: the
+// dimensionality must match and every value must satisfy the
+// quantization contract (finite, in [0,1]) — quant.Check's typed errors
+// ride along so callers can distinguish NaN/Inf from out-of-range.
+func checkQuery(q []float64, dims int) error {
+	if len(q) != dims {
+		return fmt.Errorf("%w: query has %d dims, dataset has %d", ErrBadRequest, len(q), dims)
+	}
+	if err := quant.CheckVec(q); err != nil {
+		return fmt.Errorf("%w: %w", ErrBadRequest, err)
+	}
+	return nil
+}
+
+func checkK(k, maxK int) error {
+	if k < 1 || k > maxK {
+		return fmt.Errorf("%w: k %d outside 1..%d", ErrBadRequest, k, maxK)
+	}
+	return nil
+}
+
+// DecodeQueryRequest parses and validates a single-query body. It is a
+// pure function of (data, dims, maxK) — the fuzz target.
+func DecodeQueryRequest(data []byte, dims, maxK int) (*QueryRequest, error) {
+	var req QueryRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := checkK(req.K, maxK); err != nil {
+		return nil, err
+	}
+	if err := checkQuery(req.Query, dims); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// DecodeBatchRequest parses and validates a batch body.
+func DecodeBatchRequest(data []byte, dims, maxK, maxBatch int) (*BatchRequest, error) {
+	var req BatchRequest
+	if err := decodeStrict(data, &req); err != nil {
+		return nil, err
+	}
+	if err := checkK(req.K, maxK); err != nil {
+		return nil, err
+	}
+	if len(req.Queries) == 0 || len(req.Queries) > maxBatch {
+		return nil, fmt.Errorf("%w: batch of %d queries outside 1..%d", ErrBadRequest, len(req.Queries), maxBatch)
+	}
+	for i, q := range req.Queries {
+		if err := checkQuery(q, dims); err != nil {
+			return nil, fmt.Errorf("query %d: %w", i, err)
+		}
+	}
+	return &req, nil
+}
+
+// queriesMatrix packs validated batch queries into the engine's dense
+// row-major form.
+func queriesMatrix(qs [][]float64, dims int) *vec.Matrix {
+	m := vec.NewMatrix(len(qs), dims)
+	for i, q := range qs {
+		copy(m.Row(i), q)
+	}
+	return m
+}
+
+// toWire converts engine neighbors to the wire form.
+func toWire(nn []vec.Neighbor) []NeighborWire {
+	out := make([]NeighborWire, len(nn))
+	for i, n := range nn {
+		out[i] = NeighborWire{Index: n.Index, Dist: n.Dist}
+	}
+	return out
+}

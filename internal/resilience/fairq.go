@@ -1,0 +1,319 @@
+package resilience
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrQuotaExceeded reports a request refused by a per-tenant token
+// bucket: the tenant spent its provisioned rate and burst. Unlike
+// ErrOverloaded (the whole engine is saturated) this is a per-tenant
+// verdict — other tenants keep being served. The serving front-end maps
+// it to HTTP 429 with a Retry-After derived from the bucket's refill.
+var ErrQuotaExceeded = errors.New("resilience: tenant quota exceeded")
+
+// TokenBucket is a per-tenant rate limiter: Rate tokens accrue per
+// second up to Burst, one request costs one token. It is the quota half
+// of multi-tenant isolation — the fair queue divides capacity among
+// backlogged tenants, the bucket caps what any single tenant may offer
+// in the first place. Safe for concurrent use.
+type TokenBucket struct {
+	rate  float64
+	burst float64
+	now   func() time.Time
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket builds a bucket earning rate tokens/second with the
+// given burst capacity (the bucket starts full). rate <= 0 returns nil —
+// a nil *TokenBucket means "unlimited" and its Take always admits. The
+// now func is injectable for deterministic tests; nil uses time.Now.
+func NewTokenBucket(rate, burst float64, now func() time.Time) *TokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &TokenBucket{rate: rate, burst: burst, now: now, tokens: burst, last: now()}
+}
+
+// Take withdraws one token. On an empty bucket it returns
+// ErrQuotaExceeded (wrapped) plus the wait until the next token accrues,
+// so callers can surface an honest Retry-After instead of inviting an
+// immediate re-poll.
+func (b *TokenBucket) Take() (time.Duration, error) {
+	if b == nil {
+		return 0, nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, nil
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return wait, fmt.Errorf("%w (retry in %s)", ErrQuotaExceeded, wait)
+}
+
+// Tokens returns the current balance (after refill), for metrics.
+func (b *TokenBucket) Tokens() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.now()
+	b.tokens += t.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = t
+	return b.tokens
+}
+
+// FairQueue is a weighted-fair admission queue: the multi-tenant
+// generalization of Limiter. At most slots acquisitions are held at
+// once; when they are all busy, waiting requests are granted in
+// start-time fair queuing order (SFQ, Goyal et al.) rather than FIFO,
+// so a tenant flooding the queue cannot starve the others — each
+// backlogged tenant receives service in proportion to its weight, which
+// is exactly the isolation the host↔PIM transfer budget needs at the
+// server edge (one hot tenant saturating the crossbar queue would
+// otherwise collapse everyone's goodput, not just its own).
+//
+// Every request carries a virtual start tag
+//
+//	start = max(vtime, lastFinish(tenant)),  finish = start + 1/weight
+//
+// where vtime is the start tag of the most recently dispatched request.
+// Backlogged tenants chain their tags (+1/weight per request), so a
+// tenant with 10× the traffic ages its tags 10× faster and the queue
+// interleaves grants ~1:1 against an equal-weight tenant; an idle
+// tenant's next request starts at the current vtime, so unused share is
+// never banked. Per-tenant wait queues are bounded: beyond maxQueue
+// waiters a tenant's requests are rejected immediately with
+// ErrOverloaded, the same typed verdict the Limiter gives.
+//
+// FairQueue is safe for concurrent use.
+type FairQueue struct {
+	slots    int
+	maxQueue int
+
+	mu      sync.Mutex
+	free    int
+	vtime   float64
+	seq     uint64
+	tenants map[string]*fqTenant
+	waiters fqHeap
+}
+
+// fqTenant is one tenant's fair-queue state.
+type fqTenant struct {
+	weight float64
+	queued int     // waiters currently in the heap
+	last   float64 // finish tag of the tenant's most recent request
+}
+
+// fqWaiter is one queued acquisition.
+type fqWaiter struct {
+	t       *fqTenant
+	start   float64
+	seq     uint64 // FIFO tie-break inside equal start tags
+	ready   chan struct{}
+	granted bool
+	index   int // heap position (-1 once popped)
+}
+
+// fqHeap orders waiters by (start tag, arrival sequence).
+type fqHeap []*fqWaiter
+
+func (h fqHeap) Len() int { return len(h) }
+func (h fqHeap) Less(i, j int) bool {
+	if h[i].start != h[j].start {
+		return h[i].start < h[j].start
+	}
+	return h[i].seq < h[j].seq
+}
+func (h fqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *fqHeap) Push(x any) {
+	w := x.(*fqWaiter)
+	w.index = len(*h)
+	*h = append(*h, w)
+}
+func (h *fqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	w.index = -1
+	*h = old[:n-1]
+	return w
+}
+
+// NewFairQueue builds a fair queue with the given concurrency slots
+// (min 1) and per-tenant wait bound (min 0: reject once the slots are
+// busy).
+func NewFairQueue(slots, maxQueue int) *FairQueue {
+	if slots < 1 {
+		slots = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &FairQueue{
+		slots:    slots,
+		maxQueue: maxQueue,
+		free:     slots,
+		tenants:  make(map[string]*fqTenant),
+	}
+}
+
+// SetWeight registers (or re-weights) a tenant. Weights must be
+// positive; tenants never registered get weight 1 on first use.
+func (f *FairQueue) SetWeight(tenant string, weight float64) error {
+	if !(weight > 0) {
+		return fmt.Errorf("resilience: tenant %q weight %v must be positive", tenant, weight)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := f.tenant(tenant)
+	t.weight = weight
+	return nil
+}
+
+// tenant fetches or lazily creates a tenant record. Caller holds f.mu.
+func (f *FairQueue) tenant(name string) *fqTenant {
+	t := f.tenants[name]
+	if t == nil {
+		t = &fqTenant{weight: 1}
+		f.tenants[name] = t
+	}
+	return t
+}
+
+// Acquire takes a slot for one request from tenant, waiting in the
+// tenant's bounded queue in weighted-fair order when all slots are
+// busy. It returns the release function for the slot, or a typed error:
+// ErrOverloaded (wrapped with the tenant and its queue depth) when the
+// tenant's wait queue is full, or the context's cause when ctx ends
+// while queued. Release must be called exactly once on success.
+func (f *FairQueue) Acquire(ctx context.Context, tenant string) (release func(), err error) {
+	f.mu.Lock()
+	t := f.tenant(tenant)
+	if f.free > 0 && len(f.waiters) == 0 {
+		// Fast path: tag the request and run. The tag still advances the
+		// tenant's finish time so a burst arriving next instant queues
+		// behind its own history, not ahead of everyone else's.
+		start := maxF(f.vtime, t.last)
+		t.last = start + 1/t.weight
+		f.vtime = start
+		f.free--
+		f.mu.Unlock()
+		return f.release, nil
+	}
+	if t.queued >= f.maxQueue {
+		queued := t.queued
+		f.mu.Unlock()
+		return nil, fmt.Errorf("%w (tenant %q: %d queued, fair-queue bound %d)",
+			ErrOverloaded, tenant, queued, f.maxQueue)
+	}
+	start := maxF(f.vtime, t.last)
+	t.last = start + 1/t.weight
+	f.seq++
+	w := &fqWaiter{t: t, start: start, seq: f.seq, ready: make(chan struct{})}
+	heap.Push(&f.waiters, w)
+	t.queued++
+	f.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return f.release, nil
+	case <-ctx.Done():
+		f.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant happened while ctx fired. The
+			// caller walks away, so the slot goes back and the next
+			// waiter runs.
+			f.free++
+			f.dispatch()
+			f.mu.Unlock()
+			return nil, context.Cause(ctx)
+		}
+		heap.Remove(&f.waiters, w.index)
+		t.queued--
+		f.mu.Unlock()
+		return nil, context.Cause(ctx)
+	}
+}
+
+// release returns a slot and dispatches the next waiter.
+func (f *FairQueue) release() {
+	f.mu.Lock()
+	f.free++
+	f.dispatch()
+	f.mu.Unlock()
+}
+
+// dispatch grants free slots to waiters in (start, seq) order. Caller
+// holds f.mu.
+func (f *FairQueue) dispatch() {
+	for f.free > 0 && len(f.waiters) > 0 {
+		w := heap.Pop(&f.waiters).(*fqWaiter)
+		w.t.queued--
+		w.granted = true
+		f.vtime = maxF(f.vtime, w.start)
+		f.free--
+		close(w.ready)
+	}
+}
+
+// InFlight returns the number of held slots.
+func (f *FairQueue) InFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.slots - f.free
+}
+
+// Queued returns tenant's current wait-queue depth.
+func (f *FairQueue) Queued(tenant string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if t := f.tenants[tenant]; t != nil {
+		return t.queued
+	}
+	return 0
+}
+
+// QueuedTotal returns the wait-queue depth across all tenants.
+func (f *FairQueue) QueuedTotal() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.waiters)
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -389,6 +389,15 @@ func variantFactory(opts Options) (Factory, error) {
 // NumShards returns the partition count in effect.
 func (e *Engine) NumShards() int { return len(e.shards) }
 
+// Dims returns the dataset dimensionality (queries must match it).
+func (e *Engine) Dims() int { return e.data.D }
+
+// Rows returns the dataset cardinality.
+func (e *Engine) Rows() int { return e.data.N }
+
+// Workers returns the batch worker-pool width in effect.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
 // ShardSizes returns the row count of every shard.
 func (e *Engine) ShardSizes() []int {
 	sizes := make([]int, len(e.shards))

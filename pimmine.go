@@ -32,6 +32,7 @@ import (
 	"pimmine/internal/lsh"
 	"pimmine/internal/measure"
 	"pimmine/internal/motif"
+	"pimmine/internal/netserve"
 	"pimmine/internal/obs"
 	"pimmine/internal/outlier"
 	"pimmine/internal/pim"
@@ -392,12 +393,38 @@ var (
 	ErrQueryTimeout = serve.ErrQueryTimeout
 	// ErrEngineClosed: query issued after Close.
 	ErrEngineClosed = serve.ErrClosed
+	// ErrQuotaExceeded: refused by a tenant's token-bucket quota at the
+	// network boundary (HTTP 429 with a refill-derived Retry-After).
+	ErrQuotaExceeded = resilience.ErrQuotaExceeded
 )
 
 // DefaultResilience returns a production-shaped resilience config sized
 // to a worker count (admission at the pool width, shedding at 1×p95,
 // breakers after 8 consecutive fault-hit queries, 5% retry budget).
 func DefaultResilience(workers int) ResilienceConfig { return resilience.Default(workers) }
+
+// The network serving front-end (internal/netserve): an HTTP/1.1 +
+// cleartext-HTTP/2 JSON server over a QueryEngine with per-tenant
+// token-bucket quotas, weighted-fair queueing, a typed-sentinel →
+// status-code wire contract (429 with Retry-After for ErrOverloaded /
+// ErrShedDeadline / ErrQuotaExceeded, 504 for ErrQueryTimeout, 503 for
+// ErrEngineClosed and drain), streaming NDJSON batch responses, and
+// graceful drain. Wire results are byte-identical to direct facade
+// calls (the differential suite in internal/netserve pins it).
+type (
+	// NetServer serves a QueryEngine over HTTP; it is an http.Handler
+	// and NewHTTPServer wraps it for an h2c listener.
+	NetServer = netserve.Server
+	// NetServerOptions configures NewNetServer.
+	NetServerOptions = netserve.Options
+	// NetTenantConfig provisions one tenant's quota and fairness weight.
+	NetTenantConfig = netserve.TenantConfig
+)
+
+// NewNetServer builds the HTTP front-end over opts.Engine. The server
+// owns the engine's shutdown: NetServer.Drain completes in-flight
+// requests, 503s new arrivals, and closes the engine.
+func NewNetServer(opts NetServerOptions) (*NetServer, error) { return netserve.New(opts) }
 
 // Mutable serving (internal/delta + internal/serve): the query engine
 // with Insert/Update/Delete. Mutations land in a host-side delta buffer

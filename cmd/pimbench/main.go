@@ -76,6 +76,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "generation seed")
 	full := fs.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
 	shards := fs.Int("shards", 8, "max shard count for the ext-serve sweep")
+	recall := fs.Float64("recall", 0.95, "target recall for the ext-route approximate mode, in (0, 1]")
 	format := fs.String("format", "text", "output format: text|markdown|csv|json")
 	outDir := fs.String("out", "", "also write one BENCH_<id>.json artifact per experiment into this directory")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
@@ -96,7 +97,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// Validate before the -list early exit: `pimbench -list -scale 0`
 	// must fail like any other bad invocation, not silently succeed.
-	if err := validateFlags(*scale, *queries, *shards, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
+	if err := validateFlags(*scale, *queries, *shards, *recall, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
 		fmt.Fprintln(stderr, "pimbench:", err)
 		return 2
 	}
@@ -112,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.Seed = *seed
 	suite.Full = *full
 	suite.Shards = *shards
+	suite.Recall = *recall
 
 	var observer *obs.Observer
 	if *metricsAddr != "" {
@@ -176,7 +178,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // validateFlags rejects bad flag combinations up front, before any
 // experiment spends time running, so a long batch never dies halfway on
 // something a startup check could have caught.
-func validateFlags(scale, queries, shards int, format, outDir, metricsAddr string, traceSample int, hold time.Duration, ids []string) error {
+func validateFlags(scale, queries, shards int, recall float64, format, outDir, metricsAddr string, traceSample int, hold time.Duration, ids []string) error {
 	if scale <= 0 {
 		return fmt.Errorf("-scale must be positive, got %d", scale)
 	}
@@ -185,6 +187,9 @@ func validateFlags(scale, queries, shards int, format, outDir, metricsAddr strin
 	}
 	if shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", shards)
+	}
+	if recall <= 0 || recall > 1 {
+		return fmt.Errorf("-recall must be in (0, 1], got %v", recall)
 	}
 	switch format {
 	case "text", "markdown", "csv", "json":

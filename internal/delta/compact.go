@@ -149,5 +149,8 @@ func (st *Store) Compact(meter *arch.Meter) error {
 	st.stats.ChosenS = base.s
 	st.statsMu.Unlock()
 	st.opts.Metrics.compactionDone(elapsed)
+	if st.opts.OnCompact != nil {
+		st.opts.OnCompact(data)
+	}
 	return nil
 }

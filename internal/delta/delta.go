@@ -80,6 +80,24 @@ type Options struct {
 	// tombstone count, compaction counters/latency and remaining
 	// endurance budget to an obs registry.
 	Metrics Metrics
+	// OnCompact, when non-nil, is invoked at the end of every successful
+	// compaction with the freshly materialized live base image (rows in
+	// ascending global-id order), while the store's mutation lock is
+	// still held — so no insert can interleave between the snapshot swap
+	// and the callback. The routing tier (internal/route) uses it to
+	// rebuild the owning shard's summary tight; between compactions,
+	// inserts keep summaries conservative instead. The callback must not
+	// mutate the matrix or call back into the store.
+	OnCompact func(base *vec.Matrix)
+	// OnMutate, when non-nil, is invoked with every inserted or updated
+	// vector while the mutation lock is held, *before* the row becomes
+	// visible to queries. Paired with OnCompact (also under the lock),
+	// it gives the routing tier a total order of summary maintenance
+	// against compaction: a summary expansion can never be lost to a
+	// concurrent tight rebuild, so the published summary always covers
+	// every row the published snapshot holds. The callback must not call
+	// back into the store.
+	OnMutate func(v []float64)
 }
 
 // baseIndex is one epoch's immutable crossbar-resident index: the
@@ -397,6 +415,9 @@ func (st *Store) insert(forcedID int, v []float64) (int, error) {
 	}
 	st.nextID = id + 1
 	delta, ids := st.cloneDeltaInsert(sn, id, v)
+	if st.opts.OnMutate != nil {
+		st.opts.OnMutate(v)
+	}
 	st.newSnap(sn.base, sn.tomb, delta, ids)
 	st.mu.Unlock()
 	st.maybeCompact()
@@ -422,6 +443,9 @@ func (st *Store) Update(id int, v []float64) error {
 	sn := st.snap.Load()
 	if pos := sort.SearchInts(sn.deltaIDs, id); pos < len(sn.deltaIDs) && sn.deltaIDs[pos] == id {
 		delta, ids := st.cloneDeltaReplace(sn, pos, v)
+		if st.opts.OnMutate != nil {
+			st.opts.OnMutate(v)
+		}
 		st.newSnap(sn.base, sn.tomb, delta, ids)
 		st.mu.Unlock()
 		st.maybeCompact()
@@ -432,6 +456,9 @@ func (st *Store) Update(id int, v []float64) error {
 			tomb := cloneTomb(sn.tomb)
 			tomb[id] = struct{}{}
 			delta, ids := st.cloneDeltaInsert(sn, id, v)
+			if st.opts.OnMutate != nil {
+				st.opts.OnMutate(v)
+			}
 			st.newSnap(sn.base, tomb, delta, ids)
 			st.mu.Unlock()
 			st.maybeCompact()

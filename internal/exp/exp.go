@@ -40,6 +40,9 @@ type Suite struct {
 	Full bool
 	// Shards caps the ext-serve shard sweep (1,2,4,… up to Shards).
 	Shards int
+	// Recall is the ext-route approximate mode's target recall
+	// (pimbench -recall, default 0.95).
+	Recall float64
 	// Obs, when non-nil, wires the serving experiments into the
 	// observability subsystem (pimbench -metrics-addr).
 	Obs *obs.Observer
@@ -60,6 +63,7 @@ func NewSuite() *Suite {
 		Queries: 5,
 		Seed:    1,
 		Shards:  8,
+		Recall:  0.95,
 		cache:   make(map[string]*dataset.Dataset),
 	}
 }

@@ -1,0 +1,127 @@
+// KMV-style content sketches: a deterministic bottom-k sample of a row
+// set, carrying the SimHash code of every sampled row. The shard-routing
+// tier (internal/route) keeps one Sketch per shard and scores a query
+// against the sampled codes — the LSH Ensemble idea (Zhu et al., PVLDB
+// 2016) of per-partition sketches consulted at query time, adapted from
+// set containment to angular similarity over dense vectors.
+//
+// The sample is *content-addressed*: each row is ranked by a seeded
+// 64-bit hash of its float bit patterns, and the k smallest ranks are
+// kept. Two properties matter to the routing tier:
+//
+//   - Determinism: the same rows yield the same sample regardless of
+//     insertion order, process, or run (no global rand anywhere — the
+//     seed is an explicit parameter, like NewHasher's).
+//   - Uniformity: the hash ranks are effectively uniform, so the sample
+//     is an unbiased size-k subsample of the shard — the score a query
+//     computes against it estimates the score against the full shard.
+package lsh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pimmine/internal/measure"
+)
+
+// Sketch is a bottom-k (KMV) sample of rows with their SimHash codes.
+// It is immutable from the reader's point of view once shared: the
+// routing tier publishes sketches copy-on-write (Clone + Add), so
+// concurrent readers never observe a half-applied update.
+type Sketch struct {
+	h    *Hasher
+	size int
+	seed uint64
+
+	// Parallel slices sorted ascending by rank; at most size entries.
+	ranks []uint64
+	codes []measure.BitVector
+	rows  int // rows observed (not sampled) — the shard cardinality proxy
+}
+
+// NewSketch builds an empty sketch of up to size sampled rows, hashing
+// codes with h and ranking rows with the given seed. The seed is
+// explicit so routed results are reproducible across runs.
+func NewSketch(h *Hasher, size int, seed int64) *Sketch {
+	if h == nil || size <= 0 {
+		panic(fmt.Sprintf("lsh: invalid sketch (hasher=%v size=%d)", h != nil, size))
+	}
+	return &Sketch{h: h, size: size, seed: uint64(seed)}
+}
+
+// rank computes the seeded content hash of one row: FNV-1a over the
+// float64 bit patterns, finished with a SplitMix64 avalanche so nearby
+// bit patterns land far apart in rank space.
+func (s *Sketch) rank(v []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ s.seed
+	for _, x := range v {
+		b := math.Float64bits(x)
+		for i := 0; i < 8; i++ {
+			h ^= (b >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// Add observes one row: it always counts toward Rows, and joins the
+// sample when its rank is among the size smallest seen. Duplicate ranks
+// (identical rows) are kept once — KMV samples distinct content.
+func (s *Sketch) Add(v []float64) {
+	s.rows++
+	r := s.rank(v)
+	pos := sort.Search(len(s.ranks), func(i int) bool { return s.ranks[i] >= r })
+	if pos < len(s.ranks) && s.ranks[pos] == r {
+		return // identical content already sampled
+	}
+	if len(s.ranks) == s.size {
+		if r >= s.ranks[s.size-1] {
+			return // ranks above the current k-th minimum never qualify
+		}
+		s.ranks = s.ranks[:s.size-1]
+		s.codes = s.codes[:s.size-1]
+	}
+	s.ranks = append(s.ranks, 0)
+	s.codes = append(s.codes, measure.BitVector{})
+	copy(s.ranks[pos+1:], s.ranks[pos:])
+	copy(s.codes[pos+1:], s.codes[pos:])
+	s.ranks[pos] = r
+	s.codes[pos] = s.h.Hash(v)
+}
+
+// Clone returns an independent copy (the copy-on-write primitive of the
+// routing tier). The sampled codes are shared — they are immutable once
+// hashed.
+func (s *Sketch) Clone() *Sketch {
+	out := &Sketch{h: s.h, size: s.size, seed: s.seed, rows: s.rows}
+	out.ranks = append([]uint64(nil), s.ranks...)
+	out.codes = append([]measure.BitVector(nil), s.codes...)
+	return out
+}
+
+// Len returns the current sample size (≤ the configured size).
+func (s *Sketch) Len() int { return len(s.codes) }
+
+// Rows returns how many rows the sketch has observed.
+func (s *Sketch) Rows() int { return s.rows }
+
+// Codes returns the sampled SimHash codes (callers must not mutate).
+func (s *Sketch) Codes() []measure.BitVector { return s.codes }
+
+// Sim estimates the angular similarity between the code and one sampled
+// code: SimHash flips each bit with probability θ/π, so 1 − hamming/bits
+// estimates 1 − θ/π ∈ [0, 1] (1 = parallel vectors).
+func (s *Sketch) Sim(code measure.BitVector, i int) float64 {
+	return 1 - float64(measure.Hamming(code, s.codes[i]))/float64(s.h.Bits)
+}

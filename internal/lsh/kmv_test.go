@@ -1,0 +1,140 @@
+package lsh
+
+import (
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/dataset"
+	"pimmine/internal/measure"
+)
+
+// The determinism regression the routing tier depends on: every source
+// of randomness in this package is an explicit seed parameter (no
+// math/rand globals, no map iteration on the hot path), so the same
+// (rows, seed) always yields the same signatures — which is what makes
+// routed results reproducible across runs and processes.
+func TestSketchDeterministicAcrossInsertionOrder(t *testing.T) {
+	t.Parallel()
+	prof := dataset.Profile{Name: "t", FullN: 100, D: 16, Clusters: 3, Correlation: 0.3, Spread: 0.2}
+	ds := dataset.Generate(prof, 80, 5)
+
+	build := func(order []int) *Sketch {
+		sk := NewSketch(NewHasher(prof.D, 64, 7), 16, 11)
+		for _, i := range order {
+			sk.Add(ds.X.Row(i))
+		}
+		return sk
+	}
+	fwd := make([]int, ds.X.N)
+	for i := range fwd {
+		fwd[i] = i
+	}
+	shuf := append([]int(nil), fwd...)
+	rand.New(rand.NewSource(1)).Shuffle(len(shuf), func(i, j int) { shuf[i], shuf[j] = shuf[j], shuf[i] })
+
+	a, b := build(fwd), build(shuf)
+	if a.Len() != b.Len() || a.Rows() != b.Rows() {
+		t.Fatalf("sample shape differs across insertion order: %d/%d vs %d/%d", a.Len(), a.Rows(), b.Len(), b.Rows())
+	}
+	for i := range a.ranks {
+		if a.ranks[i] != b.ranks[i] {
+			t.Fatalf("rank %d differs across insertion order", i)
+		}
+		if measure.Hamming(a.codes[i], b.codes[i]) != 0 {
+			t.Fatalf("sampled code %d differs across insertion order", i)
+		}
+	}
+
+	// And across seeds the sample must differ — the seed is live.
+	c := NewSketch(NewHasher(prof.D, 64, 7), 16, 12)
+	for _, i := range fwd {
+		c.Add(ds.X.Row(i))
+	}
+	same := true
+	for i := range a.ranks {
+		if i >= c.Len() || a.ranks[i] != c.ranks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different sketch seeds produced identical samples")
+	}
+}
+
+func TestSketchBottomKAndDuplicates(t *testing.T) {
+	t.Parallel()
+	h := NewHasher(4, 32, 3)
+	sk := NewSketch(h, 4, 9)
+	rows := [][]float64{
+		{0.1, 0.2, 0.3, 0.4},
+		{0.5, 0.6, 0.7, 0.8},
+		{0.9, 0.1, 0.2, 0.3},
+		{0.4, 0.5, 0.6, 0.7},
+		{0.8, 0.9, 0.1, 0.2},
+		{0.1, 0.2, 0.3, 0.4}, // duplicate of row 0
+	}
+	for _, r := range rows {
+		sk.Add(r)
+	}
+	if sk.Rows() != 6 {
+		t.Fatalf("Rows = %d, want 6", sk.Rows())
+	}
+	if sk.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (bottom-k of 5 distinct rows)", sk.Len())
+	}
+	for i := 1; i < len(sk.ranks); i++ {
+		if sk.ranks[i] <= sk.ranks[i-1] {
+			t.Fatalf("ranks not strictly ascending at %d", i)
+		}
+	}
+	// The retained sample must be exactly the 4 smallest distinct ranks.
+	all := map[uint64]bool{}
+	for _, r := range rows {
+		all[sk.rank(r)] = true
+	}
+	kept := 0
+	for r := range all {
+		for _, have := range sk.ranks {
+			if have == r {
+				kept++
+			}
+		}
+	}
+	if kept != 4 {
+		t.Fatalf("sample is not the bottom-k of the distinct ranks (kept %d)", kept)
+	}
+}
+
+func TestSketchCloneIsIndependent(t *testing.T) {
+	t.Parallel()
+	h := NewHasher(4, 32, 3)
+	sk := NewSketch(h, 8, 9)
+	sk.Add([]float64{0.1, 0.2, 0.3, 0.4})
+	cl := sk.Clone()
+	cl.Add([]float64{0.5, 0.6, 0.7, 0.8})
+	if sk.Len() != 1 || sk.Rows() != 1 {
+		t.Fatalf("clone mutation leaked into the original: len=%d rows=%d", sk.Len(), sk.Rows())
+	}
+	if cl.Len() != 2 || cl.Rows() != 2 {
+		t.Fatalf("clone did not accept the add: len=%d rows=%d", cl.Len(), cl.Rows())
+	}
+}
+
+func TestSketchSimRange(t *testing.T) {
+	t.Parallel()
+	h := NewHasher(8, 128, 5)
+	sk := NewSketch(h, 4, 1)
+	v := []float64{0.1, 0.9, 0.2, 0.8, 0.3, 0.7, 0.4, 0.6}
+	sk.Add(v)
+	if got := sk.Sim(h.Hash(v), 0); got != 1 {
+		t.Fatalf("self-similarity = %v, want 1", got)
+	}
+	w := make([]float64, 8)
+	for i := range w {
+		w[i] = -v[i]
+	}
+	if got := sk.Sim(h.Hash(w), 0); got > 0.1 {
+		t.Fatalf("antipodal similarity = %v, want ≈ 0", got)
+	}
+}

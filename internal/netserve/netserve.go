@@ -23,6 +23,7 @@ import (
 
 	"pimmine/internal/obs"
 	"pimmine/internal/resilience"
+	"pimmine/internal/route"
 	"pimmine/internal/serve"
 )
 
@@ -235,15 +236,16 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, error
 
 // searchOne is the admission-to-answer path shared by the single and
 // batch endpoints: quota → weighted-fair queue → engine. wait is the
-// quota's Retry-After hint when err is a quota rejection.
-func (s *Server) searchOne(r *http.Request, tenant string, q []float64, k int) (resp *QueryResponse, wait time.Duration, err error) {
+// quota's Retry-After hint when err is a quota rejection. mode is the
+// already-validated wire routing mode (empty = engine default).
+func (s *Server) searchOne(r *http.Request, tenant string, q []float64, k int, mode route.Mode) (resp *QueryResponse, wait time.Duration, err error) {
 	s.nobs.noteRequest(tenant)
 	start := time.Now()
 	release, wait, err := s.ten.admit(r.Context(), tenant)
 	if err != nil {
 		return nil, wait, err
 	}
-	res, err := s.eng.Search(r.Context(), q, k)
+	res, err := s.eng.SearchMode(r.Context(), q, k, mode)
 	release()
 	if err != nil {
 		return nil, 0, err
@@ -253,6 +255,7 @@ func (s *Server) searchOne(r *http.Request, tenant string, q []float64, k int) (
 		Neighbors:   toWire(res.Neighbors),
 		Degraded:    res.Degraded,
 		BreakerOpen: res.BreakerOpen,
+		Routed:      routedWire(res.Routed),
 	}, 0, nil
 }
 
@@ -275,7 +278,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tenant := tenantOf(r, req.Tenant)
-	resp, wait, err := s.searchOne(r, tenant, req.Query, req.K)
+	resp, wait, err := s.searchOne(r, tenant, req.Query, req.K, route.Mode(req.Mode))
 	if err != nil {
 		s.nobs.noteRejected(tenant, VerdictFor(err).Code)
 		s.writeError(w, err, wait)
@@ -335,7 +338,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			sem <- struct{}{}
 			go func(i int) {
 				defer func() { <-sem }()
-				resp, wait, err := s.searchOne(r, tenant, req.Queries[i], req.K)
+				resp, wait, err := s.searchOne(r, tenant, req.Queries[i], req.K, route.Mode(req.Mode))
 				if err != nil {
 					v := VerdictFor(err)
 					s.nobs.noteRejected(tenant, v.Code)
@@ -364,14 +367,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 // handleInfo answers GET /v1/info with the engine's static shape — what
 // a client needs to build valid requests.
 func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	info := map[string]any{
 		"dims":      s.eng.Dims(),
 		"rows":      s.eng.Rows(),
 		"shards":    s.eng.NumShards(),
 		"max_k":     s.opts.MaxK,
 		"max_batch": s.opts.MaxBatch,
 		"proto":     r.Proto,
-	})
+	}
+	if rt := s.eng.Router(); rt != nil {
+		info["routing"] = map[string]any{
+			"default_mode":  string(rt.DefaultMode()),
+			"modes":         []string{string(route.ModeExact), string(route.ModeApprox)},
+			"recall_target": rt.RecallTarget(),
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // handleHealth answers GET /healthz: 200 while serving, the draining

@@ -1,0 +1,245 @@
+package netserve_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pimmine/internal/dataset"
+	"pimmine/internal/netserve"
+	"pimmine/internal/route"
+	"pimmine/internal/serve"
+	"pimmine/internal/vec"
+)
+
+// clusteredRows returns a dataset with rows grouped by mixture
+// component so the sharded engine's routing tier has shards to skip.
+func clusteredRows(t *testing.T, n, d, clusters int, seed int64) *vec.Matrix {
+	t.Helper()
+	prof := dataset.Profile{Name: "net-route", FullN: n, D: d, Clusters: clusters, Correlation: 0.4, Spread: 0.08}
+	ds := dataset.Generate(prof, n, seed)
+	m := vec.NewMatrix(n, d)
+	i := 0
+	for c := 0; c < clusters; c++ {
+		for r := 0; r < n; r++ {
+			if ds.Labels[r] == c {
+				copy(m.Row(i), ds.X.Row(r))
+				i++
+			}
+		}
+	}
+	return m
+}
+
+// routedServer builds a routed engine behind an HTTP test server plus an
+// unrouted twin over the same data for ground truth.
+func routedServer(t *testing.T, cfg route.Config) (*httptest.Server, *serve.Engine, *vec.Matrix) {
+	t.Helper()
+	data := clusteredRows(t, 300, 16, 4, 31)
+	r, err := route.NewEven(cfg, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := serve.New(data, serve.Options{Shards: 4, Router: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := serve.New(data, serve.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := netserve.New(netserve.Options{Engine: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, plain, data
+}
+
+// TestWireRoutedExactBitIdentical proves the wire's mode=exact answers
+// are bit-identical to an unrouted engine over the same data, and that
+// the response's routed annotation reports real shard skipping.
+func TestWireRoutedExactBitIdentical(t *testing.T) {
+	t.Parallel()
+	ts, plain, data := routedServer(t, route.Config{Seed: 5})
+
+	const k = 8
+	skipped := 0
+	for i := 0; i < 10; i++ {
+		q := data.Row((i * 37) % data.N)
+		want, err := plain.Search(context.Background(), q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", netserve.QueryRequest{
+			Tenant: "rt", Query: q, K: k, Mode: "exact",
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var qr netserve.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		if got := renderWire(qr.Neighbors); got != renderDirect(want.Neighbors) {
+			t.Fatalf("query %d: wire exact-routed differs from unrouted direct\nwire     %s\nunrouted %s",
+				i, got, renderDirect(want.Neighbors))
+		}
+		if qr.Routed == nil || qr.Routed.Mode != "exact" {
+			t.Fatalf("query %d: routed annotation missing or wrong: %+v", i, qr.Routed)
+		}
+		if qr.Routed.EstRecall != 1 {
+			t.Fatalf("query %d: exact mode est_recall %v", i, qr.Routed.EstRecall)
+		}
+		skipped += qr.Routed.Skipped
+	}
+	if skipped == 0 {
+		t.Fatal("wire exact routing never skipped a shard on clustered data")
+	}
+}
+
+// TestWireRoutedApproxAnnotates checks mode=approx on the wire: the
+// routed block carries the approximate mode and a recall estimate no
+// lower than the configured target, and batch lines carry it too.
+func TestWireRoutedApproxAnnotates(t *testing.T) {
+	t.Parallel()
+	const target = 0.9
+	ts, _, data := routedServer(t, route.Config{Mode: route.ModeApprox, Recall: target, Seed: 5})
+
+	const k = 8
+	q := data.Row(9)
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", netserve.QueryRequest{
+		Tenant: "rt", Query: q, K: k, Mode: "approx",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var qr netserve.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Routed == nil || qr.Routed.Mode != "approx" {
+		t.Fatalf("routed annotation missing or wrong: %+v", qr.Routed)
+	}
+	if qr.Routed.EstRecall < target {
+		t.Fatalf("est_recall %v below target %v", qr.Routed.EstRecall, target)
+	}
+
+	// The batch endpoint threads the mode through each line.
+	resp, body = postJSON(t, ts.Client(), ts.URL+"/v1/search/batch", netserve.BatchRequest{
+		Tenant: "rt", Queries: [][]float64{data.Row(3), data.Row(80)}, K: k, Mode: "approx",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestWireModeStrictness pins the wire contract's failure modes: an
+// unknown mode string is a 400 bad_request on both endpoints, and an
+// explicit mode against a router-less engine is a 400 no_router.
+func TestWireModeStrictness(t *testing.T) {
+	t.Parallel()
+	ts, _, data := routedServer(t, route.Config{Seed: 5})
+
+	for _, bad := range []string{"fuzzy", "EXACT", " approx", "approximate"} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", netserve.QueryRequest{
+			Tenant: "rt", Query: data.Row(0), K: 3, Mode: bad,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mode %q: status %d, want 400: %s", bad, resp.StatusCode, body)
+		}
+		var e netserve.ErrorBody
+		if err := json.Unmarshal(body, &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Code != "bad_request" {
+			t.Fatalf("mode %q: code %q, want bad_request", bad, e.Code)
+		}
+		resp, _ = postJSON(t, ts.Client(), ts.URL+"/v1/search/batch", netserve.BatchRequest{
+			Tenant: "rt", Queries: [][]float64{data.Row(0)}, K: 3, Mode: bad,
+		})
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("batch mode %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+
+	// A valid explicit mode against an engine without a router: the
+	// request is well-formed but asks for a capability this deployment
+	// does not have — 400 no_router, per the status contract.
+	plainEng, err := serve.New(clusteredRows(t, 60, 8, 2, 7), serve.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSrv, err := netserve.New(netserve.Options{Engine: plainEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(plainSrv)
+	defer pts.Close()
+	resp, body := postJSON(t, pts.Client(), pts.URL+"/v1/search", netserve.QueryRequest{
+		Tenant: "rt", Query: make([]float64, 8), K: 3, Mode: "exact",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("no-router exact: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e netserve.ErrorBody
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != "no_router" {
+		t.Fatalf("no-router code %q, want no_router", e.Code)
+	}
+}
+
+// TestInfoAdvertisesRouting checks GET /v1/info: a routed deployment
+// advertises its modes and recall target; a router-less one omits the
+// block entirely (clients probe it before sending an explicit mode).
+func TestInfoAdvertisesRouting(t *testing.T) {
+	t.Parallel()
+	ts, _, _ := routedServer(t, route.Config{Mode: route.ModeApprox, Recall: 0.92, Seed: 5})
+	resp, err := ts.Client().Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	routing, ok := info["routing"].(map[string]any)
+	if !ok {
+		t.Fatalf("routed /v1/info has no routing block: %v", info)
+	}
+	if routing["default_mode"] != "approx" {
+		t.Fatalf("default_mode = %v", routing["default_mode"])
+	}
+	if routing["recall_target"] != 0.92 {
+		t.Fatalf("recall_target = %v", routing["recall_target"])
+	}
+
+	plainEng, err := serve.New(clusteredRows(t, 60, 8, 2, 7), serve.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainSrv, err := netserve.New(netserve.Options{Engine: plainEng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := httptest.NewServer(plainSrv)
+	defer pts.Close()
+	resp, err = pts.Client().Get(pts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info = map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := info["routing"]; ok {
+		t.Fatal("router-less /v1/info advertises routing")
+	}
+}

@@ -55,6 +55,10 @@ func orderedMappings() []mapping {
 		{ErrBadRequest, Verdict{http.StatusBadRequest, "bad_request", false}},
 		{quant.ErrNotFinite, Verdict{http.StatusBadRequest, "bad_request", false}},
 		{quant.ErrOutOfRange, Verdict{http.StatusBadRequest, "bad_request", false}},
+		// An explicit routing mode against an engine without a router is a
+		// client error: the client asked for a capability this deployment
+		// does not have (GET /v1/info advertises it).
+		{serve.ErrNoRouter, Verdict{http.StatusBadRequest, "no_router", false}},
 		{resilience.ErrQuotaExceeded, Verdict{http.StatusTooManyRequests, "quota_exceeded", true}},
 		{resilience.ErrOverloaded, Verdict{http.StatusTooManyRequests, "overloaded", true}},
 		{resilience.ErrShedDeadline, Verdict{http.StatusTooManyRequests, "shed_deadline", true}},

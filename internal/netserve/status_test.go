@@ -31,6 +31,7 @@ func TestStatusMapping(t *testing.T) {
 		{"bad request", wrap(netserve.ErrBadRequest), http.StatusBadRequest, "bad_request", false},
 		{"NaN query", wrap(quant.ErrNotFinite), http.StatusBadRequest, "bad_request", false},
 		{"out-of-range query", wrap(quant.ErrOutOfRange), http.StatusBadRequest, "bad_request", false},
+		{"mode without router", wrap(serve.ErrNoRouter), http.StatusBadRequest, "no_router", false},
 		{"quota", wrap(resilience.ErrQuotaExceeded), http.StatusTooManyRequests, "quota_exceeded", true},
 		{"admission reject", wrap(resilience.ErrOverloaded), http.StatusTooManyRequests, "overloaded", true},
 		{"deadline shed", wrap(resilience.ErrShedDeadline), http.StatusTooManyRequests, "shed_deadline", true},
@@ -75,6 +76,7 @@ func TestMappedSentinelsComplete(t *testing.T) {
 		netserve.ErrBadRequest,
 		quant.ErrNotFinite,
 		quant.ErrOutOfRange,
+		serve.ErrNoRouter,
 		resilience.ErrQuotaExceeded,
 		resilience.ErrOverloaded,
 		resilience.ErrShedDeadline,

@@ -13,6 +13,8 @@ import (
 	"fmt"
 
 	"pimmine/internal/quant"
+	"pimmine/internal/route"
+	"pimmine/internal/serve"
 	"pimmine/internal/vec"
 )
 
@@ -33,6 +35,10 @@ type QueryRequest struct {
 	Query []float64 `json:"query"`
 	// K is the neighbor count, 1..MaxK.
 	K int `json:"k"`
+	// Mode selects the shard-routing mode: "exact", "approx", or empty
+	// for the engine's default. Anything else is a 400; an explicit mode
+	// against an engine without a router is a 400 too.
+	Mode string `json:"mode,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/search/batch.
@@ -40,6 +46,7 @@ type BatchRequest struct {
 	Tenant  string      `json:"tenant,omitempty"`
 	Queries [][]float64 `json:"queries"`
 	K       int         `json:"k"`
+	Mode    string      `json:"mode,omitempty"`
 }
 
 // NeighborWire is one kNN result on the wire. Dist round-trips through
@@ -59,6 +66,34 @@ type QueryResponse struct {
 	// degrades).
 	Degraded    []int `json:"degraded,omitempty"`
 	BreakerOpen []int `json:"breaker_open,omitempty"`
+	// Routed surfaces the routing tier's annotation on routed engines
+	// (absent when the engine has no router).
+	Routed *RoutedWire `json:"routed,omitempty"`
+}
+
+// RoutedWire is serve.RouteInfo on the wire.
+type RoutedWire struct {
+	Mode          string  `json:"mode"`
+	Visited       int     `json:"visited"`
+	Skipped       int     `json:"skipped"`
+	SkippedShards []int   `json:"skipped_shards,omitempty"`
+	EstRecall     float64 `json:"est_recall"`
+	// Audited/MeasuredRecall report the periodic recall audit of
+	// approximate queries (Config.AuditEvery).
+	Audited        bool    `json:"audited,omitempty"`
+	MeasuredRecall float64 `json:"measured_recall,omitempty"`
+}
+
+// routedWire converts the engine annotation to the wire form.
+func routedWire(ri *serve.RouteInfo) *RoutedWire {
+	if ri == nil {
+		return nil
+	}
+	return &RoutedWire{
+		Mode: string(ri.Mode), Visited: ri.Visited, Skipped: ri.Skipped,
+		SkippedShards: ri.SkippedShards, EstRecall: ri.EstRecall,
+		Audited: ri.Audited, MeasuredRecall: ri.MeasuredRecall,
+	}
 }
 
 // BatchLine is one NDJSON line of the streaming batch response: either
@@ -114,6 +149,16 @@ func checkK(k, maxK int) error {
 	return nil
 }
 
+// checkMode validates a wire routing-mode string strictly: only "",
+// "exact" and "approx" pass (route.ParseMode owns the vocabulary).
+func checkMode(mode string) (route.Mode, error) {
+	m, err := route.ParseMode(mode)
+	if err != nil {
+		return route.ModeAuto, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return m, nil
+}
+
 // DecodeQueryRequest parses and validates a single-query body. It is a
 // pure function of (data, dims, maxK) — the fuzz target.
 func DecodeQueryRequest(data []byte, dims, maxK int) (*QueryRequest, error) {
@@ -122,6 +167,9 @@ func DecodeQueryRequest(data []byte, dims, maxK int) (*QueryRequest, error) {
 		return nil, err
 	}
 	if err := checkK(req.K, maxK); err != nil {
+		return nil, err
+	}
+	if _, err := checkMode(req.Mode); err != nil {
 		return nil, err
 	}
 	if err := checkQuery(req.Query, dims); err != nil {
@@ -137,6 +185,9 @@ func DecodeBatchRequest(data []byte, dims, maxK, maxBatch int) (*BatchRequest, e
 		return nil, err
 	}
 	if err := checkK(req.K, maxK); err != nil {
+		return nil, err
+	}
+	if _, err := checkMode(req.Mode); err != nil {
 		return nil, err
 	}
 	if len(req.Queries) == 0 || len(req.Queries) > maxBatch {

@@ -206,6 +206,23 @@ func orderBounds(seq []Bound) {
 	})
 }
 
+// RoutingBound prices the shard-routing tier (internal/route) as an
+// Eq. 13 candidate: a filter whose pruning ratio is the observed
+// fraction of shards skipped (a skipped shard's objects transfer
+// nothing) and whose probe cost is probeDims operands per object — the
+// per-shard summary evaluation amortized over the shard's rows, which
+// rounds to 0 at serving shard sizes. It gets its own family: summary
+// bounds prune whole shards and compose independently with the
+// per-object cascades.
+func RoutingBound(name string, skippedFrac float64, probeDims int) Bound {
+	return Bound{
+		Name:         name,
+		Family:       "route",
+		TransferDims: probeDims,
+		PruneRatio:   clamp01(skippedFrac),
+	}
+}
+
 // PruneRatio measures Pr(B) from a bound's values against a fixed
 // threshold: the fraction of objects whose bound already excludes them
 // (§V-D measures this offline on a sample of queries; callers average

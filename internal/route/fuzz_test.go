@@ -1,0 +1,82 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/lsh"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// FuzzRouteAdmissible is the routing analogue of the pimbound theorem
+// fuzzers: for a randomized shard and query — including churn via
+// grown() — the summary's lower bound must never exceed the true
+// minimum squared distance from the query to any covered row. A
+// violation would make exact routing skip a shard that holds a top-k
+// member, silently breaking bit-identity with the unrouted engine.
+func FuzzRouteAdmissible(f *testing.F) {
+	f.Add(int64(1), uint8(16), uint8(8), 0.0, 1.0, uint8(0))
+	f.Add(int64(7), uint8(3), uint8(1), -4.5, 0.25, uint8(2))
+	f.Add(int64(42), uint8(64), uint8(24), 12.0, 3.0, uint8(5))
+	f.Add(int64(-9), uint8(1), uint8(4), 0.5, 1e-6, uint8(1))
+	f.Add(int64(1234), uint8(33), uint8(13), -0.75, 8.0, uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, rows, dims uint8, shift, scale float64, grow uint8) {
+		n := int(rows%64) + 1
+		d := int(dims%32) + 1
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			shift = 0
+		}
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || scale <= 0 || scale > 1e6 {
+			scale = 1
+		}
+		rng := rand.New(rand.NewSource(seed))
+		m := vec.NewMatrix(n, d)
+		for i := 0; i < n; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = shift + scale*(rng.Float64()*2-1)
+			}
+		}
+		sk := lsh.NewSketch(lsh.NewHasher(d, 64, seed|1), 8, seed|1)
+		ctr := grandMean([]*vec.Matrix{m}, d)
+		s := buildSummary(m, sk, ctr)
+
+		// Churn path: grow the summary with extra rows, tracked so the
+		// admissibility check covers the expanded content too.
+		extra := make([][]float64, 0, int(grow%8))
+		for g := 0; g < int(grow%8); g++ {
+			v := make([]float64, d)
+			for j := range v {
+				v[j] = shift + scale*(rng.Float64()*4-2)
+			}
+			extra = append(extra, v)
+			s = s.grown(v, ctr)
+		}
+
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = shift + scale*(rng.Float64()*6-3)
+		}
+		lb := s.LowerBound(q, math.Sqrt(vec.SqNorm(q)))
+		if lb < 0 || math.IsNaN(lb) {
+			t.Fatalf("lower bound %v", lb)
+		}
+		truth := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if dd := measure.SqEuclidean(m.Row(i), q); dd < truth {
+				truth = dd
+			}
+		}
+		for _, v := range extra {
+			if dd := measure.SqEuclidean(v, q); dd < truth {
+				truth = dd
+			}
+		}
+		if lb > truth {
+			t.Fatalf("summary LB %v exceeds true shard minimum %v (n=%d d=%d grow=%d)",
+				lb, truth, n, d, len(extra))
+		}
+	})
+}

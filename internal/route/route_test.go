@@ -1,0 +1,277 @@
+package route
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pimmine/internal/dataset"
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// clustered returns a dataset with rows grouped by mixture component, so
+// contiguous shards are content-local — the regime where routing skips
+// shards. (dataset.Generate interleaves clusters row by row; a router
+// over interleaved shards sees near-identical summaries everywhere.)
+func clustered(n, d, clusters int, seed int64) *vec.Matrix {
+	prof := dataset.Profile{Name: "route", FullN: n, D: d, Clusters: clusters, Correlation: 0.4, Spread: 0.08}
+	ds := dataset.Generate(prof, n, seed)
+	m := vec.NewMatrix(n, d)
+	i := 0
+	for c := 0; c < clusters; c++ {
+		for r := 0; r < n; r++ {
+			if ds.Labels[r] == c {
+				copy(m.Row(i), ds.X.Row(r))
+				i++
+			}
+		}
+	}
+	return m
+}
+
+func TestParseMode(t *testing.T) {
+	t.Parallel()
+	for _, ok := range []string{"", "exact", "approx"} {
+		if _, err := ParseMode(ok); err != nil {
+			t.Fatalf("ParseMode(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"EXACT", "fuzzy", "approximate", " exact"} {
+		if _, err := ParseMode(bad); err == nil {
+			t.Fatalf("ParseMode(%q) accepted", bad)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	t.Parallel()
+	data := clustered(64, 8, 4, 1)
+	for _, cfg := range []Config{
+		{Recall: 1.5},
+		{Recall: -0.1},
+		{SizePrior: 2},
+		{Mode: "fuzzy"},
+		{AuditEvery: -1},
+	} {
+		if _, err := NewEven(cfg, data, 4); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+	r, err := NewEven(Config{}, data, 4)
+	if err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	if r.DefaultMode() != ModeExact || r.RecallTarget() != 0.95 || r.NumShards() != 4 {
+		t.Fatalf("defaults not applied: mode=%q recall=%v shards=%d", r.DefaultMode(), r.RecallTarget(), r.NumShards())
+	}
+}
+
+// Admissibility on a real dataset: no shard's lower bound may exceed the
+// true minimum squared distance from the query to that shard's rows.
+func TestLowerBoundsAdmissible(t *testing.T) {
+	t.Parallel()
+	data := clustered(240, 12, 6, 7)
+	const shards = 6
+	r, err := NewEven(Config{}, data, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := dataset.Profile{Name: "route", FullN: 240, D: 12, Clusters: 6, Correlation: 0.4, Spread: 0.08}
+	qs := dataset.Generate(prof, 240, 7).Queries(20, 3)
+	base, rem := data.N/shards, data.N%shards
+	for qi := 0; qi < qs.N; qi++ {
+		q := qs.Row(qi)
+		lbs := r.LowerBounds(q, nil)
+		lo := 0
+		for id := 0; id < shards; id++ {
+			rows := base
+			if id < rem {
+				rows++
+			}
+			truth := math.Inf(1)
+			for i := lo; i < lo+rows; i++ {
+				if d := measure.SqEuclidean(data.Row(i), q); d < truth {
+					truth = d
+				}
+			}
+			if lbs[id] > truth {
+				t.Fatalf("query %d shard %d: LB %v exceeds true min %v", qi, id, lbs[id], truth)
+			}
+			lo += rows
+		}
+	}
+}
+
+// On cluster-aligned shards the bounds must actually separate shards —
+// otherwise exact routing never skips anything and the tier is inert.
+func TestExactOrderSeparatesClusteredShards(t *testing.T) {
+	t.Parallel()
+	data := clustered(300, 16, 6, 11)
+	r, err := NewEven(Config{}, data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	separated := 0
+	for qi := 0; qi < 12; qi++ {
+		q := data.Row(qi * 25) // in-shard queries
+		order, lbs := r.ExactOrder(q)
+		if len(order) != 6 {
+			t.Fatalf("order has %d shards", len(order))
+		}
+		for i := 1; i < len(order); i++ {
+			if lbs[order[i-1]] > lbs[order[i]] {
+				t.Fatalf("ExactOrder not ascending: %v / %v", order, lbs)
+			}
+		}
+		if lbs[order[0]] < lbs[order[len(order)-1]] {
+			separated++
+		}
+	}
+	if separated == 0 {
+		t.Fatal("no query separated any pair of cluster-aligned shards")
+	}
+}
+
+func TestApproxPlanCoversTargetAndOrders(t *testing.T) {
+	t.Parallel()
+	data := clustered(300, 16, 6, 13)
+	r, err := NewEven(Config{Recall: 0.9}, data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := data.Row(10)
+	visit, est := r.ApproxPlan(q, 0)
+	if len(visit) == 0 || len(visit) > 6 {
+		t.Fatalf("visit set %v", visit)
+	}
+	if est < 0.9-1e-12 && len(visit) < 6 {
+		t.Fatalf("stopped at estimated recall %v below target with shards left", est)
+	}
+	for i := 1; i < len(visit); i++ {
+		if visit[i] <= visit[i-1] {
+			t.Fatalf("visit set not sorted: %v", visit)
+		}
+	}
+	// recall 1.0 must visit everything.
+	all, est1 := r.ApproxPlan(q, 1)
+	if len(all) != 6 || est1 > 1 {
+		t.Fatalf("target 1.0 visited %d shards (est %v)", len(all), est1)
+	}
+}
+
+// Observe must keep bounds admissible for the grown content and Refresh
+// must re-tighten them.
+func TestObserveGrowsAndRefreshTightens(t *testing.T) {
+	t.Parallel()
+	data := clustered(120, 8, 4, 5)
+	r, err := NewEven(Config{}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A far outlier joins shard 0: its bound for a query at the outlier
+	// must drop to (near) zero after Observe.
+	out := make([]float64, 8)
+	for j := range out {
+		out[j] = 9.5
+	}
+	before := r.LowerBounds(out, nil)[0]
+	if before == 0 {
+		t.Fatal("outlier query not separated before Observe")
+	}
+	r.Observe(0, out)
+	if after := r.LowerBounds(out, nil)[0]; after != 0 {
+		t.Fatalf("LB for observed row = %v, want 0", after)
+	}
+	// Refresh from the original rows restores the tight bound.
+	base, rem := data.N/4, data.N%4
+	_ = rem
+	r.Refresh(0, data.Slice(0, base))
+	if again := r.LowerBounds(out, nil)[0]; again != before {
+		t.Fatalf("refreshed LB %v, want original %v", again, before)
+	}
+}
+
+func TestStatsAndPlanBound(t *testing.T) {
+	t.Parallel()
+	data := clustered(64, 8, 4, 1)
+	r, err := NewEven(Config{}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Selectivity() != 0 {
+		t.Fatal("selectivity nonzero before any query")
+	}
+	r.NoteOutcome(1, 3)
+	r.NoteOutcome(2, 2)
+	v, s := r.Stats()
+	if v != 3 || s != 5 {
+		t.Fatalf("stats = (%d, %d), want (3, 5)", v, s)
+	}
+	b := r.PlanBound()
+	if b.Family != "route" || math.Abs(b.PruneRatio-5.0/8.0) > 1e-15 {
+		t.Fatalf("plan bound %+v", b)
+	}
+}
+
+func TestAuditCadence(t *testing.T) {
+	t.Parallel()
+	data := clustered(64, 8, 4, 1)
+	r, err := NewEven(Config{AuditEvery: 3}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for i := 0; i < 9; i++ {
+		if r.Audit() {
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("AuditEvery=3 audited %d of 9", hits)
+	}
+	r2, _ := NewEven(Config{}, data, 4)
+	for i := 0; i < 5; i++ {
+		if r2.Audit() {
+			t.Fatal("AuditEvery=0 audited")
+		}
+	}
+}
+
+// Concurrent Observe/Refresh against LowerBounds must stay race-free and
+// conservative (run with -race; the churn invariant itself is asserted
+// by the serve-layer churn suite).
+func TestRouterConcurrentChurn(t *testing.T) {
+	t.Parallel()
+	data := clustered(160, 8, 4, 9)
+	r, err := NewEven(Config{}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 400; i++ {
+			v := make([]float64, 8)
+			for j := range v {
+				v[j] = rng.Float64()
+			}
+			sh := i % 4
+			r.Observe(sh, v)
+			if i%50 == 49 {
+				r.Refresh(sh, data.Slice(0, 40))
+			}
+		}
+	}()
+	q := data.Row(0)
+	for i := 0; i < 400; i++ {
+		lbs := r.LowerBounds(q, nil)
+		for sh, lb := range lbs {
+			if lb < 0 || math.IsNaN(lb) {
+				t.Fatalf("shard %d produced bound %v under churn", sh, lb)
+			}
+		}
+	}
+	<-done
+}

@@ -1,0 +1,165 @@
+package route
+
+import (
+	"math"
+
+	"pimmine/internal/lsh"
+	"pimmine/internal/vec"
+)
+
+// lbSlack discounts every summary lower bound by one part in 10^9 before
+// it is compared against true distances. The bound derivations below are
+// exact over the reals; this absorbs the float64 rounding of the
+// summary-side arithmetic so admissibility (LowerBound ≤ true minimum
+// distance) holds for the computed values too, at a negligible cost in
+// pruning tightness.
+const lbSlack = 1 - 1e-9
+
+// Summary is one shard's routing summary: an axis-aligned bounding box
+// and norm range over every row the shard may hold (admissible exact
+// routing), plus a KMV/SimHash sketch of its contents (approximate
+// routing). A Summary is immutable once published — the Router swaps
+// whole summaries copy-on-write.
+type Summary struct {
+	rows int
+
+	// Per-dimension bounding box: lo[j] ≤ v[j] ≤ hi[j] for every row v.
+	lo, hi []float64
+
+	// Euclidean-norm range: minNorm ≤ ‖v‖ ≤ maxNorm for every row v.
+	minNorm, maxNorm float64
+
+	sketch *lsh.Sketch
+}
+
+// buildSummary computes a tight summary of m's rows, feeding each row to
+// the (freshly created) sketch. Sketch inputs are shifted by center when
+// it is non-nil (see Router.center); the geometric bounds always use the
+// raw rows.
+func buildSummary(m *vec.Matrix, sk *lsh.Sketch, center []float64) *Summary {
+	s := &Summary{
+		rows:    m.N,
+		lo:      make([]float64, m.D),
+		hi:      make([]float64, m.D),
+		minNorm: math.Inf(1),
+		maxNorm: 0,
+		sketch:  sk,
+	}
+	for j := 0; j < m.D; j++ {
+		s.lo[j] = math.Inf(1)
+		s.hi[j] = math.Inf(-1)
+	}
+	var buf []float64
+	if center != nil {
+		buf = make([]float64, m.D)
+	}
+	for i := 0; i < m.N; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			if x < s.lo[j] {
+				s.lo[j] = x
+			}
+			if x > s.hi[j] {
+				s.hi[j] = x
+			}
+		}
+		nrm := math.Sqrt(vec.SqNorm(row))
+		if nrm < s.minNorm {
+			s.minNorm = nrm
+		}
+		if nrm > s.maxNorm {
+			s.maxNorm = nrm
+		}
+		sk.Add(shifted(row, center, buf))
+	}
+	return s
+}
+
+// shifted returns v − center written into buf; a nil center returns v
+// unchanged (and never touches buf).
+func shifted(v, center, buf []float64) []float64 {
+	if center == nil {
+		return v
+	}
+	for j := range v {
+		buf[j] = v[j] - center[j]
+	}
+	return buf
+}
+
+// grown returns a copy of the summary expanded to also cover v — the
+// copy-on-write insert path. The box and norm range only widen (the
+// summary stays a superset of the shard's rows, so exact routing stays
+// admissible) and the sketch observes the new content, shifted by
+// center when non-nil.
+func (s *Summary) grown(v, center []float64) *Summary {
+	out := &Summary{
+		rows:    s.rows + 1,
+		lo:      append([]float64(nil), s.lo...),
+		hi:      append([]float64(nil), s.hi...),
+		minNorm: s.minNorm,
+		maxNorm: s.maxNorm,
+		sketch:  s.sketch.Clone(),
+	}
+	for j, x := range v {
+		if x < out.lo[j] {
+			out.lo[j] = x
+		}
+		if x > out.hi[j] {
+			out.hi[j] = x
+		}
+	}
+	nrm := math.Sqrt(vec.SqNorm(v))
+	if nrm < out.minNorm {
+		out.minNorm = nrm
+	}
+	if nrm > out.maxNorm {
+		out.maxNorm = nrm
+	}
+	var buf []float64
+	if center != nil {
+		buf = make([]float64, len(v))
+	}
+	out.sketch.Add(shifted(v, center, buf))
+	return out
+}
+
+// Rows returns how many rows the summary covers.
+func (s *Summary) Rows() int { return s.rows }
+
+// LowerBound returns an admissible lower bound on the *squared*
+// Euclidean distance from q to any row the summary covers (the engine's
+// Dist convention). qNorm is ‖q‖, hoisted by the caller across shards.
+//
+// Two independent bounds, both standard and both provable, are combined
+// by max:
+//
+//   - Bounding box: the nearest point of the box [lo, hi] to q is at
+//     per-dimension gap g_j = max(0, lo_j − q_j, q_j − hi_j), and every
+//     row lies inside the box, so dist²(q, row) ≥ Σ g_j².
+//   - Norm range: by the reverse triangle inequality, ‖q − v‖ ≥
+//     |‖q‖ − ‖v‖| ≥ max(0, ‖q‖ − maxNorm, minNorm − ‖q‖) for every row
+//     v with ‖v‖ ∈ [minNorm, maxNorm]; squared, it bounds dist².
+//
+// The result is scaled by lbSlack to absorb summary-side float rounding.
+func (s *Summary) LowerBound(q []float64, qNorm float64) float64 {
+	var bbox float64
+	for j, x := range q {
+		if g := s.lo[j] - x; g > 0 {
+			bbox += g * g
+		} else if g := x - s.hi[j]; g > 0 {
+			bbox += g * g
+		}
+	}
+	var normGap float64
+	if g := qNorm - s.maxNorm; g > 0 {
+		normGap = g
+	} else if g := s.minNorm - qNorm; g > 0 {
+		normGap = g
+	}
+	lb := bbox
+	if n2 := normGap * normGap; n2 > lb {
+		lb = n2
+	}
+	return lb * lbSlack
+}

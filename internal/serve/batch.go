@@ -6,6 +6,7 @@ import (
 
 	"pimmine/internal/arch"
 	"pimmine/internal/pool"
+	"pimmine/internal/route"
 	"pimmine/internal/vec"
 )
 
@@ -36,6 +37,12 @@ func (b *BatchResult) Neighbors() [][]vec.Neighbor {
 // deadline) aborts the batch with the context's error. Results are
 // deterministic and identical to issuing the queries sequentially.
 func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*BatchResult, error) {
+	return e.SearchBatchMode(ctx, queries, k, route.ModeAuto)
+}
+
+// SearchBatchMode is SearchBatch with an explicit routing mode (see
+// SearchMode).
+func (e *Engine) SearchBatchMode(ctx context.Context, queries *vec.Matrix, k int, mode route.Mode) (*BatchResult, error) {
 	if queries == nil || queries.N == 0 {
 		return &BatchResult{Meter: arch.NewMeter()}, nil
 	}
@@ -60,7 +67,7 @@ func (e *Engine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*
 	}
 	err := pool.RunHooked(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
 		return func(qi int) error {
-			r, err := e.Search(ctx, queries.Row(qi), k)
+			r, err := e.SearchMode(ctx, queries.Row(qi), k, mode)
 			if err != nil {
 				return fmt.Errorf("serve: query %d: %w", qi, err)
 			}

@@ -23,6 +23,7 @@ import (
 	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/pool"
+	"pimmine/internal/route"
 	"pimmine/internal/vec"
 )
 
@@ -87,10 +88,17 @@ func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
 		return nil, fmt.Errorf("serve: empty dataset")
 	}
 	if opts.Shards <= 0 {
-		opts.Shards = runtime.GOMAXPROCS(0)
+		if opts.Router != nil {
+			opts.Shards = opts.Router.NumShards()
+		} else {
+			opts.Shards = runtime.GOMAXPROCS(0)
+		}
 	}
 	if opts.Shards > data.N {
 		opts.Shards = data.N
+	}
+	if err := checkRouter(opts.Router, opts.Shards, data.D); err != nil {
+		return nil, err
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -160,6 +168,16 @@ func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
 		if reg != nil {
 			dopts.Metrics = delta.NewMetrics(reg, obs.Label{Key: "shard", Value: fmt.Sprint(id)})
 		}
+		if r := opts.Router; r != nil {
+			// Summary maintenance rides the store's mutation lock: every
+			// insert/update conservatively grows the shard's summary
+			// before the row becomes visible, and every compaction
+			// rebuilds it tight from the fresh live base image — so the
+			// published summary always covers the published snapshot and
+			// exact routing stays admissible through churn.
+			dopts.OnMutate = func(v []float64) { r.Observe(shardID, v) }
+			dopts.OnCompact = func(base *vec.Matrix) { r.Refresh(shardID, base) }
+		}
 		if opts.WriteBudget > 0 {
 			if opts.Framework != nil {
 				model := pim.ModelFor(opts.Framework.Cfg)
@@ -189,6 +207,9 @@ func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
 
 // NumShards returns the partition count in effect.
 func (e *MutableEngine) NumShards() int { return len(e.stores) }
+
+// Router returns the attached shard router (nil when unrouted).
+func (e *MutableEngine) Router() *route.Router { return e.opts.Router }
 
 // DegradedShards returns the ids of shards whose current epoch serves
 // the host fallback.
@@ -292,6 +313,13 @@ func (e *MutableEngine) acquireMut() (func(), error) {
 // resilience.ErrOverloaded / resilience.ErrShedDeadline rejections); an
 // Options.QueryTimeout surfaces as ErrQueryTimeout.
 func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
+	return e.SearchMode(ctx, q, k, route.ModeAuto)
+}
+
+// SearchMode is Search with an explicit routing mode (see
+// Engine.SearchMode; the mutable engine routes over summaries kept
+// fresh through churn by the delta layer's OnMutate/OnCompact hooks).
+func (e *MutableEngine) SearchMode(ctx context.Context, q []float64, k int, mode route.Mode) (*Result, error) {
 	release, err := e.acquireMut()
 	if err != nil {
 		return nil, err
@@ -320,37 +348,23 @@ func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result
 		return nil, serr
 	}
 	start := time.Now()
-	type out struct {
-		id    int
-		nn    []vec.Neighbor
-		meter *arch.Meter
-		err   error
-	}
-	ch := make(chan out, len(e.stores))
-	for i, st := range e.stores {
-		go func(i int, st *delta.Store) {
-			m := arch.NewMeter()
-			nn, err := st.Search(q, k, m)
-			ch <- out{id: i, nn: nn, meter: m, err: err}
-		}(i, st)
+	outs, info, err := routeDispatch(e.opts.Router, len(e.stores), q, k, mode,
+		func(ids []int) ([]shardOut, error) { return e.fanOutStores(ctx, q, k, ids) },
+		func(ri *RouteInfo, _ time.Duration) { e.opts.Router.NoteOutcome(ri.Visited, ri.Skipped) })
+	if err != nil {
+		return nil, err
 	}
 	meters := make([]*arch.Meter, len(e.stores))
-	lists := make([][]vec.Neighbor, 0, len(e.stores))
-	for range e.stores {
-		select {
-		case o := <-ch:
-			if o.err != nil {
-				return nil, fmt.Errorf("serve: shard %d: %w", o.id, o.err)
-			}
-			meters[o.id] = o.meter
-			lists = append(lists, o.nn)
-		case <-ctx.Done():
-			return nil, context.Cause(ctx)
-		}
+	lists := make([][]vec.Neighbor, 0, len(outs))
+	for _, o := range outs {
+		meters[o.id] = o.meter
+		lists = append(lists, o.nn)
 	}
 	meter := arch.NewMeter()
 	for _, m := range meters {
-		meter.Merge(m)
+		if m != nil {
+			meter.Merge(m)
+		}
 	}
 	if e.res != nil {
 		e.res.shed.Observe(time.Since(start))
@@ -360,12 +374,54 @@ func (e *MutableEngine) Search(ctx context.Context, q []float64, k int) (*Result
 		Meter:       meter,
 		ShardMeters: meters,
 		Degraded:    e.DegradedShards(),
+		Routed:      info,
 	}, nil
+}
+
+// fanOutStores dispatches one query to the given store ids in parallel
+// and collects every answer (ids nil = all stores).
+func (e *MutableEngine) fanOutStores(ctx context.Context, q []float64, k int, ids []int) ([]shardOut, error) {
+	if ids == nil {
+		ids = make([]int, len(e.stores))
+		for i := range ids {
+			ids[i] = i
+		}
+	}
+	type out struct {
+		shardOut
+		err error
+	}
+	ch := make(chan out, len(ids))
+	for _, i := range ids {
+		go func(i int, st *delta.Store) {
+			m := arch.NewMeter()
+			nn, err := st.Search(q, k, m)
+			ch <- out{shardOut: shardOut{id: i, nn: nn, meter: m}, err: err}
+		}(i, e.stores[i])
+	}
+	outs := make([]shardOut, 0, len(ids))
+	for range ids {
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				return nil, fmt.Errorf("serve: shard %d: %w", o.id, o.err)
+			}
+			outs = append(outs, o.shardOut)
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+	return outs, nil
 }
 
 // SearchBatch answers a query matrix through a bounded worker pool,
 // exactly like the immutable engine's batch path.
 func (e *MutableEngine) SearchBatch(ctx context.Context, queries *vec.Matrix, k int) (*BatchResult, error) {
+	return e.SearchBatchMode(ctx, queries, k, route.ModeAuto)
+}
+
+// SearchBatchMode is SearchBatch with an explicit routing mode.
+func (e *MutableEngine) SearchBatchMode(ctx context.Context, queries *vec.Matrix, k int, mode route.Mode) (*BatchResult, error) {
 	if queries == nil || queries.N == 0 {
 		return &BatchResult{Meter: arch.NewMeter()}, nil
 	}
@@ -378,7 +434,7 @@ func (e *MutableEngine) SearchBatch(ctx context.Context, queries *vec.Matrix, k 
 	}
 	err := pool.Run(ctx, queries.N, e.opts.Workers, func(w int) (pool.Worker, error) {
 		return func(qi int) error {
-			r, err := e.Search(ctx, queries.Row(qi), k)
+			r, err := e.SearchMode(ctx, queries.Row(qi), k, mode)
 			if err != nil {
 				return fmt.Errorf("serve: query %d: %w", qi, err)
 			}

@@ -24,7 +24,20 @@ type engineObs struct {
 	shed        *obs.Counter
 	retries     *obs.Counter
 	breakerHost *obs.Counter
+
+	// Routing tier metrics (stay zero without Options.Router).
+	routeQueries        *obs.Counter
+	routeVisited        *obs.Counter
+	routeSkipped        *obs.Counter
+	routeAudits         *obs.Counter
+	routeLatency        *obs.Histogram
+	routeEstRecall      *obs.Histogram
+	routeMeasuredRecall *obs.Histogram
 }
+
+// recallBuckets resolve estimated/measured recall distributions around
+// the targets users actually set.
+var recallBuckets = []float64{0.5, 0.8, 0.9, 0.95, 0.99, 1}
 
 // The note* helpers are nil-safe so the resilience pipeline can report
 // outcomes without caring whether observability is wired in.
@@ -78,6 +91,20 @@ func newEngineObs(e *Engine, o *obs.Observer) *engineObs {
 			"Transient-fault PIM retries spent from the engine retry budget."),
 		breakerHost: reg.Counter("pim_serve_breaker_host_serves_total",
 			"Shard queries served by the exact host scan because the shard's circuit breaker was open."),
+		routeQueries: reg.Counter("pim_route_queries_total",
+			"Queries that passed through the shard-routing tier."),
+		routeVisited: reg.Counter("pim_route_shards_visited_total",
+			"Shards dispatched by routed queries."),
+		routeSkipped: reg.Counter("pim_route_shards_skipped_total",
+			"Shards routed away (no work at all, not even a host scan)."),
+		routeAudits: reg.Counter("pim_route_audits_total",
+			"Approximate queries audited against the full fan-out."),
+		routeLatency: reg.Histogram("pim_route_decision_seconds",
+			"Wall-clock time spent deciding the visit set.", o.LatencyBuckets()),
+		routeEstRecall: reg.Histogram("pim_route_est_recall",
+			"Router-estimated recall of approximate answers.", recallBuckets),
+		routeMeasuredRecall: reg.Histogram("pim_route_measured_recall",
+			"Audited (measured) recall of approximate answers.", recallBuckets),
 	}
 	eo.shardQueries = make([]*obs.Counter, len(e.shards))
 	for i := range e.shards {
@@ -129,6 +156,12 @@ func (e *Engine) collectMetrics(emit func(obs.Sample)) {
 		emit(obs.Sample{Name: "pim_meter_calls_total", Help: "Modeled invocations per §IV-B function.",
 			Type: obs.TypeCounter, Labels: []obs.Label{{Key: "func", Value: fn}},
 			Value: float64(m.Get(fn).Calls)})
+	}
+
+	if r := e.opts.Router; r != nil {
+		emit(obs.Sample{Name: "pim_route_selectivity",
+			Help: "Observed lifetime fraction of shards skipped by the routing tier.",
+			Type: obs.TypeGauge, Value: r.Selectivity()})
 	}
 
 	if e.res == nil {

@@ -1,0 +1,679 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pimmine/internal/arch"
+	"pimmine/internal/dataset"
+	"pimmine/internal/knn"
+	"pimmine/internal/resilience"
+	"pimmine/internal/route"
+	"pimmine/internal/vec"
+)
+
+// clusteredData returns a dataset with rows grouped by mixture
+// component, so the engine's contiguous shards are content-local — the
+// regime where routing has shards to skip. (dataset.Generate interleaves
+// clusters row by row; sharding that gives every shard the same bounding
+// box and nothing is ever pruned.)
+func clusteredData(t testing.TB, n, d, clusters int, seed int64) *vec.Matrix {
+	t.Helper()
+	prof := dataset.Profile{Name: "route-diff", FullN: n, D: d, Clusters: clusters, Correlation: 0.4, Spread: 0.08}
+	ds := dataset.Generate(prof, n, seed)
+	m := vec.NewMatrix(n, d)
+	i := 0
+	for c := 0; c < clusters; c++ {
+		for r := 0; r < n; r++ {
+			if ds.Labels[r] == c {
+				copy(m.Row(i), ds.X.Row(r))
+				i++
+			}
+		}
+	}
+	return m
+}
+
+// searchFn abstracts "one kNN query" so every mining-task driver can run
+// against either engine.
+type searchFn func(q []float64, k int) []vec.Neighbor
+
+// engineFactory builds a search function over a dataset; the routed and
+// unrouted factories differ only in whether Options.Router is set.
+type engineFactory func(data *vec.Matrix, shards int) searchFn
+
+// renderNN renders neighbors with bit-exact distances: any difference in
+// either ids or float64 bit patterns changes the string.
+func renderNN(sb *strings.Builder, nn []vec.Neighbor) {
+	for _, n := range nn {
+		sb.WriteString(strconv.Itoa(n.Index))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(n.Dist), 16))
+		sb.WriteByte(' ')
+	}
+	sb.WriteByte('\n')
+}
+
+// growK widens k until the tail of the result passes thr (or everything
+// is retrieved) — the doubling-k driver for range-shaped tasks.
+func growK(search searchFn, q []float64, thr float64, n int) []vec.Neighbor {
+	for k := 8; ; k *= 2 {
+		if k > n {
+			k = n
+		}
+		nn := search(q, k)
+		if len(nn) < k || nn[len(nn)-1].Dist > thr || k == n {
+			return nn
+		}
+	}
+}
+
+// The six mining-task drivers. Each reduces its task to engine queries
+// and renders a deterministic transcript; the differential test requires
+// the routed transcript to equal the unrouted one byte for byte.
+var miningTasks = []struct {
+	name string
+	run  func(t *testing.T, data *vec.Matrix, mk engineFactory) string
+}{
+	{"knn", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		var sb strings.Builder
+		for i := 0; i < 12; i++ {
+			q := data.Row((i * 29) % data.N)
+			renderNN(&sb, search(q, 10))
+		}
+		return sb.String()
+	}},
+	{"outlier", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		// Top-n kNN-distance outliers over a row sample: for each row,
+		// its k-distance excluding itself; report the 5 largest.
+		search := mk(data, 6)
+		const k = 5
+		type scored struct {
+			id   int
+			dist float64
+		}
+		var all []scored
+		for i := 0; i < 60; i++ {
+			nn := search(data.Row(i), k+1)
+			kd := math.Inf(1)
+			seen := 0
+			for _, n := range nn {
+				if n.Index == i {
+					continue
+				}
+				seen++
+				if seen == k {
+					kd = n.Dist
+					break
+				}
+			}
+			all = append(all, scored{i, kd})
+		}
+		for pass := 0; pass < 5; pass++ {
+			best := pass
+			for j := pass + 1; j < len(all); j++ {
+				if all[j].dist > all[best].dist ||
+					(all[j].dist == all[best].dist && all[j].id < all[best].id) {
+					best = j
+				}
+			}
+			all[pass], all[best] = all[best], all[pass]
+		}
+		var sb strings.Builder
+		for _, s := range all[:5] {
+			fmt.Fprintf(&sb, "%d:%x ", s.id, math.Float64bits(s.dist))
+		}
+		return sb.String()
+	}},
+	{"dbscan", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		// ε-neighborhoods via doubling-k range queries — the primitive
+		// DBSCAN is built from. ε² is self-calibrated from the data so the
+		// neighborhoods are non-trivial on both engines identically.
+		search := mk(data, 6)
+		eps2 := search(data.Row(0), 8)[7].Dist * 1.25
+		var sb strings.Builder
+		for i := 0; i < 15; i++ {
+			q := data.Row((i * 41) % data.N)
+			for _, n := range growK(search, q, eps2, data.N) {
+				if n.Dist <= eps2 {
+					fmt.Fprintf(&sb, "%d:%x ", n.Index, math.Float64bits(n.Dist))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}},
+	{"motif", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		// Motif-style nearest non-overlapping neighbor: rows stand in for
+		// subsequence windows, |i−j| < w is the trivial-match exclusion.
+		search := mk(data, 6)
+		const w = 5
+		var sb strings.Builder
+		for i := 0; i < 20; i++ {
+			var match *vec.Neighbor
+			for k := 8; match == nil; k *= 2 {
+				if k > data.N {
+					k = data.N
+				}
+				for _, n := range search(data.Row(i), k) {
+					if abs(n.Index-i) >= w {
+						m := n
+						match = &m
+						break
+					}
+				}
+				if k == data.N {
+					break
+				}
+			}
+			if match != nil {
+				fmt.Fprintf(&sb, "%d->%d:%x\n", i, match.Index, math.Float64bits(match.Dist))
+			}
+		}
+		return sb.String()
+	}},
+	{"join", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		// ε range join: second-half rows join against the indexed dataset.
+		search := mk(data, 6)
+		eps2 := search(data.Row(3), 6)[5].Dist * 1.1
+		var sb strings.Builder
+		for i := 0; i < 10; i++ {
+			q := data.Row(data.N/2 + i*7)
+			for _, n := range growK(search, q, eps2, data.N) {
+				if n.Dist <= eps2 {
+					fmt.Fprintf(&sb, "%d:%x ", n.Index, math.Float64bits(n.Dist))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}},
+	{"kmeans", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		// Lloyd iterations with the assignment step served by a (routed)
+		// engine built over the current centers each round.
+		const kc, iters = 8, 3
+		d := data.D
+		centers := vec.NewMatrix(kc, d)
+		for c := 0; c < kc; c++ {
+			copy(centers.Row(c), data.Row(c*37))
+		}
+		var sb strings.Builder
+		for it := 0; it < iters; it++ {
+			assign := mk(centers, 2)
+			sums := vec.NewMatrix(kc, d)
+			counts := make([]int, kc)
+			for i := 0; i < 120; i++ {
+				p := data.Row(i * 3 % data.N)
+				c := assign(p, 1)[0].Index
+				fmt.Fprintf(&sb, "%d ", c)
+				counts[c]++
+				row := sums.Row(c)
+				for j, v := range p {
+					row[j] += v
+				}
+			}
+			sb.WriteByte('\n')
+			for c := 0; c < kc; c++ {
+				if counts[c] == 0 {
+					continue
+				}
+				row, sum := centers.Row(c), sums.Row(c)
+				for j := range row {
+					row[j] = sum[j] / float64(counts[c])
+				}
+			}
+		}
+		for c := 0; c < kc; c++ {
+			for _, v := range centers.Row(c) {
+				fmt.Fprintf(&sb, "%x ", math.Float64bits(v))
+			}
+		}
+		return sb.String()
+	}},
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TestRoutedExactBitIdenticalAcrossTasks is the routing tier's central
+// differential guarantee: with an exact-mode router attached, all six
+// mining tasks — kNN, outlier detection, DBSCAN neighborhoods, motif
+// discovery, ε-join and k-means — produce transcripts whose ids and
+// float64 bit patterns are identical to the unrouted engine's, while the
+// router demonstrably skips shards (otherwise the test proves nothing).
+func TestRoutedExactBitIdenticalAcrossTasks(t *testing.T) {
+	t.Parallel()
+	data := clusteredData(t, 360, 24, 6, 17)
+	ctx := context.Background()
+
+	unrouted := func(m *vec.Matrix, shards int) searchFn {
+		e, err := New(m, Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(q []float64, k int) []vec.Neighbor {
+			res, err := e.Search(ctx, q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Neighbors
+		}
+	}
+
+	var skipped int64
+	var mu sync.Mutex
+	routed := func(m *vec.Matrix, shards int) searchFn {
+		r, err := route.NewEven(route.Config{Seed: 7}, m, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := New(m, Options{Shards: shards, Router: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return func(q []float64, k int) []vec.Neighbor {
+			res, err := e.SearchMode(ctx, q, k, route.ModeExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Routed == nil || res.Routed.Mode != route.ModeExact {
+				t.Fatalf("routed query missing exact RouteInfo: %+v", res.Routed)
+			}
+			if res.Routed.EstRecall != 1 {
+				t.Fatalf("exact mode EstRecall = %v, want 1", res.Routed.EstRecall)
+			}
+			mu.Lock()
+			skipped += int64(res.Routed.Skipped)
+			mu.Unlock()
+			return res.Neighbors
+		}
+	}
+
+	for _, task := range miningTasks {
+		t.Run(task.name, func(t *testing.T) {
+			want := task.run(t, data, unrouted)
+			got := task.run(t, data, routed)
+			if got != want {
+				t.Fatalf("routed %s transcript diverged from unrouted\nrouted:   %.200s\nunrouted: %.200s",
+					task.name, got, want)
+			}
+		})
+	}
+	if skipped == 0 {
+		t.Fatal("router never skipped a shard on clustered data — the differential ran without pruning")
+	}
+	t.Logf("exact routing skipped %d shard visits across the six tasks", skipped)
+}
+
+// TestRoutedApproxMeetsRecallTarget is the recall property test: in
+// approximate mode with AuditEvery=1, every query measures its true
+// recall against a full fan-out; the mean must reach the configured
+// target (minus a small ε for estimation noise) while shards are
+// actually being skipped.
+func TestRoutedApproxMeetsRecallTarget(t *testing.T) {
+	t.Parallel()
+	const target = 0.9
+	data := clusteredData(t, 480, 24, 6, 23)
+	r, err := route.NewEven(route.Config{Mode: route.ModeApprox, Recall: target, AuditEvery: 1, Seed: 11}, data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(data, Options{Shards: 6, Router: r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	var sum float64
+	var audited, totalSkipped int
+	const nq = 40
+	for i := 0; i < nq; i++ {
+		res, err := e.SearchMode(ctx, data.Row(i*11%data.N), 10, route.ModeApprox)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri := res.Routed
+		if ri == nil || ri.Mode != route.ModeApprox {
+			t.Fatalf("query %d: missing approx RouteInfo: %+v", i, ri)
+		}
+		if ri.EstRecall < target {
+			t.Fatalf("query %d: EstRecall %v below target %v — ApproxPlan stopped early", i, ri.EstRecall, target)
+		}
+		totalSkipped += ri.Skipped
+		if ri.Skipped > 0 {
+			if !ri.Audited {
+				t.Fatalf("query %d skipped %d shards but was not audited with AuditEvery=1", i, ri.Skipped)
+			}
+			audited++
+			sum += ri.MeasuredRecall
+		}
+	}
+	if totalSkipped == 0 {
+		t.Fatal("approx routing never skipped a shard on clustered data")
+	}
+	if audited == 0 {
+		t.Fatal("no query was audited")
+	}
+	mean := sum / float64(audited)
+	const eps = 0.05
+	if mean < target-eps {
+		t.Fatalf("mean measured recall %.3f below target %v − ε %v (over %d audited queries)",
+			mean, target, eps, audited)
+	}
+	t.Logf("approx routing: %d/%d queries audited, mean measured recall %.3f (target %v), %d shard visits skipped",
+		audited, nq, mean, target, totalSkipped)
+}
+
+// TestRouterShardMismatchTyped pins the construction-time contract: a
+// router shaped for a different shard count (or dimensionality) is a
+// typed error from both engines, never a silent misroute; Shards=0
+// adopts the router's count.
+func TestRouterShardMismatchTyped(t *testing.T) {
+	t.Parallel()
+	data := clusteredData(t, 120, 16, 4, 3)
+	r4, err := route.NewEven(route.Config{}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := New(data, Options{Shards: 3, Router: r4}); !errors.Is(err, route.ErrShardMismatch) {
+		t.Fatalf("immutable engine: err = %v, want route.ErrShardMismatch", err)
+	}
+	if _, err := NewMutable(data, MutableOptions{Options: Options{Shards: 3, Router: r4}}); !errors.Is(err, route.ErrShardMismatch) {
+		t.Fatalf("mutable engine: err = %v, want route.ErrShardMismatch", err)
+	}
+
+	narrow := vec.NewMatrix(120, 8)
+	for i := 0; i < narrow.N; i++ {
+		copy(narrow.Row(i), data.Row(i)[:8])
+	}
+	if _, err := New(narrow, Options{Shards: 4, Router: r4}); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+
+	e, err := New(data, Options{Router: r4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.NumShards(); got != 4 {
+		t.Fatalf("Shards=0 with a 4-shard router built %d shards", got)
+	}
+
+	// An explicit mode without a router is the symmetric typed error.
+	plain, err := New(data, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.SearchMode(context.Background(), data.Row(0), 3, route.ModeExact); !errors.Is(err, ErrNoRouter) {
+		t.Fatalf("explicit mode without router: err = %v, want ErrNoRouter", err)
+	}
+	if _, err := plain.SearchMode(context.Background(), data.Row(0), 3, route.ModeApprox); !errors.Is(err, ErrNoRouter) {
+		t.Fatalf("explicit approx without router: err = %v, want ErrNoRouter", err)
+	}
+}
+
+// TestRoutedSkipNeverHostScans pins the skip/breaker interaction: a
+// routed-away shard does no work at all for that query — its searcher is
+// not called, its meter slot stays nil, and even when its breaker is
+// open it is not host-scanned (host scans would show in BreakerOpen).
+func TestRoutedSkipNeverHostScans(t *testing.T) {
+	t.Parallel()
+	data := clusteredData(t, 240, 16, 4, 9)
+	searchers := make([]*flakySearcher, 4)
+	r, err := route.NewEven(route.Config{Seed: 3}, data, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(data, Options{
+		Shards: 4,
+		Router: r,
+		Factory: func(m *vec.Matrix, shardID int) (knn.Searcher, error) {
+			fs := &flakySearcher{inner: knn.NewStandard(m)}
+			searchers[shardID] = fs
+			return fs, nil
+		},
+		Resilience: &resilience.Config{
+			Breaker: resilience.BreakerConfig{FailureThreshold: 2, CoolDown: time.Minute, HalfOpenProbes: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A query inside shard 0's cluster; it must skip at least one shard.
+	q := data.Row(5)
+	res, err := e.SearchMode(ctx, q, 5, route.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Routed == nil || res.Routed.Skipped == 0 {
+		t.Fatalf("clustered query skipped nothing: %+v", res.Routed)
+	}
+	victim := res.Routed.SkippedShards[0]
+
+	// Trip the victim shard's breaker with fault-storming queries aimed
+	// at its own cluster (so routing visits it).
+	searchers[victim].faulty.Store(true)
+	vq := data.Row(victim*60 + 5)
+	for i := 0; i < 3; i++ {
+		if _, err := e.SearchMode(ctx, vq, 5, route.ModeExact); err != nil {
+			t.Fatalf("breaker-tripping query %d: %v", i, err)
+		}
+	}
+	if got := e.BreakerStates()[victim]; got != resilience.StateOpen {
+		t.Fatalf("victim breaker state = %v, want open", got)
+	}
+	searchers[victim].faulty.Store(false)
+
+	// The skipped query again, now with the victim's breaker open. The
+	// victim must be skipped — not host-scanned.
+	before := searchers[victim].calls.Load()
+	res, err = e.SearchMode(ctx, q, 5, route.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, id := range res.Routed.SkippedShards {
+		if id == victim {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("victim %d no longer skipped: %+v", victim, res.Routed)
+	}
+	if got := searchers[victim].calls.Load(); got != before {
+		t.Fatalf("skipped shard's searcher ran (%d calls, was %d)", got, before)
+	}
+	for _, id := range res.BreakerOpen {
+		if id == victim {
+			t.Fatal("skipped shard reported a breaker-open host scan")
+		}
+	}
+	if res.ShardMeters[victim] != nil {
+		t.Fatal("skipped shard charged a meter")
+	}
+
+	// Contrast: a query that visits the victim is served by the open
+	// breaker's exact host scan, and reports it.
+	before = searchers[victim].calls.Load()
+	res, err = e.SearchMode(ctx, vq, 5, route.ModeExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	openSeen := false
+	for _, id := range res.BreakerOpen {
+		if id == victim {
+			openSeen = true
+		}
+	}
+	if !openSeen {
+		t.Fatalf("visited open-breaker shard not reported in BreakerOpen %v (routed %+v)", res.BreakerOpen, res.Routed)
+	}
+	if got := searchers[victim].calls.Load(); got != before {
+		t.Fatal("open breaker still ran the PIM searcher")
+	}
+}
+
+// TestRoutedMutableChurnStaysExact drives a routed mutable engine and an
+// unrouted twin through the same insert/update/delete sequence with a
+// mid-stream compaction, comparing exact-mode results bit-for-bit at
+// every quiescent point; a final concurrent phase (mutators racing
+// routed queries) runs under the race detector and re-checks equality
+// after quiescing.
+func TestRoutedMutableChurnStaysExact(t *testing.T) {
+	t.Parallel()
+	data := clusteredData(t, 300, 16, 5, 29)
+	r, err := route.NewEven(route.Config{Seed: 13}, data, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkOpts := func(router *route.Router) MutableOptions {
+		return MutableOptions{Options: Options{Shards: 5, Router: router}, MaxDelta: 64}
+	}
+	routed, err := NewMutable(data, mkOpts(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := NewMutable(data, mkOpts(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	compare := func(label string) {
+		t.Helper()
+		for i := 0; i < 8; i++ {
+			q := data.Row(i * 31 % data.N)
+			got, err := routed.SearchMode(ctx, q, 10, route.ModeExact)
+			if err != nil {
+				t.Fatalf("%s routed query %d: %v", label, i, err)
+			}
+			want, err := plain.Search(ctx, q, 10)
+			if err != nil {
+				t.Fatalf("%s plain query %d: %v", label, i, err)
+			}
+			assertExact(t, fmt.Sprintf("%s query %d", label, i), got.Neighbors, want.Neighbors)
+		}
+	}
+
+	// Deterministic churn applied to both engines in lockstep: inserts
+	// pushed toward the [0,1] corner outside the routers' built
+	// summaries, updates that drag rows across cluster geometry, deletes
+	// that tombstone rows the summaries still cover.
+	mutate := func(e *MutableEngine) {
+		for i := 0; i < 90; i++ {
+			v := make([]float64, data.D)
+			for j := range v {
+				v[j] = 0.85 + float64((i*7+j)%13)/100.0
+			}
+			if _, err := e.Insert(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 40; i++ {
+			id := (i * 17) % data.N
+			v := append([]float64(nil), data.Row((id+150)%data.N)...)
+			if err := e.Update(id, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 30; i++ {
+			if err := e.Delete((i*23 + 1) % data.N); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	compare("pre-churn")
+	mutate(routed)
+	mutate(plain)
+	compare("post-churn")
+
+	if err := routed.Compact(arch.NewMeter()); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Compact(arch.NewMeter()); err != nil {
+		t.Fatal(err)
+	}
+	compare("post-compaction")
+
+	// Concurrent phase: inserts and compactions race routed queries.
+	// Results are checked only for errors here (cross-engine equality is
+	// undefined mid-mutation); the race detector checks the rest.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			v := make([]float64, data.D)
+			for j := range v {
+				v[j] = 0.01 + float64((i+j)%7)/100.0
+			}
+			id, err := routed.Insert(v)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if id%50 == 0 {
+				if err := routed.Compact(arch.NewMeter()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			i++
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				q := data.Row((w*67 + i*13) % data.N)
+				if _, err := routed.SearchMode(ctx, q, 5, route.ModeExact); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesce and re-verify: replay the concurrent inserts on the plain
+	// twin so the live sets agree again, then compare bit-for-bit.
+	live, _ := routed.Materialize()
+	plainLive, _ := plain.Materialize()
+	for i := plainLive.N; i < live.N; i++ {
+		if _, err := plain.Insert(live.Row(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	compare("post-concurrency")
+
+	visited, skipped := r.Stats()
+	if skipped == 0 {
+		t.Fatal("mutable routing never skipped a shard through the churn")
+	}
+	t.Logf("mutable churn: %d shard visits, %d skipped", visited, skipped)
+}

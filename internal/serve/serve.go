@@ -38,6 +38,7 @@ import (
 	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/resilience"
+	"pimmine/internal/route"
 	"pimmine/internal/vec"
 )
 
@@ -99,6 +100,17 @@ type Options struct {
 	// bound-eval → pim-dot → refine span tree. Nil keeps the hot path
 	// observation-free.
 	Obs *obs.Observer
+	// Router, when non-nil, engages the shard-routing tier
+	// (internal/route): every query consults the per-shard summaries and
+	// is dispatched only to shards that can contribute to its top-k.
+	// The router's shard count must agree with the engine's — New rejects
+	// a disagreement with route.ErrShardMismatch at construction time;
+	// when Shards is zero the engine adopts the router's count. Exact
+	// mode keeps results bit-identical to the unrouted engine;
+	// approximate mode trades exactness for latency and annotates every
+	// Result with Result.Routed. A routed-away shard is never touched at
+	// all for that query — not even its breaker's host-scan fallback runs.
+	Router *route.Router
 	// Resilience, when non-nil, engages the overload-protection layer
 	// (internal/resilience): admission control with a bounded wait queue
 	// in front of Search/SearchBatch, deadline-aware shedding against
@@ -185,10 +197,17 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("serve: empty dataset")
 	}
 	if opts.Shards <= 0 {
-		opts.Shards = runtime.GOMAXPROCS(0)
+		if opts.Router != nil {
+			opts.Shards = opts.Router.NumShards()
+		} else {
+			opts.Shards = runtime.GOMAXPROCS(0)
+		}
 	}
 	if opts.Shards > data.N {
 		opts.Shards = data.N
+	}
+	if err := checkRouter(opts.Router, opts.Shards, data.D); err != nil {
+		return nil, err
 	}
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
@@ -398,6 +417,9 @@ func (e *Engine) Rows() int { return e.data.N }
 // Workers returns the batch worker-pool width in effect.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
+// Router returns the attached shard router (nil when unrouted).
+func (e *Engine) Router() *route.Router { return e.opts.Router }
+
 // ShardSizes returns the row count of every shard.
 func (e *Engine) ShardSizes() []int {
 	sizes := make([]int, len(e.shards))
@@ -447,6 +469,10 @@ type Result struct {
 	// path for this query, so the exact host scan served instead
 	// (results are still exact; only throughput modeling degrades).
 	BreakerOpen []int
+	// Routed annotates how the routing tier handled this query (nil when
+	// the engine has no router). Skipped shards have nil ShardMeters
+	// entries — they did no work at all.
+	Routed *RouteInfo
 }
 
 // shardOut carries one shard's contribution back to the query goroutine.
@@ -468,7 +494,20 @@ type shardOut struct {
 // remaining deadline is below the observed p95 service time); both
 // reject in microseconds, before any shard work is dispatched. Search
 // is safe to call concurrently.
-func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, err error) {
+//
+// With Options.Router set, Search routes in the router's default mode;
+// SearchMode overrides it per query.
+func (e *Engine) Search(ctx context.Context, q []float64, k int) (*Result, error) {
+	return e.SearchMode(ctx, q, k, route.ModeAuto)
+}
+
+// SearchMode is Search with an explicit routing mode: route.ModeExact
+// keeps results bit-identical to the unrouted engine while skipping
+// shards whose summary lower bound proves them out of the top-k;
+// route.ModeApprox visits shards by sketch similarity toward the
+// router's recall target; route.ModeAuto takes the router's default.
+// An explicit mode on an engine without a router is ErrNoRouter.
+func (e *Engine) SearchMode(ctx context.Context, q []float64, k int, mode route.Mode) (res *Result, err error) {
 	release, err := e.acquire()
 	if err != nil {
 		return nil, err
@@ -525,11 +564,70 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 		return nil, serr
 	}
 
-	// Fan out. The channel is buffered so a shard goroutine can always
-	// deliver and exit, even when the query gave up on the deadline.
-	out := make(chan shardOut, len(e.shards))
-	for _, sh := range e.shards {
-		go func(sh *shard) {
+	// Route, then fan out to the visit set (everything when unrouted).
+	outs, info, err := e.dispatch(ctx, root, q, k, mode)
+	if err != nil {
+		return nil, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, context.Cause(ctx) // a shard may have skipped its work
+	}
+	// Global top-k = k minimum under the (distance, index) total order —
+	// the same order every searcher's TopK heap resolves ties with, which
+	// is what makes the merge exactly equal to a sequential scan.
+	meters := make([]*arch.Meter, len(e.shards))
+	merged := make([]vec.Neighbor, 0, len(outs)*k)
+	var breakerOpen []int
+	for _, o := range outs {
+		merged = append(merged, o.nn...)
+		meters[o.id] = o.meter
+		if o.breakerOpen {
+			breakerOpen = append(breakerOpen, o.id)
+		}
+	}
+	merged = topK(merged, k)
+	meter := arch.NewMeter()
+	for _, m := range meters {
+		if m != nil {
+			meter.Merge(m)
+		}
+	}
+	// Feed the shedder only with completed queries: its p95 must track
+	// real service time, not the latency of rejections.
+	if e.res != nil {
+		e.res.shed.Observe(time.Since(start))
+	}
+	return &Result{Neighbors: merged, Meter: meter, ShardMeters: meters,
+		Degraded: e.DegradedShards(), BreakerOpen: breakerOpen, Routed: info}, nil
+}
+
+// topK sorts candidates by the canonical (distance, index) total order
+// and truncates to k.
+func topK(merged []vec.Neighbor, k int) []vec.Neighbor {
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Dist != merged[j].Dist {
+			return merged[i].Dist < merged[j].Dist
+		}
+		return merged[i].Index < merged[j].Index
+	})
+	if len(merged) > k {
+		merged = merged[:k]
+	}
+	return merged
+}
+
+// fanOut dispatches one query to the given shard ids in parallel and
+// collects every answer (ids nil = all shards). The channel is buffered
+// so a shard goroutine can always deliver and exit, even when the query
+// gave up on the deadline.
+func (e *Engine) fanOut(ctx context.Context, root *obs.Span, q []float64, k int, ids []int) ([]shardOut, error) {
+	n := len(ids)
+	if ids == nil {
+		n = len(e.shards)
+	}
+	out := make(chan shardOut, n)
+	dispatch := func(sh *shard) {
+		go func() {
 			if ctx.Err() != nil {
 				out <- shardOut{id: sh.id}
 				return
@@ -550,51 +648,25 @@ func (e *Engine) Search(ctx context.Context, q []float64, k int) (res *Result, e
 			}
 			sp.End()
 			out <- shardOut{id: sh.id, nn: ans.nn, meter: ans.meter, breakerOpen: ans.breakerOpen}
-		}(sh)
+		}()
 	}
-
-	// Collect and merge.
-	meters := make([]*arch.Meter, len(e.shards))
-	merged := make([]vec.Neighbor, 0, len(e.shards)*k)
-	var breakerOpen []int
-	for range e.shards {
+	if ids == nil {
+		for _, sh := range e.shards {
+			dispatch(sh)
+		}
+	} else {
+		for _, id := range ids {
+			dispatch(e.shards[id])
+		}
+	}
+	outs := make([]shardOut, 0, n)
+	for i := 0; i < n; i++ {
 		select {
 		case o := <-out:
-			merged = append(merged, o.nn...)
-			meters[o.id] = o.meter
-			if o.breakerOpen {
-				breakerOpen = append(breakerOpen, o.id)
-			}
+			outs = append(outs, o)
 		case <-ctx.Done():
 			return nil, context.Cause(ctx)
 		}
 	}
-	if cerr := ctx.Err(); cerr != nil {
-		return nil, context.Cause(ctx) // a shard may have skipped its work
-	}
-	// Global top-k = k minimum under the (distance, index) total order —
-	// the same order every searcher's TopK heap resolves ties with, which
-	// is what makes the merge exactly equal to a sequential scan.
-	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Dist != merged[j].Dist {
-			return merged[i].Dist < merged[j].Dist
-		}
-		return merged[i].Index < merged[j].Index
-	})
-	if len(merged) > k {
-		merged = merged[:k]
-	}
-	meter := arch.NewMeter()
-	for _, m := range meters {
-		if m != nil {
-			meter.Merge(m)
-		}
-	}
-	// Feed the shedder only with completed queries: its p95 must track
-	// real service time, not the latency of rejections.
-	if e.res != nil {
-		e.res.shed.Observe(time.Since(start))
-	}
-	return &Result{Neighbors: merged, Meter: meter, ShardMeters: meters,
-		Degraded: e.DegradedShards(), BreakerOpen: breakerOpen}, nil
+	return outs, nil
 }

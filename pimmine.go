@@ -40,6 +40,7 @@ import (
 	"pimmine/internal/profile"
 	"pimmine/internal/quant"
 	"pimmine/internal/resilience"
+	"pimmine/internal/route"
 	"pimmine/internal/serve"
 	"pimmine/internal/vec"
 )
@@ -488,6 +489,66 @@ func NewObserver(cfg ObserverConfig) *Observer { return obs.New(cfg) }
 func NewObservedEngine(data *Matrix, opts QueryEngineOptions, o *Observer) (*QueryEngine, error) {
 	opts.Obs = o
 	return serve.New(data, opts)
+}
+
+// Sketch-based shard routing (internal/route): a per-shard summary tier
+// consulted before fan-out so a query only dispatches to shards that can
+// contribute to its top-k. Exact mode prunes with admissible geometric
+// lower bounds (results stay bit-identical to the unrouted engine);
+// approximate mode ranks shards by SimHash similarity mass over a KMV
+// row sample and visits a recall-targeted prefix. Attach a Router via
+// QueryEngineOptions.Router (or MutableEngineOptions.Options.Router);
+// the mutable engine keeps the summaries fresh through inserts and
+// compaction automatically.
+type (
+	// Router scores shards for a query; build with NewRouter.
+	Router = route.Router
+	// RouterConfig configures NewRouter; the zero value means exact
+	// default mode, 64-bit sketches, 32-row samples, Recall 0.95.
+	RouterConfig = route.Config
+	// RouteMode selects the routing strategy per query.
+	RouteMode = route.Mode
+	// RouteInfo annotates a routed QueryResult (visited/skipped shard
+	// counts, estimated and audited recall).
+	RouteInfo = serve.RouteInfo
+)
+
+// The per-query routing modes accepted by SearchMode and the wire's
+// "mode" field.
+const (
+	// RouteAuto uses the router's configured default mode (and plain
+	// full fan-out when no router is attached).
+	RouteAuto = route.ModeAuto
+	// RouteExact prunes only provably non-contributing shards.
+	RouteExact = route.ModeExact
+	// RouteApprox visits a recall-targeted prefix of shards.
+	RouteApprox = route.ModeApprox
+)
+
+// The typed routing errors. Match with errors.Is.
+var (
+	// ErrRouterShardMismatch: the router was built for a different shard
+	// count or dimensionality than the engine adopting it.
+	ErrRouterShardMismatch = route.ErrShardMismatch
+	// ErrNoRouter: an explicit routing mode was requested from an engine
+	// with no router attached.
+	ErrNoRouter = serve.ErrNoRouter
+)
+
+// ParseRouteMode validates a wire-format mode string ("", "exact",
+// "approx").
+func ParseRouteMode(s string) (RouteMode, error) { return route.ParseMode(s) }
+
+// NewRouter builds a router whose per-shard summaries cover data
+// partitioned the way NewQueryEngine/NewMutableEngine partition it
+// (contiguous row ranges, remainder spread over the leading shards).
+func NewRouter(cfg RouterConfig, data *Matrix, shards int) (*Router, error) {
+	return route.NewEven(cfg, data, shards)
+}
+
+// NewShardRouter builds a router over an explicit shard partition.
+func NewShardRouter(cfg RouterConfig, shards []*Matrix) (*Router, error) {
+	return route.New(cfg, shards)
 }
 
 // HammingDistance is the exact HD between two codes.

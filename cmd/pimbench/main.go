@@ -13,9 +13,12 @@
 // `pimbench ext-fault` sweeps injected crossbar fault severity and prints
 // the degradation curve: recall stays exact at every severity while
 // faulty/recovered dot counts and modeled latency grow.
-// `pimbench -churn` (or the id ext-churn) replays mixed read/write
-// traffic against the mutable engine and reports query latency vs. delta
-// fill, compaction pauses, and endurance-budget drain.
+// `pimbench -churn` (or the ids ext-churn and ext-durable) replays mixed
+// read/write traffic against the mutable engine and reports query latency
+// vs. delta fill, compaction pauses, and endurance-budget drain; the
+// durable sweep crash-recovers a WAL-backed engine after every mutation
+// burst and reports replay time vs. log length plus the log truncation a
+// checkpoint buys.
 // `pimbench ext-overload` drives closed-loop clients at 1×/2×/4× an
 // engine's known capacity and reports goodput with and without the
 // overload-protection layer (internal/resilience): past capacity the
@@ -82,7 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
 	traceSample := fs.Int("trace-sample", 1, "with -metrics-addr: trace one query in N (0 disables tracing)")
 	hold := fs.Duration("hold", 0, "with -metrics-addr: keep serving for this long after experiments finish")
-	churn := fs.Bool("churn", false, "run the mutable-engine churn workload (shorthand for the ext-churn experiment id)")
+	churn := fs.Bool("churn", false, "run the mutable-engine churn workloads (shorthand for the ext-churn and ext-durable experiment ids)")
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -90,7 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	ids := fs.Args()
 	if *churn {
-		ids = append(ids, "ext-churn")
+		ids = append(ids, "ext-churn", "ext-durable")
 	}
 	if len(ids) == 0 {
 		ids = exp.IDs()

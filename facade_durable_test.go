@@ -1,0 +1,114 @@
+package pimmine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"pimmine"
+)
+
+// The durability and standing-query journey works end to end through
+// the facade: WAL-backed mutations, crash recovery that reproduces the
+// pre-crash engine bit for bit, checkpointing, the typed directory
+// discipline, and a live subscription.
+func TestFacadeDurable(t *testing.T) {
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 120, 23)
+	dir := t.TempDir()
+	opts := pimmine.MutableEngineOptions{
+		Options:    pimmine.QueryEngineOptions{Shards: 3, Workers: 2},
+		MaxDelta:   1 << 20,
+		Durability: pimmine.DurabilityConfig{Dir: dir, Policy: pimmine.WALSyncAlways},
+	}
+	eng, err := pimmine.NewMutableEngine(ds.X, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A standing kNN query sees its initial view, then the update an
+	// insert of the query vector itself must cause.
+	q := ds.Queries(1, 41).Row(0)
+	sub, err := eng.SubscribeKNN(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitEvent := func(want pimmine.StandingEventKind) pimmine.StandingEvent {
+		t.Helper()
+		select {
+		case ev := <-sub.Events():
+			if ev.Kind != want {
+				t.Fatalf("event kind = %v, want %v", ev.Kind, want)
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatalf("no %v event", want)
+		}
+		panic("unreachable")
+	}
+	waitEvent(pimmine.StandingInit)
+	id, err := eng.Insert(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev := waitEvent(pimmine.StandingUpdate); ev.Trigger != id || ev.Dist != 0 {
+		t.Fatalf("update event = %+v, want trigger %d at distance 0", ev, id)
+	}
+	if err := eng.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	eng.Unsubscribe(sub.ID())
+
+	want, err := eng.Search(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash: abandon eng without Close. Every mutation was fsynced
+	// before being applied, so recovery must reproduce it exactly.
+	rec, err := pimmine.RecoverMutableEngine(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	got, err := rec.Search(context.Background(), q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Neighbors {
+		if want.Neighbors[i] != got.Neighbors[i] {
+			t.Fatalf("recovered answer differs at rank %d: got %+v want %+v",
+				i, got.Neighbors[i], want.Neighbors[i])
+		}
+	}
+	if err := rec.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Directory discipline.
+	if _, err := pimmine.NewMutableEngine(ds.X, opts); !errors.Is(err, pimmine.ErrDurableState) {
+		t.Fatalf("NewMutableEngine over live state = %v, want ErrDurableState", err)
+	}
+	empty := opts
+	empty.Durability.Dir = t.TempDir()
+	if _, err := pimmine.RecoverMutableEngine(empty); !errors.Is(err, pimmine.ErrNoDurableState) {
+		t.Fatalf("recover from empty dir = %v, want ErrNoDurableState", err)
+	}
+	plain, err := pimmine.NewMutableEngine(ds.X, pimmine.MutableEngineOptions{
+		Options: pimmine.QueryEngineOptions{Shards: 2, Workers: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if err := plain.Checkpoint(); !errors.Is(err, pimmine.ErrNotDurable) {
+		t.Fatalf("Checkpoint on non-durable engine = %v, want ErrNotDurable", err)
+	}
+	if _, err := plain.SubscribeKNN(q[:2], 3); !errors.Is(err, pimmine.ErrBadSubscription) {
+		t.Fatalf("bad subscription = %v, want ErrBadSubscription", err)
+	}
+}

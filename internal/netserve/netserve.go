@@ -14,6 +14,7 @@
 package netserve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -26,6 +27,19 @@ import (
 	"pimmine/internal/route"
 	"pimmine/internal/serve"
 )
+
+// queryEngine is the engine surface the wire layer consumes — satisfied
+// by both *serve.Engine and *serve.MutableEngine, so one server fronts
+// either the immutable or the durable mutable deployment shape.
+type queryEngine interface {
+	SearchMode(ctx context.Context, q []float64, k int, mode route.Mode) (*serve.Result, error)
+	Dims() int
+	Rows() int
+	NumShards() int
+	Router() *route.Router
+	Workers() int
+	Close() error
+}
 
 // DefaultTenant is the accounting identity of requests that carry no
 // tenant (wire field or X-Tenant header).
@@ -41,9 +55,15 @@ const (
 
 // Options configures New.
 type Options struct {
-	// Engine is the sharded query engine to serve (required). The server
-	// takes ownership of its shutdown: Drain closes it.
+	// Engine is the sharded query engine to serve. The server takes
+	// ownership of its shutdown: Drain closes it. Exactly one of Engine
+	// and Mutable must be set.
 	Engine *serve.Engine
+	// Mutable serves a mutable engine instead: the same query surface
+	// plus POST /v1/subscribe standing-query event streams (and, when
+	// the engine was built with Durability, its WAL semantics — Drain's
+	// close flushes the log).
+	Mutable *serve.MutableEngine
 	// Tenants provisions quotas and fair-queue weights; tenants not
 	// listed are admitted with defaults (weight 1, no quota).
 	Tenants []TenantConfig
@@ -72,7 +92,8 @@ type Options struct {
 // Server serves the engine over HTTP. It implements http.Handler;
 // NewHTTPServer wraps it for h2c. Safe for concurrent use.
 type Server struct {
-	eng   *serve.Engine
+	eng   queryEngine
+	mut   *serve.MutableEngine // non-nil when serving Options.Mutable
 	opts  Options
 	ten   *tenants
 	nobs  *netObs
@@ -81,19 +102,33 @@ type Server struct {
 
 	// drainMu gates request starts against Drain: requests hold the read
 	// side while registering in wg, so Drain observes every in-flight
-	// request and no request starts after the flag flips.
+	// request and no request starts after the flag flips. drainCh is the
+	// broadcast that ends open subscription streams — unlike a search, a
+	// stream never finishes on its own, so drain must cancel it.
 	drainMu  sync.RWMutex
 	draining bool
+	drainCh  chan struct{}
 	wg       sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// New builds a server over opts.Engine.
+// New builds a server over the configured engine.
 func New(opts Options) (*Server, error) {
-	if opts.Engine == nil {
-		return nil, fmt.Errorf("netserve: Options.Engine is required")
+	var eng queryEngine
+	switch {
+	case opts.Engine != nil && opts.Mutable != nil:
+		return nil, fmt.Errorf("netserve: set exactly one of Options.Engine and Options.Mutable")
+	case opts.Engine != nil:
+		eng = opts.Engine
+	case opts.Mutable != nil:
+		eng = opts.Mutable
+	default:
+		return nil, fmt.Errorf("netserve: Options.Engine or Options.Mutable is required")
 	}
 	if opts.Slots <= 0 {
-		opts.Slots = opts.Engine.Workers()
+		opts.Slots = eng.Workers()
 	}
 	if opts.MaxQueue <= 0 {
 		opts.MaxQueue = DefaultMaxQueue
@@ -116,10 +151,12 @@ func New(opts Options) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		eng:   opts.Engine,
-		opts:  opts,
-		ten:   ten,
-		retry: resilience.NewRetryBudget(retryCfg),
+		eng:     eng,
+		mut:     opts.Mutable,
+		opts:    opts,
+		ten:     ten,
+		retry:   resilience.NewRetryBudget(retryCfg),
+		drainCh: make(chan struct{}),
 	}
 	if opts.Obs != nil {
 		s.nobs = newNetObs(s, opts.Obs)
@@ -129,6 +166,9 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/search/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.mut != nil {
+		mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
+	}
 	s.mux = mux
 	return s, nil
 }
@@ -153,10 +193,17 @@ func (s *Server) NewHTTPServer(addr string) *http.Server {
 // the same drain completes.
 func (s *Server) Drain() error {
 	s.drainMu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh) // ends open subscription streams
+	}
 	s.drainMu.Unlock()
 	s.wg.Wait()
-	return s.eng.Close()
+	// Close exactly once: a durable mutable engine's Close is where the
+	// WAL flush happens, and its second call reports ErrClosed by
+	// design — every Drain caller should see the first (real) outcome.
+	s.closeOnce.Do(func() { s.closeErr = s.eng.Close() })
+	return s.closeErr
 }
 
 // isDraining reports whether Drain has begun.
@@ -374,6 +421,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"max_k":     s.opts.MaxK,
 		"max_batch": s.opts.MaxBatch,
 		"proto":     r.Proto,
+		"mutable":   s.mut != nil,
 	}
 	if rt := s.eng.Router(); rt != nil {
 		info["routing"] = map[string]any{

@@ -12,6 +12,7 @@ import (
 	"pimmine/internal/quant"
 	"pimmine/internal/resilience"
 	"pimmine/internal/serve"
+	"pimmine/internal/standing"
 )
 
 // ErrDraining reports a request that arrived after graceful drain
@@ -59,12 +60,14 @@ func orderedMappings() []mapping {
 		// client error: the client asked for a capability this deployment
 		// does not have (GET /v1/info advertises it).
 		{serve.ErrNoRouter, Verdict{http.StatusBadRequest, "no_router", false}},
+		{standing.ErrBadSubscription, Verdict{http.StatusBadRequest, "bad_subscription", false}},
 		{resilience.ErrQuotaExceeded, Verdict{http.StatusTooManyRequests, "quota_exceeded", true}},
 		{resilience.ErrOverloaded, Verdict{http.StatusTooManyRequests, "overloaded", true}},
 		{resilience.ErrShedDeadline, Verdict{http.StatusTooManyRequests, "shed_deadline", true}},
 		{resilience.ErrCircuitOpen, Verdict{http.StatusServiceUnavailable, "circuit_open", true}},
 		{ErrDraining, Verdict{http.StatusServiceUnavailable, "draining", false}},
 		{serve.ErrClosed, Verdict{http.StatusServiceUnavailable, "engine_closed", false}},
+		{standing.ErrClosed, Verdict{http.StatusServiceUnavailable, "standing_closed", false}},
 		// ErrQueryTimeout unwraps to context.DeadlineExceeded; its row must
 		// come first or every engine timeout would report as the generic
 		// caller deadline.

@@ -11,6 +11,7 @@ import (
 	"pimmine/internal/quant"
 	"pimmine/internal/resilience"
 	"pimmine/internal/serve"
+	"pimmine/internal/standing"
 )
 
 // TestStatusMapping pins the full error-chain → status-code contract,
@@ -32,6 +33,8 @@ func TestStatusMapping(t *testing.T) {
 		{"NaN query", wrap(quant.ErrNotFinite), http.StatusBadRequest, "bad_request", false},
 		{"out-of-range query", wrap(quant.ErrOutOfRange), http.StatusBadRequest, "bad_request", false},
 		{"mode without router", wrap(serve.ErrNoRouter), http.StatusBadRequest, "no_router", false},
+		{"bad subscription", wrap(standing.ErrBadSubscription), http.StatusBadRequest, "bad_subscription", false},
+		{"standing closed", wrap(standing.ErrClosed), http.StatusServiceUnavailable, "standing_closed", false},
 		{"quota", wrap(resilience.ErrQuotaExceeded), http.StatusTooManyRequests, "quota_exceeded", true},
 		{"admission reject", wrap(resilience.ErrOverloaded), http.StatusTooManyRequests, "overloaded", true},
 		{"deadline shed", wrap(resilience.ErrShedDeadline), http.StatusTooManyRequests, "shed_deadline", true},
@@ -77,12 +80,14 @@ func TestMappedSentinelsComplete(t *testing.T) {
 		quant.ErrNotFinite,
 		quant.ErrOutOfRange,
 		serve.ErrNoRouter,
+		standing.ErrBadSubscription,
 		resilience.ErrQuotaExceeded,
 		resilience.ErrOverloaded,
 		resilience.ErrShedDeadline,
 		resilience.ErrCircuitOpen,
 		netserve.ErrDraining,
 		serve.ErrClosed,
+		standing.ErrClosed,
 		serve.ErrQueryTimeout,
 		context.DeadlineExceeded,
 		context.Canceled,

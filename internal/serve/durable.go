@@ -1,0 +1,428 @@
+// Durability for the mutable engine: WAL-before-apply mutations,
+// checkpoint snapshots that truncate the log, and crash recovery that
+// rebuilds a byte-identical engine. The exactness argument mirrors the
+// delta layer's differential goldens: search transcripts depend only on
+// the live row set (global ids plus Float64bits), which is exactly what
+// a snapshot image plus the replayed log tail reconstructs — compaction
+// timing, delta/tombstone split and epoch counters need not survive the
+// crash.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pimmine/internal/delta"
+	"pimmine/internal/knn"
+	"pimmine/internal/obs"
+	"pimmine/internal/pim"
+	"pimmine/internal/standing"
+	"pimmine/internal/vec"
+	"pimmine/internal/wal"
+)
+
+// Durability configures the WAL + snapshot layer of a mutable engine.
+// The zero value (empty Dir) disables durability.
+type Durability struct {
+	// Dir is the directory holding wal-*.seg segments and
+	// snap-*.pimsnap checkpoint images. Setting it enables durability.
+	Dir string
+	// Policy is the fsync cadence (default wal.SyncAlways: a mutation
+	// is durable before it is applied or acknowledged).
+	Policy wal.SyncPolicy
+	// SyncEvery is the wal.SyncInterval period (default 100ms).
+	SyncEvery time.Duration
+	// SegmentBytes is the log rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// Fsync, when non-nil, replaces the file sync call — the failure
+	// injection hook the shutdown regression tests use.
+	Fsync func(*os.File) error
+}
+
+func (d Durability) walOptions(m *wal.Metrics) wal.Options {
+	return wal.Options{
+		Policy:       d.Policy,
+		SyncEvery:    d.SyncEvery,
+		SegmentBytes: d.SegmentBytes,
+		Fsync:        d.Fsync,
+		Metrics:      m,
+	}
+}
+
+// Durability sentinels.
+var (
+	// ErrNotDurable reports a durability operation on an engine built
+	// without Durability.Dir.
+	ErrNotDurable = errors.New("serve: engine has no durability configured")
+	// ErrDurableState reports NewMutable pointed at a directory that
+	// already holds recoverable state — refusing protects the existing
+	// log from being silently forked; use RecoverMutable.
+	ErrDurableState = errors.New("serve: durability directory already holds state (use RecoverMutable)")
+	// ErrNoDurableState reports RecoverMutable pointed at a directory
+	// with nothing to recover.
+	ErrNoDurableState = errors.New("serve: durability directory holds no recoverable state")
+)
+
+// initStanding wires the continuous-query registry. Its re-query
+// callback fans out over the stores directly — without engine locks —
+// because it runs while the caller already holds e.mu (member deletes)
+// and the store searches are lock-free by design.
+func (e *MutableEngine) initStanding(reg *obs.Registry) error {
+	var m *standing.Metrics
+	if reg != nil {
+		m = standing.NewMetrics(reg)
+	}
+	requery := func(q []float64, k int) ([]vec.Neighbor, error) {
+		outs, err := e.fanOutStores(context.Background(), q, k, nil)
+		if err != nil {
+			return nil, err
+		}
+		lists := make([][]vec.Neighbor, 0, len(outs))
+		for _, o := range outs {
+			lists = append(lists, o.nn)
+		}
+		return vec.MergeNeighbors(k, lists...), nil
+	}
+	r, err := standing.NewRegistry(standing.Options{
+		Requery: requery,
+		Buffer:  e.opts.StandingBuffer,
+		Metrics: m,
+	})
+	if err != nil {
+		return err
+	}
+	e.standing = r
+	return nil
+}
+
+// initDurabilityFresh opens the log for a newly built engine and seeds
+// the directory with an LSN-0 snapshot of the initial dataset, so
+// recovery always starts from a snapshot. A directory already holding
+// state is refused.
+func (e *MutableEngine) initDurabilityFresh(reg *obs.Registry) error {
+	d := e.opts.Durability
+	if _, err := wal.LatestSnapshot(d.Dir); err == nil {
+		return ErrDurableState
+	} else if !errors.Is(err, wal.ErrNoSnapshot) {
+		return err
+	}
+	e.walM = wal.NewMetrics(reg)
+	log, last, err := wal.Open(d.Dir, d.walOptions(e.walM))
+	if err != nil {
+		return err
+	}
+	if last != 0 {
+		log.Close()
+		return ErrDurableState
+	}
+	e.log = log
+	if err := e.writeSnapshot(0); err != nil {
+		log.Close()
+		e.log = nil
+		return err
+	}
+	return nil
+}
+
+// writeSnapshot materializes every shard and writes the checkpoint
+// image covering LSN lsn. Caller must hold e.mu or have exclusive use
+// of the engine.
+func (e *MutableEngine) writeSnapshot(lsn int64) error {
+	s := &wal.Snapshot{LSN: lsn, Dims: e.d, NextID: e.nextID, RR: e.rr}
+	for _, st := range e.stores {
+		m, ids := st.Materialize()
+		s.Shards = append(s.Shards, wal.ShardState{IDs: ids, Data: m.Data})
+	}
+	if err := wal.WriteSnapshot(e.opts.Durability.Dir, s); err != nil {
+		return err
+	}
+	if e.walM != nil {
+		e.walM.Snapshots.Inc()
+	}
+	return nil
+}
+
+// Checkpoint seals the active log segment, writes an atomic snapshot of
+// the current live state, and truncates the log and older snapshots the
+// new image makes redundant. Mutations stall for the duration (the
+// durability analogue of a compaction pause); queries do not.
+func (e *MutableEngine) Checkpoint() error {
+	release, err := e.acquireMut()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if e.log == nil {
+		return ErrNotDurable
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	lsn := e.log.NextLSN() - 1
+	if err := e.log.Rotate(); err != nil {
+		return fmt.Errorf("serve: checkpoint rotate: %w", err)
+	}
+	if err := e.writeSnapshot(lsn); err != nil {
+		return fmt.Errorf("serve: checkpoint snapshot: %w", err)
+	}
+	if err := e.log.TruncateBefore(lsn); err != nil {
+		return fmt.Errorf("serve: checkpoint truncate: %w", err)
+	}
+	if err := wal.RemoveSnapshotsBefore(e.opts.Durability.Dir, lsn); err != nil {
+		return fmt.Errorf("serve: checkpoint cleanup: %w", err)
+	}
+	return nil
+}
+
+// RecoverMutable rebuilds a mutable engine from its durability
+// directory: the latest valid snapshot image restores every shard (each
+// re-running the Theorem 4 sizing and re-tightening routing summaries
+// through the same hooks a compaction uses), then the log tail strictly
+// after the snapshot LSN is replayed — re-firing OnMutate per record,
+// so conservative summary growth is reproduced too. A torn final record
+// (crash mid-append) is discarded exactly as wal.Open defines;
+// corruption anywhere else refuses recovery with the typed error.
+//
+// The recovered engine serves byte-identical transcripts to the
+// pre-crash engine across every mining task: its live row set (global
+// ids + Float64bits) is reconstructed exactly, and the delta
+// differential goldens prove transcripts depend on nothing else.
+func RecoverMutable(opts MutableOptions) (*MutableEngine, error) {
+	d := opts.Durability
+	if d.Dir == "" {
+		return nil, ErrNotDurable
+	}
+	snap, err := wal.LatestSnapshot(d.Dir)
+	if err != nil {
+		if errors.Is(err, wal.ErrNoSnapshot) {
+			return nil, ErrNoDurableState
+		}
+		return nil, err
+	}
+	s := len(snap.Shards)
+	opts.Shards = s
+	if err := checkRouter(opts.Router, s, snap.Dims); err != nil {
+		return nil, err
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	totalLive := 0
+	for _, sh := range snap.Shards {
+		totalLive += len(sh.IDs)
+	}
+	if opts.CapacityN <= 0 {
+		opts.CapacityN = totalLive
+		if opts.CapacityN == 0 {
+			opts.CapacityN = 1
+		}
+	}
+	if opts.Variant == "" {
+		opts.Variant = VariantStandard
+	}
+	build, err := variantBuilder(opts.Options)
+	if err != nil {
+		return nil, err
+	}
+	var res *engineResilience
+	if opts.Resilience != nil {
+		if res, err = newEngineResilience(opts.Resilience); err != nil {
+			return nil, err
+		}
+		if mc := opts.Resilience.MaxConcurrent; mc > 0 && opts.Workers > mc {
+			opts.Workers = mc
+		}
+	}
+	e := &MutableEngine{
+		d:      snap.Dims,
+		opts:   opts,
+		nextID: snap.NextID,
+		rr:     snap.RR,
+		routes: make(map[int]int, totalLive),
+		res:    res,
+		// Degenerate bounds: a restored engine's shards hold arbitrary
+		// id sets, so every id routes through the table instead of a
+		// contiguous range check.
+		bounds:   make([]int, s+1),
+		degraded: make([]bool, s),
+	}
+	var reg *obs.Registry
+	if opts.Obs != nil {
+		reg = opts.Obs.Registry()
+	}
+	shardCap := shardCapacity(opts.Options)
+	for id := range snap.Shards {
+		shardID := id
+		factory := func(m *vec.Matrix, capacityN int) (knn.Searcher, error) {
+			srch, ferr := build(m, capacityN)
+			if ferr != nil {
+				e.degraded[shardID] = true
+				return knn.NewStandard(m), nil
+			}
+			return srch, nil
+		}
+		dopts := delta.Options{
+			Factory:           factory,
+			MaxDelta:          opts.MaxDelta,
+			MaxTombstoneRatio: opts.MaxTombstoneRatio,
+			AutoCompact:       opts.AutoCompact,
+			CapacityRows:      shardCap,
+		}
+		if reg != nil {
+			dopts.Metrics = delta.NewMetrics(reg, obs.Label{Key: "shard", Value: fmt.Sprint(id)})
+		}
+		if r := opts.Router; r != nil {
+			dopts.OnMutate = func(v []float64) { r.Observe(shardID, v) }
+			dopts.OnCompact = func(base *vec.Matrix) { r.Refresh(shardID, base) }
+		}
+		if opts.WriteBudget > 0 {
+			if opts.Framework != nil {
+				model := pim.ModelFor(opts.Framework.Cfg)
+				dopts.Model = &model
+				dopts.Ledger, err = delta.NewLedger(opts.Framework.Cfg.NumCrossbars(), opts.WriteBudget)
+			} else {
+				dopts.Ledger, err = delta.NewLedger(2, opts.WriteBudget)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		sh := snap.Shards[id]
+		m := &vec.Matrix{N: len(sh.IDs), D: snap.Dims, Data: sh.Data}
+		st, err := delta.Restore(m, sh.IDs, snap.NextID, dopts)
+		if err != nil {
+			return nil, fmt.Errorf("serve: restoring shard %d: %w", id, err)
+		}
+		e.stores = append(e.stores, st)
+		for _, gid := range sh.IDs {
+			e.routes[gid] = id
+		}
+	}
+	e.walM = wal.NewMetrics(reg)
+	// Open first: it truncates a torn tail, so replay below sees a
+	// clean log and new appends land on a record boundary.
+	log, _, err := wal.Open(d.Dir, d.walOptions(e.walM))
+	if err != nil {
+		closeStores(e.stores)
+		return nil, err
+	}
+	start := time.Now()
+	replayed := 0
+	err = wal.Replay(d.Dir, snap.LSN, func(lsn int64, rec wal.Record) error {
+		replayed++
+		return e.applyReplay(rec)
+	})
+	if err != nil {
+		log.Close()
+		closeStores(e.stores)
+		return nil, fmt.Errorf("serve: replaying wal: %w", err)
+	}
+	e.log = log
+	if e.walM != nil {
+		e.walM.ReplayedRecords.Set(int64(replayed))
+		e.walM.ReplaySeconds.Observe(time.Since(start).Seconds())
+	}
+	if err := e.initStanding(reg); err != nil {
+		log.Close()
+		closeStores(e.stores)
+		return nil, err
+	}
+	return e, nil
+}
+
+func closeStores(stores []*delta.Store) {
+	for _, st := range stores {
+		st.Close()
+	}
+}
+
+// applyReplay re-applies one logged mutation during recovery. The log
+// recorded mutations the engine had already validated and routed, so a
+// record that fails to apply means the log and snapshot disagree —
+// surfaced as an error, never papered over.
+func (e *MutableEngine) applyReplay(rec wal.Record) error {
+	if rec.Shard >= len(e.stores) {
+		return fmt.Errorf("%w: record routes to shard %d of %d", wal.ErrCorrupt, rec.Shard, len(e.stores))
+	}
+	switch rec.Op {
+	case wal.OpInsert:
+		if err := e.stores[rec.Shard].InsertAt(rec.ID, rec.Vec); err != nil {
+			return err
+		}
+		e.routes[rec.ID] = rec.Shard
+		if rec.ID >= e.nextID {
+			e.nextID = rec.ID + 1
+		}
+		e.rr = (rec.Shard + 1) % len(e.stores)
+	case wal.OpUpdate:
+		if err := e.stores[rec.Shard].Update(rec.ID, rec.Vec); err != nil {
+			return err
+		}
+	case wal.OpDelete:
+		if err := e.stores[rec.Shard].Delete(rec.ID); err != nil {
+			return err
+		}
+		delete(e.routes, rec.ID)
+	default:
+		return fmt.Errorf("%w: unknown op %d", wal.ErrCorrupt, rec.Op)
+	}
+	return nil
+}
+
+// SubscribeKNN registers a standing k-nearest-neighbor query (see
+// internal/standing): the returned subscription carries the initial
+// result view and then an event for every mutation that changes it,
+// maintained incrementally from the delta. Registration synchronizes
+// with the mutation stream, so the init view plus the event sequence
+// exactly tracks the engine's applied mutations.
+func (e *MutableEngine) SubscribeKNN(q []float64, k int) (*standing.Subscription, error) {
+	release, err := e.acquireMut()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(q) != e.d {
+		return nil, fmt.Errorf("%w: query has %d dims, dataset has %d",
+			standing.ErrBadSubscription, len(q), e.d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.standing.SubscribeKNN(q, k)
+}
+
+// SubscribeRadius registers a radius watch: a KindMatch event for every
+// future insert within Euclidean distance radius of q.
+func (e *MutableEngine) SubscribeRadius(q []float64, radius float64) (*standing.Subscription, error) {
+	release, err := e.acquireMut()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(q) != e.d {
+		return nil, fmt.Errorf("%w: query has %d dims, dataset has %d",
+			standing.ErrBadSubscription, len(q), e.d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.standing.SubscribeRadius(q, radius)
+}
+
+// Unsubscribe removes a standing subscription and closes its event
+// channel. Safe on unknown ids and after Close.
+func (e *MutableEngine) Unsubscribe(id int) {
+	if e.standing != nil {
+		e.standing.Unsubscribe(id)
+	}
+}
+
+// StandingView returns a copy of a kNN subscription's current result
+// view (nil for radius watches or unknown ids).
+func (e *MutableEngine) StandingView(id int) []vec.Neighbor {
+	if e.standing == nil {
+		return nil
+	}
+	return e.standing.Current(id)
+}

@@ -23,8 +23,11 @@ import (
 	"pimmine/internal/obs"
 	"pimmine/internal/pim"
 	"pimmine/internal/pool"
+	"pimmine/internal/quant"
 	"pimmine/internal/route"
+	"pimmine/internal/standing"
 	"pimmine/internal/vec"
+	"pimmine/internal/wal"
 )
 
 // MutableOptions configures NewMutable.
@@ -48,6 +51,16 @@ type MutableOptions struct {
 	// crossbars; host variants charge one tile per image against a
 	// two-tile (double-buffered) ledger. Zero disables metering.
 	WriteBudget uint32
+
+	// Durability, when Dir is set, makes the engine crash-safe: every
+	// accepted mutation is appended to a write-ahead log before it is
+	// applied, Checkpoint writes atomic snapshots that truncate the
+	// log, and RecoverMutable rebuilds a byte-identical engine from the
+	// latest snapshot plus the log tail (see internal/wal).
+	Durability Durability
+	// StandingBuffer is the per-subscription event channel capacity for
+	// standing queries (default 16; see internal/standing).
+	StandingBuffer int
 }
 
 // MutableEngine is the sharded mutable query engine: Search/SearchBatch
@@ -78,6 +91,17 @@ type MutableEngine struct {
 	closed  bool
 
 	degraded []bool // per shard: variant build failed, serving host scan
+
+	// log is the write-ahead log (nil when Durability.Dir is unset).
+	// Mutations append under e.mu before applying, so log order equals
+	// apply order and replay reconstructs the exact mutation sequence.
+	log  *wal.Log
+	walM *wal.Metrics
+
+	// standing is the continuous-query registry; its hooks run under
+	// e.mu after each applied mutation, so every subscription observes
+	// the mutations in the order the engine applied them.
+	standing *standing.Registry
 }
 
 // NewMutable partitions data row-wise into per-shard mutable stores.
@@ -202,6 +226,14 @@ func NewMutable(data *vec.Matrix, opts MutableOptions) (*MutableEngine, error) {
 		lo += rows
 	}
 	e.bounds = append(e.bounds, lo)
+	if err := e.initStanding(reg); err != nil {
+		return nil, err
+	}
+	if opts.Durability.Dir != "" {
+		if err := e.initDurabilityFresh(reg); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -236,24 +268,58 @@ func (e *MutableEngine) shardOf(id int) int {
 	return -1
 }
 
+// checkVec pre-validates what the store would reject, so a durable
+// engine never logs a record its store then refuses — log order must
+// equal apply order or replay would diverge from the served history.
+func (e *MutableEngine) checkVec(v []float64) error {
+	if len(v) != e.d {
+		return fmt.Errorf("serve: vector has %d dims, dataset has %d", len(v), e.d)
+	}
+	if err := quant.CheckVec(v); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	return nil
+}
+
+// logMutation appends one record to the WAL (no-op when not durable).
+// Called under e.mu, after validation and before the store apply.
+func (e *MutableEngine) logMutation(op wal.Op, sh, id int, v []float64) error {
+	if e.log == nil {
+		return nil
+	}
+	if _, err := e.log.Append(wal.Record{Op: op, Shard: sh, ID: id, Vec: v}); err != nil {
+		return fmt.Errorf("serve: wal append: %w", err)
+	}
+	return nil
+}
+
 // Insert adds a vector under a fresh global id, placing it round-robin
-// across shards. The vector must be normalized (quant.CheckVec).
+// across shards. The vector must be normalized (quant.CheckVec). On a
+// durable engine the insert is logged (and, under wal.SyncAlways,
+// fsynced) before it is applied.
 func (e *MutableEngine) Insert(v []float64) (int, error) {
 	release, err := e.acquireMut()
 	if err != nil {
 		return 0, err
 	}
 	defer release()
+	if err := e.checkVec(v); err != nil {
+		return 0, err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	id := e.nextID
 	sh := e.rr
+	if err := e.logMutation(wal.OpInsert, sh, id, v); err != nil {
+		return 0, err
+	}
 	if err := e.stores[sh].InsertAt(id, v); err != nil {
 		return 0, err
 	}
 	e.nextID++
 	e.rr = (e.rr + 1) % len(e.stores)
 	e.routes[id] = sh
+	e.standing.OnInsert(id, v)
 	return id, nil
 }
 
@@ -265,13 +331,23 @@ func (e *MutableEngine) Update(id int, v []float64) error {
 		return err
 	}
 	defer release()
+	if err := e.checkVec(v); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sh := e.shardOf(id)
-	if sh < 0 {
+	if sh < 0 || !e.stores[sh].Has(id) {
 		return fmt.Errorf("%w: %d", delta.ErrNotFound, id)
 	}
-	return e.stores[sh].Update(id, v)
+	if err := e.logMutation(wal.OpUpdate, sh, id, v); err != nil {
+		return err
+	}
+	if err := e.stores[sh].Update(id, v); err != nil {
+		return err
+	}
+	e.standing.OnUpdate(id, v)
+	return nil
 }
 
 // Delete removes an id.
@@ -284,13 +360,17 @@ func (e *MutableEngine) Delete(id int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sh := e.shardOf(id)
-	if sh < 0 {
+	if sh < 0 || !e.stores[sh].Has(id) {
 		return fmt.Errorf("%w: %d", delta.ErrNotFound, id)
+	}
+	if err := e.logMutation(wal.OpDelete, sh, id, nil); err != nil {
+		return err
 	}
 	if err := e.stores[sh].Delete(id); err != nil {
 		return err
 	}
 	delete(e.routes, id)
+	e.standing.OnDelete(id)
 	return nil
 }
 
@@ -515,19 +595,56 @@ func (e *MutableEngine) Materialize() (*vec.Matrix, []int) {
 	return out, ids
 }
 
-// Close shuts every shard store down (draining background compactions)
-// and fails subsequent operations with ErrClosed. Idempotent.
+// Close shuts every shard store down (draining background compactions),
+// closes the standing-query registry, and — on a durable engine —
+// flushes and fsyncs the write-ahead log before returning, so every
+// acknowledged mutation is on disk when Close hands control back.
+// Idempotent: repeated Close on a non-durable engine returns nil (the
+// original contract); on a durable engine it returns ErrClosed, so a
+// caller retrying after a failed flush can tell "already shut down"
+// from a fresh flush failure.
 func (e *MutableEngine) Close() error {
 	e.closeMu.Lock()
 	already := e.closed
 	e.closed = true
 	e.closeMu.Unlock()
-	// Store Close is itself idempotent; closing again on a concurrent
-	// call is harmless and keeps Close's contract symmetric with the
-	// immutable engine.
-	_ = already
+	if already {
+		if e.log != nil {
+			return ErrClosed
+		}
+		// Non-durable: closing again is harmless and keeps Close's
+		// contract symmetric with the immutable engine.
+		return nil
+	}
+	if e.standing != nil {
+		e.standing.Close()
+	}
 	for _, st := range e.stores {
 		st.Close()
 	}
+	if e.log != nil {
+		// The log's Close fsyncs the active segment first; a failure
+		// surfaces here (the engine is closed regardless — a second
+		// Close reports ErrClosed, never retries the flush).
+		if err := e.log.Close(); err != nil {
+			return fmt.Errorf("serve: wal close: %w", err)
+		}
+	}
 	return nil
 }
+
+// Dims returns the dataset dimensionality (the wire layer validates
+// query vectors against it).
+func (e *MutableEngine) Dims() int { return e.d }
+
+// Rows returns the current live row count across shards.
+func (e *MutableEngine) Rows() int {
+	total := 0
+	for _, st := range e.stores {
+		total += st.Stats().LiveRows
+	}
+	return total
+}
+
+// Workers returns the effective batch worker count.
+func (e *MutableEngine) Workers() int { return e.opts.Workers }

@@ -1,0 +1,37 @@
+package standing
+
+import "pimmine/internal/obs"
+
+// Metrics holds the obs handles a Registry publishes to. Nil handles
+// are safe no-ops, matching internal/obs.
+type Metrics struct {
+	// Subscriptions is the current live count; Subscribed counts
+	// registrations over the registry's lifetime.
+	Subscriptions *obs.Gauge
+	Subscribed    *obs.Counter
+	// Evaluations counts per-insert distance-kernel calls — the
+	// incremental cost of the standing tier.
+	Evaluations *obs.Counter
+	// Requeries counts full re-evaluations forced by member deletes
+	// and updates — the slow path.
+	Requeries *obs.Counter
+	// Notifications counts delivered events; DroppedEvents those
+	// discarded because a subscriber's buffer was full.
+	Notifications *obs.Counter
+	DroppedEvents *obs.Counter
+}
+
+// NewMetrics registers the standard standing-query metric set.
+func NewMetrics(reg *obs.Registry, labels ...obs.Label) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Subscriptions: reg.Gauge("pim_standing_subscriptions", "Live standing-query subscriptions.", labels...),
+		Subscribed:    reg.Counter("pim_standing_subscribed_total", "Standing-query registrations.", labels...),
+		Evaluations:   reg.Counter("pim_standing_evaluations_total", "Per-mutation distance evaluations across subscriptions.", labels...),
+		Requeries:     reg.Counter("pim_standing_requeries_total", "Full re-queries forced by member deletes/updates.", labels...),
+		Notifications: reg.Counter("pim_standing_notifications_total", "Events delivered to subscriber channels.", labels...),
+		DroppedEvents: reg.Counter("pim_standing_dropped_events_total", "Events discarded because a subscriber buffer was full.", labels...),
+	}
+}

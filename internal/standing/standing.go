@@ -1,0 +1,422 @@
+// Package standing implements continuous similarity queries over a
+// mutable dataset: registered kNN and radius-watch subscriptions that
+// are evaluated once against the base snapshot and then maintained
+// incrementally as delta inserts arrive — each insert costs one
+// distance kernel call per subscription, never a rescan of the base.
+//
+// The incremental update is exact, not approximate: a kNN
+// subscription's view after any prefix of mutations equals a one-shot
+// re-query at that epoch, candidate for candidate and bit for bit,
+// because membership is decided by the same canonical (Dist, Index)
+// total order the search path uses and distances come from the same
+// measure.SqEuclidean kernel as the engine's delta scan. The only
+// operation that cannot be maintained from the delta alone — a delete
+// or update touching a current result member, which may resurrect a
+// previously evicted row — falls back to an engine-provided re-query
+// callback.
+//
+// Notifications are full-state snapshots delivered through a bounded
+// channel with a drop counter: a slow consumer loses intermediate
+// states, never stream integrity, because every event carries the
+// complete result view and a per-subscription sequence number that
+// makes gaps visible.
+package standing
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/vec"
+)
+
+// Kind is a subscription event kind.
+type Kind int
+
+const (
+	// KindInit carries the initial kNN result view at subscribe time.
+	KindInit Kind = iota
+	// KindUpdate carries a changed kNN result view.
+	KindUpdate
+	// KindMatch reports an inserted row falling inside a radius watch.
+	KindMatch
+)
+
+// String names the kind for logs and the wire layer.
+func (k Kind) String() string {
+	switch k {
+	case KindInit:
+		return "init"
+	case KindUpdate:
+		return "update"
+	case KindMatch:
+		return "match"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one notification. For kNN subscriptions Result is the full
+// canonical view after the change (never a diff), so any single event
+// fully describes the current state; for radius watches Result is nil
+// and Trigger/Dist identify the matching row. Seq increments once per
+// generated event — including those dropped on a full channel — so a
+// consumer can detect that it missed intermediate states.
+type Event struct {
+	SubID   int
+	Kind    Kind
+	Seq     int
+	Trigger int     // global id that caused the event; -1 for init
+	Dist    float64 // squared distance of the trigger to the query; 0 for init
+	Result  []vec.Neighbor
+}
+
+// ErrBadSubscription reports invalid subscribe parameters.
+var ErrBadSubscription = errors.New("standing: bad subscription")
+
+// ErrClosed reports use of a closed registry.
+var ErrClosed = errors.New("standing: registry closed")
+
+type subKind int
+
+const (
+	subKNN subKind = iota
+	subRadius
+)
+
+// Subscription is one registered standing query. Events() is the
+// consumer side; the registry owns the producer side and closes the
+// channel on Unsubscribe.
+type Subscription struct {
+	id      int
+	kind    subKind
+	q       []float64
+	k       int
+	radius2 float64 // squared watch radius
+
+	res     []vec.Neighbor // current canonical kNN view, ascending (Dist, Index)
+	seq     int
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// ID returns the registry-assigned subscription id.
+func (s *Subscription) ID() int { return s.id }
+
+// Events returns the notification channel. It is closed by
+// Unsubscribe/Close; a full buffer drops events rather than blocking
+// the mutation path.
+func (s *Subscription) Events() <-chan Event { return s.ch }
+
+// Dropped returns how many events were discarded because the buffer
+// was full.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Requery re-evaluates a kNN query against the engine's full current
+// state. The engine supplies it so the registry can recover exactly
+// when a delete/update invalidates a maintained view.
+type Requery func(q []float64, k int) ([]vec.Neighbor, error)
+
+// Options configures a Registry.
+type Options struct {
+	// Requery is required: the engine's one-shot evaluation used at
+	// subscribe time and after member deletes.
+	Requery Requery
+	// Buffer is each subscription's channel capacity. Zero means 16.
+	Buffer int
+	// Metrics receives registry gauges and counters. Nil disables.
+	Metrics *Metrics
+}
+
+// Registry holds the live subscriptions of one mutable engine. The
+// engine calls the mutation hooks (OnInsert/OnUpdate/OnDelete) under
+// its own mutation lock, so hook invocations are totally ordered and
+// every subscription observes the same mutation sequence the store
+// applied.
+type Registry struct {
+	opts Options
+
+	mu     sync.Mutex
+	subs   map[int]*Subscription
+	nextID int
+	closed bool
+}
+
+// NewRegistry creates an empty registry. Options.Requery must be set.
+func NewRegistry(opts Options) (*Registry, error) {
+	if opts.Requery == nil {
+		return nil, fmt.Errorf("%w: Requery callback required", ErrBadSubscription)
+	}
+	if opts.Buffer <= 0 {
+		opts.Buffer = 16
+	}
+	return &Registry{opts: opts, subs: make(map[int]*Subscription)}, nil
+}
+
+// SubscribeKNN registers a standing k-nearest-neighbor query. The
+// initial view is evaluated immediately via the Requery callback and
+// delivered as a KindInit event.
+func (r *Registry) SubscribeKNN(q []float64, k int) (*Subscription, error) {
+	if len(q) == 0 || k < 1 {
+		return nil, fmt.Errorf("%w: need a query vector and k >= 1", ErrBadSubscription)
+	}
+	init, err := r.opts.Requery(q, k)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	s := r.addLocked(&Subscription{kind: subKNN, q: append([]float64(nil), q...), k: k, res: init})
+	r.emitLocked(s, Event{Kind: KindInit, Trigger: -1, Result: snapshotView(init)})
+	return s, nil
+}
+
+// SubscribeRadius registers a radius watch around q: every future
+// insert whose Euclidean distance to q is at most radius produces a
+// KindMatch event. It is a pure insert feed — no initial members are
+// reported — which keeps registration O(1) and per-insert work O(d).
+func (r *Registry) SubscribeRadius(q []float64, radius float64) (*Subscription, error) {
+	if len(q) == 0 || !(radius > 0) {
+		return nil, fmt.Errorf("%w: need a query vector and radius > 0", ErrBadSubscription)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	return r.addLocked(&Subscription{kind: subRadius, q: append([]float64(nil), q...), radius2: radius * radius}), nil
+}
+
+// addLocked assigns an id, buffers the channel and registers s.
+func (r *Registry) addLocked(s *Subscription) *Subscription {
+	s.id = r.nextID
+	r.nextID++
+	s.ch = make(chan Event, r.opts.Buffer)
+	r.subs[s.id] = s
+	if m := r.opts.Metrics; m != nil {
+		m.Subscriptions.Set(int64(len(r.subs)))
+		m.Subscribed.Inc()
+	}
+	return s
+}
+
+// Unsubscribe removes a subscription and closes its event channel.
+// Unknown ids are a no-op, so double-unsubscribe is safe.
+func (r *Registry) Unsubscribe(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[id]
+	if !ok {
+		return
+	}
+	delete(r.subs, id)
+	close(s.ch)
+	if m := r.opts.Metrics; m != nil {
+		m.Subscriptions.Set(int64(len(r.subs)))
+	}
+}
+
+// Close unsubscribes everything. Further subscribes fail with
+// ErrClosed; mutation hooks become no-ops.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for id, s := range r.subs {
+		delete(r.subs, id)
+		close(s.ch)
+	}
+	if m := r.opts.Metrics; m != nil {
+		m.Subscriptions.Set(0)
+	}
+}
+
+// Current returns a copy of a kNN subscription's present result view
+// (nil for radius watches or unknown ids).
+func (r *Registry) Current(id int) []vec.Neighbor {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.subs[id]
+	if !ok || s.kind != subKNN {
+		return nil
+	}
+	return snapshotView(s.res)
+}
+
+// OnInsert evaluates one inserted row against every subscription: a
+// single distance kernel per subscription, the incremental fast path.
+// The engine calls it under its mutation lock, after the store accepted
+// the insert.
+func (r *Registry) OnInsert(id int, v []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.subs {
+		if len(s.q) != len(v) {
+			continue
+		}
+		d := measure.SqEuclidean(v, s.q)
+		if m := r.opts.Metrics; m != nil {
+			m.Evaluations.Inc()
+		}
+		switch s.kind {
+		case subRadius:
+			if d <= s.radius2 {
+				r.emitLocked(s, Event{Kind: KindMatch, Trigger: id, Dist: d})
+			}
+		case subKNN:
+			if s.admit(id, d) {
+				r.emitLocked(s, Event{Kind: KindUpdate, Trigger: id, Dist: d, Result: snapshotView(s.res)})
+			}
+		}
+	}
+}
+
+// OnDelete reconciles subscriptions with a removed row. Radius watches
+// are insert feeds and ignore it; a kNN view containing the row must be
+// re-queried, because the deletion may resurrect a row the maintained
+// view evicted earlier.
+func (r *Registry) OnDelete(id int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.subs {
+		if s.kind != subKNN || !s.contains(id) {
+			continue
+		}
+		r.requeryLocked(s, id)
+	}
+}
+
+// OnUpdate reconciles subscriptions with a re-inserted row: for kNN
+// views containing the old row it is a delete (re-query); for everyone
+// else it behaves like an insert of the new vector.
+func (r *Registry) OnUpdate(id int, v []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range r.subs {
+		if len(s.q) != len(v) {
+			continue
+		}
+		d := measure.SqEuclidean(v, s.q)
+		if m := r.opts.Metrics; m != nil {
+			m.Evaluations.Inc()
+		}
+		switch s.kind {
+		case subRadius:
+			if d <= s.radius2 {
+				r.emitLocked(s, Event{Kind: KindMatch, Trigger: id, Dist: d})
+			}
+		case subKNN:
+			if s.contains(id) {
+				r.requeryLocked(s, id)
+			} else if s.admit(id, d) {
+				r.emitLocked(s, Event{Kind: KindUpdate, Trigger: id, Dist: d, Result: snapshotView(s.res)})
+			}
+		}
+	}
+}
+
+// requeryLocked refreshes s from the engine and emits if the view
+// changed. Caller holds r.mu; the Requery callback must not call back
+// into the registry.
+func (s *Registry) requeryLocked(sub *Subscription, trigger int) {
+	res, err := s.opts.Requery(sub.q, sub.k)
+	if m := s.opts.Metrics; m != nil {
+		m.Requeries.Inc()
+	}
+	if err != nil {
+		// The engine refused (shutting down, overloaded): keep the
+		// stale view; the next mutation retries.
+		return
+	}
+	if sameView(sub.res, res) {
+		return
+	}
+	sub.res = res
+	s.emitLocked(sub, Event{Kind: KindUpdate, Trigger: trigger, Result: snapshotView(res)})
+}
+
+// emitLocked stamps the sequence number and delivers without blocking:
+// a full buffer counts a drop instead of stalling the mutation path.
+// Caller holds r.mu.
+func (r *Registry) emitLocked(s *Subscription, ev Event) {
+	ev.SubID = s.id
+	ev.Seq = s.seq
+	s.seq++
+	select {
+	case s.ch <- ev:
+		if m := r.opts.Metrics; m != nil {
+			m.Notifications.Inc()
+		}
+	default:
+		s.dropped.Add(1)
+		if m := r.opts.Metrics; m != nil {
+			m.DroppedEvents.Inc()
+		}
+	}
+}
+
+// admit offers (id, d) to a kNN view, returning whether it entered.
+// Membership is the canonical (Dist, Index) total order: a candidate
+// enters iff the view is short of k or the candidate strictly precedes
+// the current k-th — exactly the rule TopK.Push applies, so the
+// maintained view matches a from-scratch evaluation.
+func (s *Subscription) admit(id int, d float64) bool {
+	n := len(s.res)
+	if n == s.k {
+		// Admit iff the current k-th ranks strictly after the
+		// candidate — the exact predicate TopK.Push uses, including
+		// its NaN behavior (a NaN candidate never enters a full view).
+		last := s.res[n-1]
+		ranksAfter := last.Dist > d || (last.Dist == d && last.Index > id)
+		if !ranksAfter {
+			return false
+		}
+		s.res = s.res[:n-1] // evict the current k-th
+	}
+	// Insert in ascending (Dist, Index) position.
+	i := 0
+	for i < len(s.res) && (s.res[i].Dist < d || (s.res[i].Dist == d && s.res[i].Index < id)) {
+		i++
+	}
+	s.res = append(s.res, vec.Neighbor{})
+	copy(s.res[i+1:], s.res[i:])
+	s.res[i] = vec.Neighbor{Index: id, Dist: d}
+	return true
+}
+
+// contains reports whether id is in the maintained view.
+func (s *Subscription) contains(id int) bool {
+	for _, nb := range s.res {
+		if nb.Index == id {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshotView copies a result view so events never alias the
+// registry's mutable state.
+func snapshotView(res []vec.Neighbor) []vec.Neighbor {
+	return append([]vec.Neighbor(nil), res...)
+}
+
+// sameView reports bit-identical result views.
+func sameView(a, b []vec.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || a[i].Dist != b[i].Dist {
+			return false
+		}
+	}
+	return true
+}

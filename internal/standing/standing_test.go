@@ -1,0 +1,340 @@
+package standing
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"pimmine/internal/measure"
+	"pimmine/internal/obs"
+	"pimmine/internal/vec"
+)
+
+// fakeEngine is a brute-force reference store: a map of live rows whose
+// Requery is a from-scratch TopK scan — the one-shot evaluation the
+// maintained views must match bit for bit.
+type fakeEngine struct {
+	mu   sync.Mutex
+	rows map[int][]float64
+}
+
+func newFakeEngine() *fakeEngine { return &fakeEngine{rows: make(map[int][]float64)} }
+
+func (e *fakeEngine) requery(q []float64, k int) ([]vec.Neighbor, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t := vec.NewTopK(k)
+	for id, v := range e.rows {
+		t.Push(id, measure.SqEuclidean(v, q))
+	}
+	return t.Results(), nil
+}
+
+func (e *fakeEngine) insert(id int, v []float64) {
+	e.mu.Lock()
+	e.rows[id] = v
+	e.mu.Unlock()
+}
+
+func (e *fakeEngine) delete(id int) {
+	e.mu.Lock()
+	delete(e.rows, id)
+	e.mu.Unlock()
+}
+
+func viewsEqual(a, b []vec.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Index != b[i].Index || math.Float64bits(a[i].Dist) != math.Float64bits(b[i].Dist) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestKNNLockstepEqualsOneShot is the acceptance property: replay a
+// random insert/update/delete script through the registry hooks and
+// assert after every mutation that the maintained view is bit-identical
+// to a from-scratch re-query, and that an event was emitted exactly
+// when the view changed.
+func TestKNNLockstepEqualsOneShot(t *testing.T) {
+	t.Parallel()
+	const dims, k, ops = 4, 5, 400
+	rng := rand.New(rand.NewSource(7))
+	eng := newFakeEngine()
+	nextID := 0
+	newVec := func() []float64 {
+		v := make([]float64, dims)
+		for i := range v {
+			v[i] = math.Round(rng.NormFloat64()*8) / 4 // coarse grid forces distance ties
+		}
+		return v
+	}
+	for i := 0; i < 20; i++ {
+		eng.insert(nextID, newVec())
+		nextID++
+	}
+	reg, err := NewRegistry(Options{Requery: eng.requery, Buffer: 2 * ops})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := newVec()
+	sub, err := reg.SubscribeKNN(q, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := <-sub.Events()
+	if init.Kind != KindInit || init.Seq != 0 {
+		t.Fatalf("first event = %+v, want init seq 0", init)
+	}
+	want, _ := eng.requery(q, k)
+	if !viewsEqual(init.Result, want) {
+		t.Fatalf("init view differs from one-shot:\n got %v\nwant %v", init.Result, want)
+	}
+
+	lastView := init.Result
+	drain := func() []Event {
+		var evs []Event
+		for {
+			select {
+			case ev := <-sub.Events():
+				evs = append(evs, ev)
+			default:
+				return evs
+			}
+		}
+	}
+	live := []int{}
+	for id := range eng.rows {
+		live = append(live, id)
+	}
+	for op := 0; op < ops; op++ {
+		switch r := rng.Float64(); {
+		case r < 0.5 || len(live) == 0:
+			v := newVec()
+			eng.insert(nextID, v)
+			reg.OnInsert(nextID, v)
+			live = append(live, nextID)
+			nextID++
+		case r < 0.75:
+			i := rng.Intn(len(live))
+			id := live[i]
+			eng.delete(id)
+			reg.OnDelete(id)
+			live = append(live[:i], live[i+1:]...)
+		default:
+			id := live[rng.Intn(len(live))]
+			v := newVec()
+			eng.insert(id, v)
+			reg.OnUpdate(id, v)
+		}
+		want, _ := eng.requery(q, k)
+		got := reg.Current(sub.ID())
+		if !viewsEqual(got, want) {
+			t.Fatalf("op %d: maintained view differs from one-shot:\n got %v\nwant %v", op, got, want)
+		}
+		evs := drain()
+		changed := !viewsEqual(lastView, want)
+		if changed {
+			if len(evs) == 0 {
+				t.Fatalf("op %d: view changed but no event", op)
+			}
+			final := evs[len(evs)-1]
+			if final.Kind != KindUpdate || !viewsEqual(final.Result, want) {
+				t.Fatalf("op %d: final event %+v does not carry the new view", op, final)
+			}
+		} else if len(evs) != 0 {
+			t.Fatalf("op %d: view unchanged but got %d events", op, len(evs))
+		}
+		lastView = want
+	}
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d events with an ample buffer", sub.Dropped())
+	}
+}
+
+func TestRadiusWatch(t *testing.T) {
+	t.Parallel()
+	eng := newFakeEngine()
+	reg, err := NewRegistry(Options{Requery: eng.requery, Buffer: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := reg.SubscribeRadius([]float64{0, 0}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.OnInsert(1, []float64{0.5, 0.5})  // inside (sq dist 0.5)
+	reg.OnInsert(2, []float64{3, 4})      // outside
+	reg.OnInsert(3, []float64{1, 0})      // boundary (sq dist 1.0)
+	reg.OnUpdate(2, []float64{0.1, -0.1}) // moves inside
+	reg.OnDelete(1)                       // ignored by radius watches
+	reg.Unsubscribe(sub.ID())
+	var got []Event
+	for ev := range sub.Events() {
+		got = append(got, ev)
+	}
+	wantTriggers := []int{1, 3, 2}
+	if len(got) != len(wantTriggers) {
+		t.Fatalf("got %d matches, want %d: %+v", len(got), len(wantTriggers), got)
+	}
+	for i, ev := range got {
+		if ev.Kind != KindMatch || ev.Trigger != wantTriggers[i] || ev.Seq != i {
+			t.Fatalf("match %d = %+v, want trigger %d seq %d", i, ev, wantTriggers[i], i)
+		}
+	}
+}
+
+func TestBoundedChannelDropsAndCounts(t *testing.T) {
+	t.Parallel()
+	eng := newFakeEngine()
+	reg, err := NewRegistry(Options{Requery: eng.requery, Buffer: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := reg.SubscribeRadius([]float64{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		reg.OnInsert(i, []float64{0})
+	}
+	if got := sub.Dropped(); got != n-2 {
+		t.Fatalf("Dropped = %d, want %d", got, n-2)
+	}
+	// Seq numbers expose the gap: the two delivered events are 0 and 1,
+	// and sequence numbering accounts for every generated event.
+	ev1, ev2 := <-sub.Events(), <-sub.Events()
+	if ev1.Seq != 0 || ev2.Seq != 1 {
+		t.Fatalf("delivered seqs %d,%d", ev1.Seq, ev2.Seq)
+	}
+	reg.Unsubscribe(sub.ID())
+	if _, ok := <-sub.Events(); ok {
+		t.Fatal("channel not closed after Unsubscribe")
+	}
+	reg.Unsubscribe(sub.ID()) // double-unsubscribe is a no-op
+}
+
+func TestSubscribeValidationAndClose(t *testing.T) {
+	t.Parallel()
+	eng := newFakeEngine()
+	if _, err := NewRegistry(Options{}); !errors.Is(err, ErrBadSubscription) {
+		t.Fatalf("NewRegistry without Requery = %v", err)
+	}
+	reg, err := NewRegistry(Options{Requery: eng.requery})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.SubscribeKNN(nil, 3); !errors.Is(err, ErrBadSubscription) {
+		t.Fatalf("empty query = %v", err)
+	}
+	if _, err := reg.SubscribeKNN([]float64{1}, 0); !errors.Is(err, ErrBadSubscription) {
+		t.Fatalf("k=0 = %v", err)
+	}
+	if _, err := reg.SubscribeRadius([]float64{1}, 0); !errors.Is(err, ErrBadSubscription) {
+		t.Fatalf("radius=0 = %v", err)
+	}
+	s1, err := reg.SubscribeKNN([]float64{1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+	if _, ok := <-s1.Events(); ok {
+		// KindInit was buffered; drain until closed.
+		for range s1.Events() {
+		}
+	}
+	if _, err := reg.SubscribeKNN([]float64{1}, 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("subscribe after Close = %v", err)
+	}
+	reg.Close() // idempotent
+	reg.OnInsert(1, []float64{1})
+	reg.OnDelete(1) // hooks on a closed registry are no-ops
+}
+
+func TestMetricsPublish(t *testing.T) {
+	t.Parallel()
+	eng := newFakeEngine()
+	r := obs.NewRegistry()
+	m := NewMetrics(r)
+	reg, err := NewRegistry(Options{Requery: eng.requery, Buffer: 1, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := reg.SubscribeRadius([]float64{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		reg.OnInsert(i, []float64{0})
+	}
+	if m.Subscriptions.Value() != 1 || m.Subscribed.Value() != 1 {
+		t.Errorf("Subscriptions=%d Subscribed=%d", m.Subscriptions.Value(), m.Subscribed.Value())
+	}
+	if m.Evaluations.Value() != 3 {
+		t.Errorf("Evaluations = %d, want 3", m.Evaluations.Value())
+	}
+	if m.Notifications.Value() != 1 || m.DroppedEvents.Value() != 2 {
+		t.Errorf("Notifications=%d Dropped=%d, want 1/2", m.Notifications.Value(), m.DroppedEvents.Value())
+	}
+	reg.Unsubscribe(sub.ID())
+	if m.Subscriptions.Value() != 0 {
+		t.Errorf("Subscriptions after unsubscribe = %d", m.Subscriptions.Value())
+	}
+}
+
+// TestConcurrentSubscribersAndMutations is the race hammer: mutation
+// hooks, subscribe/unsubscribe and consumers all running concurrently.
+func TestConcurrentSubscribersAndMutations(t *testing.T) {
+	t.Parallel()
+	eng := newFakeEngine()
+	for i := 0; i < 8; i++ {
+		eng.insert(i, []float64{float64(i), 0})
+	}
+	reg, err := NewRegistry(Options{Requery: eng.requery, Buffer: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 100; i < 400; i++ {
+			v := []float64{float64(i % 13), float64(i % 7)}
+			eng.insert(i, v)
+			reg.OnInsert(i, v)
+			if i%5 == 0 {
+				eng.delete(i - 50)
+				reg.OnDelete(i - 50)
+			}
+		}
+	}()
+	for g := 0; g < 2; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				sub, err := reg.SubscribeKNN([]float64{float64(g), 1}, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for j := 0; j < 3; j++ {
+					select {
+					case <-sub.Events():
+					default:
+					}
+				}
+				reg.Unsubscribe(sub.ID())
+				for range sub.Events() {
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	reg.Close()
+}

@@ -1,0 +1,104 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzWALDecode is the log-format robustness contract: for arbitrary
+// bytes, DecodeRecord must never panic and must classify every failure
+// as exactly one of the typed sentinels — ErrTruncated when the stream
+// ends mid-frame, ErrCorrupt when the bytes are inconsistent. A frame
+// it accepts must be internally consistent and re-encode bit-exactly,
+// so replay can never materialize a record the appender did not write.
+func FuzzWALDecode(f *testing.F) {
+	// Committed seeds: valid frames of each op, a torn tail, a CRC
+	// flip, a hostile length prefix, and raw junk.
+	f.Add(AppendRecord(nil, Record{Op: OpInsert, Shard: 0, ID: 0, Vec: []float64{1.5, -2.25}}))
+	f.Add(AppendRecord(nil, Record{Op: OpUpdate, Shard: 3, ID: 41, Vec: []float64{math.Pi}}))
+	f.Add(AppendRecord(nil, Record{Op: OpDelete, Shard: 1, ID: 7}))
+	f.Add(AppendRecord(AppendRecord(nil, Record{Op: OpInsert, ID: 1, Vec: []float64{0}}),
+		Record{Op: OpDelete, ID: 1})) // two back-to-back frames
+	full := AppendRecord(nil, Record{Op: OpInsert, ID: 9, Vec: []float64{1, 2, 3}})
+	f.Add(full[:len(full)-5]) // torn tail
+	crcFlip := append([]byte(nil), full...)
+	crcFlip[5] ^= 0x10
+	f.Add(crcFlip)
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0, 1}) // absurd length prefix
+	f.Add([]byte("not a wal frame at all, just text"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		rec, n, err := DecodeRecord(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			if errors.Is(err, ErrCorrupt) && errors.Is(err, ErrTruncated) {
+				t.Fatalf("ambiguously typed decode error: %v", err)
+			}
+			if n != 0 {
+				t.Fatalf("failed decode consumed %d bytes", n)
+			}
+			return
+		}
+		if n < frameHeader+payloadHeader || n > len(b) {
+			t.Fatalf("accepted frame consumed %d of %d bytes", n, len(b))
+		}
+		// Accepted records are internally consistent...
+		switch rec.Op {
+		case OpInsert, OpUpdate:
+			if len(rec.Vec) == 0 {
+				t.Fatalf("accepted %v without a vector", rec.Op)
+			}
+		case OpDelete:
+			if rec.Vec != nil {
+				t.Fatalf("accepted delete with a vector")
+			}
+		default:
+			t.Fatalf("accepted unknown op %d", rec.Op)
+		}
+		if rec.ID < 0 || rec.Shard < 0 || len(rec.Vec) > MaxDim {
+			t.Fatalf("accepted out-of-range record %+v", rec)
+		}
+		// ...and round-trip bit-exactly to the consumed frame bytes.
+		if re := AppendRecord(nil, rec); !bytes.Equal(re, b[:n]) {
+			t.Fatalf("re-encode differs from accepted frame")
+		}
+	})
+}
+
+// FuzzSnapshotDecode extends the same contract to snapshot files: no
+// panic, typed errors only, and accepted snapshots re-encode to the
+// exact input bytes (the format has no redundancy to normalize away).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add(EncodeSnapshot(&Snapshot{LSN: 3, Dims: 2, NextID: 4, RR: 1, Shards: []ShardState{
+		{IDs: []int{0, 2}, Data: []float64{1, 2, 3, 4}},
+		{IDs: []int{1}, Data: []float64{5, 6}},
+	}}))
+	f.Add(EncodeSnapshot(&Snapshot{LSN: 0, Dims: 1, NextID: 0, Shards: []ShardState{{}}}))
+	f.Add([]byte(snapMagic))
+	f.Add([]byte("PIMSNAP2 wrong magic entirely............."))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("untyped snapshot decode error: %v", err)
+			}
+			return
+		}
+		if s.Dims <= 0 || s.NextID < 0 || s.LSN < 0 || len(s.Shards) == 0 {
+			t.Fatalf("accepted inconsistent snapshot header %+v", s)
+		}
+		for i, sh := range s.Shards {
+			if len(sh.Data) != len(sh.IDs)*s.Dims {
+				t.Fatalf("shard %d: %d data for %d ids at %d dims", i, len(sh.Data), len(sh.IDs), s.Dims)
+			}
+		}
+		if re := EncodeSnapshot(s); !bytes.Equal(re, b) {
+			t.Fatalf("snapshot re-encode differs from accepted bytes")
+		}
+	})
+}

@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy chooses when Append calls fsync.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every appended record: a record is
+	// durable before Append returns. The default, and what the
+	// crash/recover goldens assume.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs when Options.SyncEvery has elapsed since the
+	// last sync; a crash can lose the records since then, but every
+	// surviving prefix still replays exactly.
+	SyncInterval
+	// SyncNever leaves syncing to Sync/Close callers (and the OS).
+	SyncNever
+)
+
+// Options configures a Log.
+type Options struct {
+	// Policy is the fsync cadence. Zero value is SyncAlways.
+	Policy SyncPolicy
+	// SyncEvery is the SyncInterval period. Zero means 100ms.
+	SyncEvery time.Duration
+	// SegmentBytes rotates to a new segment file once the active one
+	// reaches this size. Zero means 4 MiB.
+	SegmentBytes int64
+	// Fsync replaces the file-sync call, letting tests inject sync
+	// failures. Nil means (*os.File).Sync.
+	Fsync func(*os.File) error
+	// Now replaces the clock for SyncInterval. Nil means time.Now.
+	Now func() time.Time
+	// Metrics receives append/fsync/rotation counts. Nil disables.
+	Metrics *Metrics
+}
+
+const (
+	segPrefix     = "wal-"
+	segSuffix     = ".seg"
+	defaultSegLen = 4 << 20
+)
+
+// Log is an append-only record log over a directory of segment files.
+// Safe for one appender at a time; methods are serialized internally so
+// Sync/Close may race with Append.
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File // active segment
+	first    int64    // first LSN of the active segment
+	size     int64    // bytes in the active segment
+	nextLSN  int64    // LSN the next Append will assign
+	lastSync time.Time
+	buf      []byte
+	closed   bool
+}
+
+// segName returns the file name of the segment whose first record has
+// the given LSN.
+func segName(firstLSN int64) string {
+	return fmt.Sprintf("%s%016d%s", segPrefix, firstLSN, segSuffix)
+}
+
+// parseSegName extracts the first-LSN from a segment file name.
+func parseSegName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix), 10, 64)
+	if err != nil || n < 1 {
+		return 0, false
+	}
+	return n, true
+}
+
+// listSegments returns the segment first-LSNs in dir, ascending.
+func listSegments(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var firsts []int64
+	for _, e := range ents {
+		if first, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			firsts = append(firsts, first)
+		}
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	return firsts, nil
+}
+
+// Open opens (creating if needed) the log in dir and returns it along
+// with the last durable LSN. A torn final frame in the newest segment —
+// the residue of a crash mid-append — is truncated away; corruption or
+// truncation anywhere else fails with the typed decode error, because
+// replaying around it would fabricate state.
+func Open(dir string, opts Options) (*Log, int64, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegLen
+	}
+	if opts.SyncEvery <= 0 {
+		opts.SyncEvery = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	firsts, err := listSegments(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	if len(firsts) == 0 {
+		if err := l.openSegment(1); err != nil {
+			return nil, 0, err
+		}
+		return l, 0, nil
+	}
+	// Segments below a checkpoint's durable LSN are legitimately
+	// deleted by TruncateBefore, so the log may begin at any LSN;
+	// within it, coverage must be gapless. Replay separately refuses a
+	// log whose start is past the snapshot it must extend.
+	l.nextLSN = firsts[0]
+	// Walk every sealed segment strictly (any decode error is fatal
+	// there), then scan the newest one tolerating only a torn tail,
+	// which is truncated so the next Append lands on a clean boundary.
+	for i, first := range firsts {
+		path := filepath.Join(dir, segName(first))
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return nil, 0, err
+		}
+		if first != l.nextLSN {
+			return nil, 0, fmt.Errorf("%w: segment %s starts at LSN %d, want %d", ErrCorrupt, segName(first), first, l.nextLSN)
+		}
+		off := 0
+		last := i == len(firsts)-1
+		for off < len(b) {
+			_, n, err := DecodeRecord(b[off:])
+			if err != nil {
+				if last && isTruncated(err) {
+					if terr := os.Truncate(path, int64(off)); terr != nil {
+						return nil, 0, terr
+					}
+					break
+				}
+				return nil, 0, fmt.Errorf("segment %s, LSN %d: %w", segName(first), l.nextLSN, err)
+			}
+			off += n
+			l.nextLSN++
+		}
+		if last {
+			if err := l.openSegment(first); err != nil {
+				return nil, 0, err
+			}
+			l.size = int64(off)
+		}
+	}
+	return l, l.nextLSN - 1, nil
+}
+
+func isTruncated(err error) bool {
+	for e := err; e != nil; {
+		if e == ErrTruncated {
+			return true
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}
+
+// openSegment opens (append mode) the segment starting at firstLSN as
+// the active one.
+func (l *Log) openSegment(firstLSN int64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segName(firstLSN)), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if l.f != nil {
+		l.f.Close()
+	}
+	l.f = f
+	l.first = firstLSN
+	l.size = 0
+	return nil
+}
+
+// Append logs rec and returns its LSN. Durability on return depends on
+// the sync policy; with SyncAlways the record has been fsynced.
+func (l *Log) Append(rec Record) (int64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.buf = AppendRecord(l.buf[:0], rec)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, err
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+	l.size += int64(len(l.buf))
+	if m := l.opts.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendedBytes.Add(int64(len(l.buf)))
+	}
+	if err := l.maybeSync(); err != nil {
+		return 0, err
+	}
+	if l.size >= l.opts.SegmentBytes {
+		if err := l.rotate(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// maybeSync applies the sync policy after a write. Caller holds l.mu.
+func (l *Log) maybeSync() error {
+	switch l.opts.Policy {
+	case SyncAlways:
+		return l.fsync()
+	case SyncInterval:
+		now := time.Now
+		if l.opts.Now != nil {
+			now = l.opts.Now
+		}
+		if t := now(); t.Sub(l.lastSync) >= l.opts.SyncEvery {
+			l.lastSync = t
+			return l.fsync()
+		}
+	}
+	return nil
+}
+
+// fsync syncs the active segment through the injectable hook. Caller
+// holds l.mu.
+func (l *Log) fsync() error {
+	fn := (*os.File).Sync
+	if l.opts.Fsync != nil {
+		fn = l.opts.Fsync
+	}
+	if m := l.opts.Metrics; m != nil {
+		start := time.Now()
+		err := fn(l.f)
+		m.Fsyncs.Inc()
+		m.FsyncSeconds.Observe(time.Since(start).Seconds())
+		return err
+	}
+	return fn(l.f)
+}
+
+// rotate seals the active segment and starts a fresh one whose first
+// record will be nextLSN. Caller holds l.mu.
+func (l *Log) rotate() error {
+	if err := l.fsync(); err != nil {
+		return err
+	}
+	if err := l.openSegment(l.nextLSN); err != nil {
+		return err
+	}
+	if m := l.opts.Metrics; m != nil {
+		m.Rotations.Inc()
+	}
+	return syncDir(l.dir)
+}
+
+// Rotate seals the active segment so a subsequent snapshot-then-
+// TruncateBefore can delete it. No-op on an empty active segment.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.size == 0 {
+		return nil
+	}
+	return l.rotate()
+}
+
+// Sync forces an fsync of the active segment.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.fsync()
+}
+
+// NextLSN returns the LSN the next Append will assign.
+func (l *Log) NextLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// TruncateBefore deletes sealed segments whose every record has
+// LSN <= durableLSN — those made redundant by a snapshot at that LSN.
+// The active segment is never deleted.
+func (l *Log) TruncateBefore(durableLSN int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	firsts, err := listSegments(l.dir)
+	if err != nil {
+		return err
+	}
+	// A segment covers [first, nextSegFirst). It is deletable when the
+	// following segment exists (so it is sealed) and starts at or
+	// below durableLSN+1.
+	for i := 0; i+1 < len(firsts); i++ {
+		if firsts[i+1] > durableLSN+1 {
+			break
+		}
+		if firsts[i] == l.first {
+			break
+		}
+		if err := os.Remove(filepath.Join(l.dir, segName(firsts[i]))); err != nil {
+			return err
+		}
+		if m := l.opts.Metrics; m != nil {
+			m.TruncatedSegments.Inc()
+		}
+	}
+	return syncDir(l.dir)
+}
+
+// Close fsyncs and closes the active segment. Idempotent: second and
+// later calls return ErrClosed.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	err := l.fsync()
+	l.closed = true
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames/removals within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,48 @@
+package wal
+
+import "pimmine/internal/obs"
+
+// Metrics holds the obs handles the log and recovery path publish to.
+// Every field is optional (nil handles are safe no-ops, matching
+// internal/obs), so the zero Metrics keeps appends observation-free.
+type Metrics struct {
+	// Appends and AppendedBytes count durable-intent writes to the log.
+	Appends       *obs.Counter
+	AppendedBytes *obs.Counter
+	// Fsyncs counts sync calls; FsyncSeconds is their latency — the
+	// per-mutation durability tax under SyncAlways.
+	Fsyncs       *obs.Counter
+	FsyncSeconds *obs.Histogram
+	// Rotations and TruncatedSegments track segment lifecycle: sealed
+	// actives and checkpoint-deleted sealed segments.
+	Rotations         *obs.Counter
+	TruncatedSegments *obs.Counter
+	// Snapshots counts checkpoint images written; ReplayedRecords the
+	// log records re-applied during the last recovery; ReplaySeconds
+	// the recovery replay wall clock.
+	Snapshots       *obs.Counter
+	ReplayedRecords *obs.Gauge
+	ReplaySeconds   *obs.Histogram
+}
+
+// NewMetrics registers the standard WAL metric set on a registry.
+func NewMetrics(reg *obs.Registry, labels ...obs.Label) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Appends:       reg.Counter("pim_wal_appends_total", "Records appended to the write-ahead log.", labels...),
+		AppendedBytes: reg.Counter("pim_wal_appended_bytes_total", "Frame bytes appended to the write-ahead log.", labels...),
+		Fsyncs:        reg.Counter("pim_wal_fsyncs_total", "fsync calls issued by the log.", labels...),
+		FsyncSeconds: reg.Histogram("pim_wal_fsync_seconds",
+			"fsync latency (the per-mutation durability tax under SyncAlways).",
+			obs.ExpBuckets(1e-5, 4, 10), labels...),
+		Rotations:         reg.Counter("pim_wal_rotations_total", "Active segments sealed by size rotation or checkpointing.", labels...),
+		TruncatedSegments: reg.Counter("pim_wal_truncated_segments_total", "Sealed segments deleted after a covering snapshot.", labels...),
+		Snapshots:         reg.Counter("pim_wal_snapshots_total", "Checkpoint snapshots written.", labels...),
+		ReplayedRecords:   reg.Gauge("pim_wal_replayed_records", "Log records re-applied during the most recent recovery.", labels...),
+		ReplaySeconds: reg.Histogram("pim_wal_replay_seconds",
+			"Recovery replay wall clock.",
+			obs.ExpBuckets(1e-4, 4, 10), labels...),
+	}
+}

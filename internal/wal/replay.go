@@ -1,0 +1,64 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Replay streams every record in dir with LSN > afterLSN to fn in LSN
+// order. It tolerates exactly one irregularity — a truncated final
+// frame in the newest segment, a crash's torn tail — which it discards;
+// any other decode failure, or a gap in the LSN sequence across
+// segment boundaries, aborts with the typed error. fn returning an
+// error aborts the replay with that error.
+//
+// Replay reads the directory as-is and does not repair it; Open is the
+// call that truncates the torn tail before new appends.
+func Replay(dir string, afterLSN int64, fn func(lsn int64, rec Record) error) error {
+	firsts, err := listSegments(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	lsn := int64(1)
+	if len(firsts) > 0 {
+		// Snapshot-truncated logs begin past LSN 1; the first
+		// surviving segment must cover afterLSN+1 or earlier, or
+		// records are missing.
+		lsn = firsts[0]
+		if lsn > afterLSN+1 {
+			return fmt.Errorf("%w: log starts at LSN %d, need replay from %d", ErrTruncated, lsn, afterLSN+1)
+		}
+	}
+	for i, first := range firsts {
+		if first != lsn && i > 0 {
+			return fmt.Errorf("%w: segment %s starts at LSN %d, want %d", ErrCorrupt, segName(first), first, lsn)
+		}
+		b, err := os.ReadFile(filepath.Join(dir, segName(first)))
+		if err != nil {
+			return err
+		}
+		off := 0
+		last := i == len(firsts)-1
+		for off < len(b) {
+			rec, n, err := DecodeRecord(b[off:])
+			if err != nil {
+				if last && isTruncated(err) {
+					return nil // torn tail: everything durable has been replayed
+				}
+				return fmt.Errorf("segment %s, LSN %d: %w", segName(first), lsn, err)
+			}
+			off += n
+			if lsn > afterLSN {
+				if err := fn(lsn, rec); err != nil {
+					return err
+				}
+			}
+			lsn++
+		}
+	}
+	return nil
+}

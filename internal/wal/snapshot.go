@@ -1,0 +1,280 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ShardState is one shard's live image in a snapshot: the global-id
+// directory and the quantized row data (IDs[i] owns Data[i*Dims :
+// (i+1)*Dims]), both in ascending-id order as Materialize returns them.
+type ShardState struct {
+	IDs  []int
+	Data []float64
+}
+
+// Snapshot is the full engine state as of LSN: replaying the log
+// strictly after LSN on top of it reconstructs the crashed engine
+// bit-for-bit.
+type Snapshot struct {
+	LSN    int64
+	Dims   int
+	NextID int // next global id the engine would assign
+	RR     int // round-robin insert cursor
+	Shards []ShardState
+}
+
+// Snapshot file layout, little-endian throughout:
+//
+//	[8B magic "PIMSNAP1"][4B version=1]
+//	[8B lsn][4B dims][8B nextID][4B rr][4B nShards]
+//	per shard: [4B rows][rows × 8B id][rows×dims × 8B Float64bits]
+//	[4B CRC-32C of everything before it]
+const (
+	snapMagic   = "PIMSNAP1"
+	snapVersion = 1
+	snapPrefix  = "snap-"
+	snapSuffix  = ".pimsnap"
+)
+
+// ErrNoSnapshot reports that a directory holds no valid snapshot.
+var ErrNoSnapshot = fmt.Errorf("wal: no snapshot")
+
+func snapName(lsn int64) string {
+	return fmt.Sprintf("%s%016d%s", snapPrefix, lsn, snapSuffix)
+}
+
+func parseSnapName(name string) (int64, bool) {
+	if !strings.HasPrefix(name, snapPrefix) || !strings.HasSuffix(name, snapSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, snapPrefix), snapSuffix), 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// EncodeSnapshot renders s to its file bytes.
+func EncodeSnapshot(s *Snapshot) []byte {
+	n := len(snapMagic) + 4 + 8 + 4 + 8 + 4 + 4
+	for _, sh := range s.Shards {
+		n += 4 + 8*len(sh.IDs) + 8*len(sh.Data)
+	}
+	b := make([]byte, 0, n+4)
+	b = append(b, snapMagic...)
+	b = le32(b, snapVersion)
+	b = le64(b, uint64(s.LSN))
+	b = le32(b, uint32(s.Dims))
+	b = le64(b, uint64(s.NextID))
+	b = le32(b, uint32(s.RR))
+	b = le32(b, uint32(len(s.Shards)))
+	for _, sh := range s.Shards {
+		b = le32(b, uint32(len(sh.IDs)))
+		for _, id := range sh.IDs {
+			b = le64(b, uint64(id))
+		}
+		for _, v := range sh.Data {
+			b = le64(b, math.Float64bits(v))
+		}
+	}
+	return le32(b, crc32.Checksum(b, castagnoli))
+}
+
+func le32(b []byte, v uint32) []byte {
+	return append(b, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func le64(b []byte, v uint64) []byte {
+	b = le32(b, uint32(v))
+	return le32(b, uint32(v>>32))
+}
+
+// DecodeSnapshot parses snapshot file bytes, verifying magic, version
+// and the trailing CRC. Failures are ErrCorrupt/ErrTruncated typed like
+// record decoding; it never panics on hostile input.
+func DecodeSnapshot(b []byte) (*Snapshot, error) {
+	if len(b) < len(snapMagic)+4+8+4+8+4+4+4 {
+		return nil, fmt.Errorf("%w: %d-byte snapshot", ErrTruncated, len(b))
+	}
+	if string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	body, crcB := b[:len(b)-4], b[len(b)-4:]
+	if got, want := crc32.Checksum(body, castagnoli), binary.LittleEndian.Uint32(crcB); got != want {
+		return nil, fmt.Errorf("%w: snapshot CRC %08x != %08x", ErrCorrupt, got, want)
+	}
+	r := &byteReader{b: body, off: len(snapMagic)}
+	if v := r.u32(); v != snapVersion {
+		return nil, fmt.Errorf("%w: snapshot version %d", ErrCorrupt, v)
+	}
+	s := &Snapshot{
+		LSN:    int64(r.u64()),
+		Dims:   int(r.u32()),
+		NextID: int(int64(r.u64())),
+		RR:     int(r.u32()),
+	}
+	nShards := int(r.u32())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if s.LSN < 0 || s.Dims <= 0 || s.Dims > MaxDim || s.NextID < 0 || nShards < 1 || nShards > 1<<20 || s.RR < 0 || s.RR >= nShards {
+		return nil, fmt.Errorf("%w: snapshot header lsn=%d dims=%d nextID=%d rr=%d shards=%d", ErrCorrupt, s.LSN, s.Dims, s.NextID, s.RR, nShards)
+	}
+	s.Shards = make([]ShardState, nShards)
+	for i := range s.Shards {
+		rows := int(r.u32())
+		if r.err != nil {
+			return nil, r.err
+		}
+		// Each row costs 8 bytes of id plus 8*dims of data, so a row
+		// count the remaining body cannot hold is corrupt — reject
+		// before allocating what a hostile header asks for.
+		if rows < 0 || rows > (len(body)-r.off)/(8+8*s.Dims) {
+			return nil, fmt.Errorf("%w: shard %d claims %d rows", ErrCorrupt, i, rows)
+		}
+		sh := ShardState{IDs: make([]int, rows), Data: make([]float64, rows*s.Dims)}
+		for j := range sh.IDs {
+			sh.IDs[j] = int(int64(r.u64()))
+		}
+		for j := range sh.Data {
+			sh.Data[j] = math.Float64frombits(r.u64())
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		s.Shards[i] = sh
+	}
+	if r.off != len(body) {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(body)-r.off)
+	}
+	return s, nil
+}
+
+// byteReader is a little cursor with sticky ErrTruncated.
+type byteReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *byteReader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = fmt.Errorf("%w: snapshot body", ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *byteReader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.b) {
+		r.err = fmt.Errorf("%w: snapshot body", ErrTruncated)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// WriteSnapshot writes s into dir atomically: temp file, fsync, rename,
+// directory fsync. A crash at any point leaves either no new file or a
+// complete one; the previous snapshot is untouched until
+// RemoveSnapshotsBefore.
+func WriteSnapshot(dir string, s *Snapshot) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	b := EncodeSnapshot(s)
+	tmp, err := os.CreateTemp(dir, "snap-*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, snapName(s.LSN))); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// LatestSnapshot loads the highest-LSN valid snapshot in dir, skipping
+// over unreadable or corrupt files (a torn temp rename cannot produce
+// one, but a damaged disk can — the older snapshot plus a longer replay
+// still recovers). Returns ErrNoSnapshot when none decodes.
+func LatestSnapshot(dir string) (*Snapshot, error) {
+	lsns, err := listSnapshots(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, ErrNoSnapshot
+		}
+		return nil, err
+	}
+	for i := len(lsns) - 1; i >= 0; i-- {
+		b, err := os.ReadFile(filepath.Join(dir, snapName(lsns[i])))
+		if err != nil {
+			continue
+		}
+		s, err := DecodeSnapshot(b)
+		if err != nil {
+			continue
+		}
+		return s, nil
+	}
+	return nil, ErrNoSnapshot
+}
+
+// RemoveSnapshotsBefore deletes snapshots with LSN < keepLSN.
+func RemoveSnapshotsBefore(dir string, keepLSN int64) error {
+	lsns, err := listSnapshots(dir)
+	if err != nil {
+		return err
+	}
+	for _, lsn := range lsns {
+		if lsn < keepLSN {
+			if err := os.Remove(filepath.Join(dir, snapName(lsn))); err != nil {
+				return err
+			}
+		}
+	}
+	return syncDir(dir)
+}
+
+func listSnapshots(dir string) ([]int64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var lsns []int64
+	for _, e := range ents {
+		if lsn, ok := parseSnapName(e.Name()); ok && !e.IsDir() {
+			lsns = append(lsns, lsn)
+		}
+	}
+	sort.Slice(lsns, func(i, j int) bool { return lsns[i] < lsns[j] })
+	return lsns, nil
+}

@@ -1,0 +1,156 @@
+// Package wal gives the mutable store its durability: an append-only
+// write-ahead log of insert/update/delete records plus atomic epoch
+// snapshots, so a crashed-and-recovered engine renders byte-identically
+// to the pre-crash engine.
+//
+// The log is a directory of segment files (wal-<firstLSN>.seg). Every
+// record is one length-prefixed, CRC-checked binary frame; LSNs are
+// assigned sequentially across segments, so a record's position in the
+// log IS its LSN and replay order equals append order. The decoder is
+// strict: a frame that does not parse is either ErrTruncated (the byte
+// stream ends mid-frame — the torn tail a crash leaves behind) or
+// ErrCorrupt (the bytes are all present but wrong — bad CRC, bad op,
+// inconsistent lengths). Corruption is never silently skipped; only a
+// torn tail at the very end of the newest segment is tolerated, because
+// that is exactly the state a crash mid-append leaves and every byte
+// before it is CRC-verified.
+//
+// Snapshots (snap-<lsn>.pimsnap) capture the full engine state as of an
+// LSN — per-shard live rows with their global-id directories, the
+// next-id watermark and the round-robin insert cursor — written to a
+// temp file, fsynced and renamed, so a crash mid-snapshot leaves the
+// previous snapshot intact. Compaction of the log is snapshot-then-
+// truncate: sealed segments at or below the snapshot LSN are deleted.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+// The logged mutation kinds. Values are part of the on-disk format.
+const (
+	OpInsert Op = 1
+	OpUpdate Op = 2
+	OpDelete Op = 3
+)
+
+// Typed decode errors. Replay distinguishes them deliberately: a torn
+// tail (ErrTruncated at the end of the newest segment) is the normal
+// residue of a crash and is discarded; ErrCorrupt anywhere, or
+// truncation anywhere else, refuses recovery rather than serving a
+// silently wrong dataset.
+var (
+	// ErrCorrupt reports a frame whose bytes are present but wrong:
+	// CRC mismatch, unknown op, or inconsistent lengths.
+	ErrCorrupt = errors.New("wal: corrupt record")
+	// ErrTruncated reports a byte stream that ends mid-frame.
+	ErrTruncated = errors.New("wal: truncated record")
+	// ErrClosed reports an append to a closed log.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// Record is one logged mutation. Vec is nil for OpDelete. Shard is the
+// owning shard at apply time, so replay routes without re-deriving
+// placement.
+type Record struct {
+	Op    Op
+	Shard int
+	ID    int
+	Vec   []float64
+}
+
+// Frame layout: [4B payload length][4B CRC-32C of payload][payload],
+// payload = [1B op][4B shard][8B id][4B dim][dim × 8B Float64bits],
+// all little-endian. MaxDim bounds the decoder's allocation so a
+// corrupt length prefix cannot demand gigabytes.
+const (
+	frameHeader   = 8
+	payloadHeader = 17
+	// MaxDim is the largest vector dimensionality a record may carry.
+	MaxDim = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// payloadLen returns the encoded payload size of a record with d dims.
+func payloadLen(d int) int { return payloadHeader + 8*d }
+
+// AppendRecord appends rec's frame to buf and returns the extended
+// slice. It never fails: Record fields are validated by the caller
+// (the engine logs only mutations it has already accepted).
+func AppendRecord(buf []byte, rec Record) []byte {
+	plen := payloadLen(len(rec.Vec))
+	start := len(buf)
+	buf = append(buf, make([]byte, frameHeader+plen)...)
+	payload := buf[start+frameHeader:]
+	payload[0] = byte(rec.Op)
+	binary.LittleEndian.PutUint32(payload[1:], uint32(rec.Shard))
+	binary.LittleEndian.PutUint64(payload[5:], uint64(rec.ID))
+	binary.LittleEndian.PutUint32(payload[13:], uint32(len(rec.Vec)))
+	for i, v := range rec.Vec {
+		binary.LittleEndian.PutUint64(payload[payloadHeader+8*i:], math.Float64bits(v))
+	}
+	binary.LittleEndian.PutUint32(buf[start:], uint32(plen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, castagnoli))
+	return buf
+}
+
+// DecodeRecord decodes the first frame of b, returning the record and
+// the number of bytes consumed. It is a pure function of the bytes —
+// the FuzzWALDecode target — and never panics: every failure is either
+// ErrTruncated (b ends mid-frame) or ErrCorrupt (inconsistent bytes).
+// An accepted record re-encodes to the identical frame bytes.
+func DecodeRecord(b []byte) (Record, int, error) {
+	if len(b) < frameHeader {
+		return Record{}, 0, fmt.Errorf("%w: %d-byte frame header", ErrTruncated, len(b))
+	}
+	plen := int(binary.LittleEndian.Uint32(b))
+	if plen < payloadHeader || plen > payloadLen(MaxDim) {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, plen)
+	}
+	if len(b) < frameHeader+plen {
+		return Record{}, 0, fmt.Errorf("%w: payload needs %d bytes, have %d", ErrTruncated, plen, len(b)-frameHeader)
+	}
+	payload := b[frameHeader : frameHeader+plen]
+	if got, want := crc32.Checksum(payload, castagnoli), binary.LittleEndian.Uint32(b[4:]); got != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC %08x != %08x", ErrCorrupt, got, want)
+	}
+	rec := Record{
+		Op:    Op(payload[0]),
+		Shard: int(binary.LittleEndian.Uint32(payload[1:])),
+		ID:    int(int64(binary.LittleEndian.Uint64(payload[5:]))),
+	}
+	dim := int(binary.LittleEndian.Uint32(payload[13:]))
+	if plen != payloadLen(dim) {
+		return Record{}, 0, fmt.Errorf("%w: %d dims need %d payload bytes, frame has %d", ErrCorrupt, dim, payloadLen(dim), plen)
+	}
+	switch rec.Op {
+	case OpInsert, OpUpdate:
+		if dim == 0 {
+			return Record{}, 0, fmt.Errorf("%w: op %d without a vector", ErrCorrupt, rec.Op)
+		}
+	case OpDelete:
+		if dim != 0 {
+			return Record{}, 0, fmt.Errorf("%w: delete carrying %d dims", ErrCorrupt, dim)
+		}
+	default:
+		return Record{}, 0, fmt.Errorf("%w: unknown op %d", ErrCorrupt, payload[0])
+	}
+	if rec.ID < 0 || rec.Shard < 0 {
+		return Record{}, 0, fmt.Errorf("%w: negative id %d or shard %d", ErrCorrupt, rec.ID, rec.Shard)
+	}
+	if dim > 0 {
+		rec.Vec = make([]float64, dim)
+		for i := range rec.Vec {
+			rec.Vec[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[payloadHeader+8*i:]))
+		}
+	}
+	return rec, frameHeader + plen, nil
+}

@@ -42,7 +42,9 @@ import (
 	"pimmine/internal/resilience"
 	"pimmine/internal/route"
 	"pimmine/internal/serve"
+	"pimmine/internal/standing"
 	"pimmine/internal/vec"
+	"pimmine/internal/wal"
 )
 
 // Hardware model and activity accounting.
@@ -458,6 +460,94 @@ var ErrEndurance = delta.ErrEndurance
 func NewMutableEngine(data *Matrix, opts MutableEngineOptions) (*MutableEngine, error) {
 	return serve.NewMutable(data, opts)
 }
+
+// Durable mutable serving (internal/wal + internal/serve): set
+// MutableEngineOptions.Durability.Dir to make every mutation
+// write-ahead logged (CRC-checked frames, fsync before apply under the
+// default SyncAlways policy) with periodic snapshot checkpoints. After
+// a crash, RecoverMutableEngine rebuilds the engine from the latest
+// snapshot plus a strict log replay; the recovered engine's answers are
+// bit-identical to the pre-crash engine's across every mining task, and
+// it continues the id and shard-placement sequence exactly.
+// MutableEngine.Checkpoint snapshots the current state and truncates
+// the log so recovery cost stays bounded.
+type (
+	// DurabilityConfig configures the WAL + snapshot layer; the zero
+	// value (empty Dir) disables durability.
+	DurabilityConfig = serve.Durability
+	// WALSyncPolicy chooses when appends fsync.
+	WALSyncPolicy = wal.SyncPolicy
+)
+
+// The WAL fsync policies accepted by DurabilityConfig.Policy.
+const (
+	// WALSyncAlways fsyncs every record before it is applied (default).
+	WALSyncAlways = wal.SyncAlways
+	// WALSyncInterval fsyncs on a timer; a crash can lose the tail
+	// since the last sync, but the surviving prefix replays exactly.
+	WALSyncInterval = wal.SyncInterval
+	// WALSyncNever leaves syncing to Close (and the OS).
+	WALSyncNever = wal.SyncNever
+)
+
+// The typed durability errors. Match with errors.Is.
+var (
+	// ErrNotDurable: a durability operation (Checkpoint) on an engine
+	// built without DurabilityConfig.Dir.
+	ErrNotDurable = serve.ErrNotDurable
+	// ErrDurableState: NewMutableEngine pointed at a directory that
+	// already holds WAL/snapshot state — recover it instead of
+	// silently shadowing it.
+	ErrDurableState = serve.ErrDurableState
+	// ErrNoDurableState: RecoverMutableEngine pointed at a directory
+	// with nothing to recover.
+	ErrNoDurableState = serve.ErrNoDurableState
+)
+
+// RecoverMutableEngine rebuilds a durable mutable engine from
+// opts.Durability.Dir: latest snapshot, then strict WAL replay (a torn
+// final frame from the crash is tolerated; any other corruption or LSN
+// gap is a typed error). Shard count is restored from the snapshot.
+func RecoverMutableEngine(opts MutableEngineOptions) (*MutableEngine, error) {
+	return serve.RecoverMutable(opts)
+}
+
+// Standing queries (internal/standing): register a query once against a
+// mutable engine and be notified as mutations change its answer. A kNN
+// subscription delivers the initial view and then the full re-merged
+// view after every mutation that changes it; a radius subscription
+// fires once per future insert within the distance. Events arrive on a
+// bounded channel — a slow consumer loses intermediate events (counted,
+// and visible as sequence-number gaps), never stream integrity. The
+// network front-end exposes subscriptions as streaming NDJSON on
+// POST /v1/subscribe.
+type (
+	// StandingSubscription is one registered standing query.
+	StandingSubscription = standing.Subscription
+	// StandingEvent is one notification (init, update, or match).
+	StandingEvent = standing.Event
+	// StandingEventKind discriminates StandingEvent.
+	StandingEventKind = standing.Kind
+)
+
+// The standing-query event kinds.
+const (
+	// StandingInit carries the subscription's initial kNN view.
+	StandingInit = standing.KindInit
+	// StandingUpdate carries a changed kNN view.
+	StandingUpdate = standing.KindUpdate
+	// StandingMatch reports an insert within a radius watch.
+	StandingMatch = standing.KindMatch
+)
+
+// The typed standing-query errors. Match with errors.Is.
+var (
+	// ErrBadSubscription: invalid subscription parameters (dims, k,
+	// radius).
+	ErrBadSubscription = standing.ErrBadSubscription
+	// ErrStandingClosed: subscribing against a closed engine.
+	ErrStandingClosed = standing.ErrClosed
+)
 
 // Observability (internal/obs): a concurrency-safe metrics registry
 // (atomic counters, gauges, fixed-bucket latency histograms with

@@ -80,6 +80,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	full := fs.Bool("full", false, "run the expensive sweeps (Table 7 k up to 1024)")
 	shards := fs.Int("shards", 8, "max shard count for the ext-serve sweep")
 	recall := fs.Float64("recall", 0.95, "target recall for the ext-route approximate mode, in (0, 1]")
+	nodes := fs.Int("nodes", 8, "max node count for the ext-cluster sweep (1,2,4,… up to this)")
+	replicas := fs.Int("replicas", 2, "ext-cluster replication factor (must not exceed -nodes)")
+	chaos := fs.Int64("chaos", 42, "seed for the ext-cluster mid-sweep node kill")
 	format := fs.String("format", "text", "output format: text|markdown|csv|json")
 	outDir := fs.String("out", "", "also write one BENCH_<id>.json artifact per experiment into this directory")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/traces on this address (e.g. :9090)")
@@ -100,7 +103,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	// Validate before the -list early exit: `pimbench -list -scale 0`
 	// must fail like any other bad invocation, not silently succeed.
-	if err := validateFlags(*scale, *queries, *shards, *recall, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
+	if err := validateFlags(*scale, *queries, *shards, *recall, *nodes, *replicas, *format, *outDir, *metricsAddr, *traceSample, *hold, ids); err != nil {
 		fmt.Fprintln(stderr, "pimbench:", err)
 		return 2
 	}
@@ -117,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	suite.Full = *full
 	suite.Shards = *shards
 	suite.Recall = *recall
+	suite.Nodes = *nodes
+	suite.Replicas = *replicas
+	suite.ChaosSeed = *chaos
 
 	var observer *obs.Observer
 	if *metricsAddr != "" {
@@ -181,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // validateFlags rejects bad flag combinations up front, before any
 // experiment spends time running, so a long batch never dies halfway on
 // something a startup check could have caught.
-func validateFlags(scale, queries, shards int, recall float64, format, outDir, metricsAddr string, traceSample int, hold time.Duration, ids []string) error {
+func validateFlags(scale, queries, shards int, recall float64, nodes, replicas int, format, outDir, metricsAddr string, traceSample int, hold time.Duration, ids []string) error {
 	if scale <= 0 {
 		return fmt.Errorf("-scale must be positive, got %d", scale)
 	}
@@ -193,6 +199,15 @@ func validateFlags(scale, queries, shards int, recall float64, format, outDir, m
 	}
 	if recall <= 0 || recall > 1 {
 		return fmt.Errorf("-recall must be in (0, 1], got %v", recall)
+	}
+	if nodes < 1 {
+		return fmt.Errorf("-nodes must be at least 1, got %d", nodes)
+	}
+	if replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", replicas)
+	}
+	if replicas > nodes {
+		return fmt.Errorf("-replicas %d exceeds -nodes %d", replicas, nodes)
 	}
 	switch format {
 	case "text", "markdown", "csv", "json":

@@ -27,6 +27,10 @@ func TestRunExitCodes(t *testing.T) {
 		{"trace-sample without metrics", []string{"-trace-sample", "4", "ext-overload"}, 2},
 		{"hold without metrics", []string{"-hold", "5s", "ext-overload"}, 2},
 		{"negative queries", []string{"-queries", "-1", "table1"}, 2},
+		{"zero nodes", []string{"-nodes", "0", "ext-cluster"}, 2},
+		{"negative replicas", []string{"-replicas", "-1", "ext-cluster"}, 2},
+		{"replicas exceed nodes", []string{"-nodes", "2", "-replicas", "3", "ext-cluster"}, 2},
+		{"replicas exceed nodes with list", []string{"-list", "-nodes", "2", "-replicas", "3"}, 2},
 	}
 	for _, tc := range cases {
 		var stdout, stderr bytes.Buffer
@@ -46,7 +50,7 @@ func TestRunListShowsAllExperiments(t *testing.T) {
 	if got := run([]string{"-list"}, &stdout, &stderr); got != 0 {
 		t.Fatalf("run(-list) = %d: %s", got, stderr.String())
 	}
-	for _, id := range []string{"ext-serve-net", "ext-overload", "ext-serve", "table1"} {
+	for _, id := range []string{"ext-serve-net", "ext-overload", "ext-serve", "ext-cluster", "table1"} {
 		if !strings.Contains(stdout.String(), id) {
 			t.Errorf("-list output missing %q", id)
 		}

@@ -1,0 +1,112 @@
+package pimmine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pimmine"
+)
+
+// The multi-node journey works end to end through the facade: placement
+// over simulated nodes, bit-identical failover on a node kill,
+// anti-entropy repair back to full replication, typed degradation
+// errors, and a deterministic chaos schedule.
+func TestFacadeCluster(t *testing.T) {
+	prof, err := pimmine.DatasetByName("MSD")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := pimmine.GenerateDataset(prof, 200, 29)
+	ctx := context.Background()
+
+	eng, err := pimmine.NewClusterEngine(ds.X, pimmine.ClusterOptions{
+		Nodes: 4, Replicas: 2, Shards: 6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Baseline answers from a plain single-process engine.
+	base, err := pimmine.NewQueryEngine(ds.X, pimmine.QueryEngineOptions{Shards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Close()
+
+	queries := ds.Queries(6, 31)
+	check := func(stage string) {
+		t.Helper()
+		for i := 0; i < queries.N; i++ {
+			q := queries.Row(i)
+			want, err := base.Search(ctx, q, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := eng.Search(ctx, q, 7)
+			if err != nil {
+				t.Fatalf("%s: cluster search: %v", stage, err)
+			}
+			if len(got.Neighbors) != len(want.Neighbors) {
+				t.Fatalf("%s: neighbor count mismatch", stage)
+			}
+			for j := range got.Neighbors {
+				if got.Neighbors[j] != want.Neighbors[j] {
+					t.Fatalf("%s: query %d neighbor %d differs: %+v vs %+v",
+						stage, i, j, got.Neighbors[j], want.Neighbors[j])
+				}
+			}
+		}
+	}
+	check("healthy")
+
+	if err := eng.KillNode(2); err != nil {
+		t.Fatal(err)
+	}
+	check("one node down")
+	if eng.NodesUp() != 3 {
+		t.Fatalf("NodesUp = %d, want 3", eng.NodesUp())
+	}
+
+	if err := eng.RestoreNode(2); err != nil {
+		t.Fatal(err)
+	}
+	ships, err := eng.Repair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ships == 0 {
+		t.Fatal("repair shipped nothing after restoring a killed node")
+	}
+	if st := eng.ShipStats(); st.Ships != ships || st.Bytes == 0 || st.ModeledNs == 0 {
+		t.Fatalf("ship stats inconsistent: %+v (ships=%d)", st, ships)
+	}
+	check("after repair")
+
+	// Chaos schedules replay deterministically through the facade.
+	mk := func() []string {
+		e2, err := pimmine.NewClusterEngine(ds.X, pimmine.ClusterOptions{
+			Nodes: 4, Replicas: 2, Shards: 6, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e2.Close()
+		return pimmine.NewClusterChaos(e2, 11, pimmine.ClusterChaosConfig{}).Steps(30)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("chaos schedules diverge at step %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+
+	// Typed degradation: killing a dead node's sibling ops stay typed.
+	if err := eng.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.PauseNode(1); !errors.Is(err, pimmine.ErrNodeDown) {
+		t.Fatalf("pause of dead node: got %v, want ErrNodeDown", err)
+	}
+}

@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pimmine/internal/dataset"
+	"pimmine/internal/serve"
+	"pimmine/internal/vec"
+)
+
+// This file is the placement layer's central differential guarantee:
+// all six mining tasks produce byte-identical transcripts (ids and
+// float64 bit patterns) on a 4-node R=2 cluster with ANY single node
+// killed, compared against the plain single-process serve.Engine. The
+// drivers are the same six used by the routing tier's differential in
+// internal/serve — kNN, outlier, DBSCAN neighborhoods, motif, ε-join,
+// k-means — reduced to engine queries.
+
+// clusteredData groups generated rows by mixture component so shards
+// are content-local (same helper as the serve differential).
+func clusteredData(t testing.TB, n, d, clusters int, seed int64) *vec.Matrix {
+	t.Helper()
+	prof := dataset.Profile{Name: "cluster-diff", FullN: n, D: d, Clusters: clusters, Correlation: 0.4, Spread: 0.08}
+	ds := dataset.Generate(prof, n, seed)
+	m := vec.NewMatrix(n, d)
+	i := 0
+	for c := 0; c < clusters; c++ {
+		for r := 0; r < n; r++ {
+			if ds.Labels[r] == c {
+				copy(m.Row(i), ds.X.Row(r))
+				i++
+			}
+		}
+	}
+	return m
+}
+
+type searchFn func(q []float64, k int) []vec.Neighbor
+
+type engineFactory func(data *vec.Matrix, shards int) searchFn
+
+func renderNN(sb *strings.Builder, nn []vec.Neighbor) {
+	for _, n := range nn {
+		sb.WriteString(strconv.Itoa(n.Index))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatUint(math.Float64bits(n.Dist), 16))
+		sb.WriteByte(' ')
+	}
+	sb.WriteByte('\n')
+}
+
+func growK(search searchFn, q []float64, thr float64, n int) []vec.Neighbor {
+	for k := 8; ; k *= 2 {
+		if k > n {
+			k = n
+		}
+		nn := search(q, k)
+		if len(nn) < k || nn[len(nn)-1].Dist > thr || k == n {
+			return nn
+		}
+	}
+}
+
+var miningTasks = []struct {
+	name string
+	run  func(t *testing.T, data *vec.Matrix, mk engineFactory) string
+}{
+	{"knn", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		var sb strings.Builder
+		for i := 0; i < 12; i++ {
+			q := data.Row((i * 29) % data.N)
+			renderNN(&sb, search(q, 10))
+		}
+		return sb.String()
+	}},
+	{"outlier", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		const k = 5
+		type scored struct {
+			id   int
+			dist float64
+		}
+		var all []scored
+		for i := 0; i < 60; i++ {
+			nn := search(data.Row(i), k+1)
+			kd := math.Inf(1)
+			seen := 0
+			for _, n := range nn {
+				if n.Index == i {
+					continue
+				}
+				seen++
+				if seen == k {
+					kd = n.Dist
+					break
+				}
+			}
+			all = append(all, scored{i, kd})
+		}
+		for pass := 0; pass < 5; pass++ {
+			best := pass
+			for j := pass + 1; j < len(all); j++ {
+				if all[j].dist > all[best].dist ||
+					(all[j].dist == all[best].dist && all[j].id < all[best].id) {
+					best = j
+				}
+			}
+			all[pass], all[best] = all[best], all[pass]
+		}
+		var sb strings.Builder
+		for _, s := range all[:5] {
+			fmt.Fprintf(&sb, "%d:%x ", s.id, math.Float64bits(s.dist))
+		}
+		return sb.String()
+	}},
+	{"dbscan", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		eps2 := search(data.Row(0), 8)[7].Dist * 1.25
+		var sb strings.Builder
+		for i := 0; i < 15; i++ {
+			q := data.Row((i * 41) % data.N)
+			for _, n := range growK(search, q, eps2, data.N) {
+				if n.Dist <= eps2 {
+					fmt.Fprintf(&sb, "%d:%x ", n.Index, math.Float64bits(n.Dist))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}},
+	{"motif", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		const w = 5
+		var sb strings.Builder
+		for i := 0; i < 20; i++ {
+			var match *vec.Neighbor
+			for k := 8; match == nil; k *= 2 {
+				if k > data.N {
+					k = data.N
+				}
+				for _, n := range search(data.Row(i), k) {
+					if intAbs(n.Index-i) >= w {
+						m := n
+						match = &m
+						break
+					}
+				}
+				if k == data.N {
+					break
+				}
+			}
+			if match != nil {
+				fmt.Fprintf(&sb, "%d->%d:%x\n", i, match.Index, math.Float64bits(match.Dist))
+			}
+		}
+		return sb.String()
+	}},
+	{"join", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		search := mk(data, 6)
+		eps2 := search(data.Row(3), 6)[5].Dist * 1.1
+		var sb strings.Builder
+		for i := 0; i < 10; i++ {
+			q := data.Row(data.N/2 + i*7)
+			for _, n := range growK(search, q, eps2, data.N) {
+				if n.Dist <= eps2 {
+					fmt.Fprintf(&sb, "%d:%x ", n.Index, math.Float64bits(n.Dist))
+				}
+			}
+			sb.WriteByte('\n')
+		}
+		return sb.String()
+	}},
+	{"kmeans", func(t *testing.T, data *vec.Matrix, mk engineFactory) string {
+		const kc, iters = 8, 3
+		d := data.D
+		centers := vec.NewMatrix(kc, d)
+		for c := 0; c < kc; c++ {
+			copy(centers.Row(c), data.Row(c*37))
+		}
+		var sb strings.Builder
+		for it := 0; it < iters; it++ {
+			assign := mk(centers, 2)
+			sums := vec.NewMatrix(kc, d)
+			counts := make([]int, kc)
+			for i := 0; i < 120; i++ {
+				p := data.Row(i * 3 % data.N)
+				c := assign(p, 1)[0].Index
+				fmt.Fprintf(&sb, "%d ", c)
+				counts[c]++
+				row := sums.Row(c)
+				for j, v := range p {
+					row[j] += v
+				}
+			}
+			sb.WriteByte('\n')
+			for c := 0; c < kc; c++ {
+				if counts[c] == 0 {
+					continue
+				}
+				row, sum := centers.Row(c), sums.Row(c)
+				for j := range row {
+					row[j] = sum[j] / float64(counts[c])
+				}
+			}
+		}
+		for c := 0; c < kc; c++ {
+			for _, v := range centers.Row(c) {
+				fmt.Fprintf(&sb, "%x ", math.Float64bits(v))
+			}
+		}
+		return sb.String()
+	}},
+}
+
+func intAbs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// serveFactory builds the single-process baseline.
+func serveFactory(t *testing.T, ctx context.Context) engineFactory {
+	return func(data *vec.Matrix, shards int) searchFn {
+		eng, err := serve.New(data, serve.Options{Shards: shards})
+		if err != nil {
+			t.Fatalf("serve.New: %v", err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		return func(q []float64, k int) []vec.Neighbor {
+			res, err := eng.Search(ctx, q, k)
+			if err != nil {
+				t.Fatalf("serve search: %v", err)
+			}
+			return res.Neighbors
+		}
+	}
+}
+
+// clusterFactory builds a 4-node R=2 cluster and kills the given node
+// before serving anything (kill < 0 keeps all nodes up).
+func clusterFactory(t *testing.T, ctx context.Context, kill int) engineFactory {
+	return func(data *vec.Matrix, shards int) searchFn {
+		eng, err := New(data, Options{Nodes: 4, Replicas: 2, Shards: shards, Seed: 7})
+		if err != nil {
+			t.Fatalf("cluster.New: %v", err)
+		}
+		t.Cleanup(func() { eng.Close() })
+		if kill >= 0 {
+			if err := eng.KillNode(kill); err != nil {
+				t.Fatalf("KillNode(%d): %v", kill, err)
+			}
+		}
+		return func(q []float64, k int) []vec.Neighbor {
+			res, err := eng.Search(ctx, q, k)
+			if err != nil {
+				t.Fatalf("cluster search (node %d down): %v", kill, err)
+			}
+			return res.Neighbors
+		}
+	}
+}
+
+// TestAnySingleNodeDownBitIdenticalAcrossTasks kills each of the four
+// nodes in turn and requires every mining-task transcript to match the
+// plain serve.Engine byte for byte — fail-over must be invisible in the
+// answers, not merely tolerable.
+func TestAnySingleNodeDownBitIdenticalAcrossTasks(t *testing.T) {
+	t.Parallel()
+	data := clusteredData(t, 360, 24, 6, 17)
+	ctx := context.Background()
+	want := make(map[string]string, len(miningTasks))
+	for _, task := range miningTasks {
+		want[task.name] = task.run(t, data, serveFactory(t, ctx))
+	}
+	for kill := -1; kill < 4; kill++ {
+		kill := kill
+		name := fmt.Sprintf("kill=%d", kill)
+		t.Run(name, func(t *testing.T) {
+			for _, task := range miningTasks {
+				got := task.run(t, data, clusterFactory(t, ctx, kill))
+				if got != want[task.name] {
+					t.Fatalf("task %s: cluster transcript with node %d down differs from serve baseline\ncluster:\n%s\nserve:\n%s",
+						task.name, kill, got, want[task.name])
+				}
+			}
+		})
+	}
+}

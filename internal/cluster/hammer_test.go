@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pimmine/internal/serve"
+	"pimmine/internal/vec"
+)
+
+// TestNodeKillRaceHammer is the satellite race test: concurrent Search
+// and SearchBatch callers hammer the engine while a safety-bounded
+// chaos schedule kills, restores, pauses, and partitions nodes. Every
+// success must be bit-exact against the static truth; every failure
+// must carry one of the typed cluster sentinels (a transient window
+// between a kill and a retry is allowed, an untyped or wrong answer is
+// not). Run under -race in CI.
+func TestNodeKillRaceHammer(t *testing.T) {
+	t.Parallel()
+	data := randMatrix(240, 12, 21)
+	eng := newTestEngine(t, data, Options{Nodes: 4, Replicas: 2, Shards: 6, Seed: 5})
+	const k = 5
+	// Truth per query row, computed once up front.
+	truth := make([][]vec.Neighbor, data.N)
+	for i := 0; i < data.N; i++ {
+		truth[i] = exactTruth(data, data.Row(i), k)
+	}
+
+	ctx := context.Background()
+	var successes, failures atomic.Int64
+	checkErr := func(err error) {
+		failures.Add(1)
+		if !errors.Is(err, ErrNoQuorum) && !errors.Is(err, ErrRebalancing) && !errors.Is(err, serve.ErrClosed) {
+			t.Errorf("untyped hammer failure: %v", err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				row := (i*13 + w*31) % data.N
+				res, err := eng.Search(ctx, data.Row(row), k)
+				if err != nil {
+					checkErr(err)
+					continue
+				}
+				if !sameNeighbors(res.Neighbors, truth[row]) {
+					t.Errorf("worker %d: inexact success for row %d", w, row)
+					return
+				}
+				successes.Add(1)
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qs := vec.NewMatrix(4, data.D)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows := make([]int, qs.N)
+				for j := range rows {
+					rows[j] = (i*7 + w*17 + j*53) % data.N
+					copy(qs.Row(j), data.Row(rows[j]))
+				}
+				br, err := eng.SearchBatch(ctx, qs, k)
+				if err != nil {
+					checkErr(err)
+					continue
+				}
+				for j, res := range br.Results {
+					if !sameNeighbors(res.Neighbors, truth[rows[j]]) {
+						t.Errorf("batch worker %d: inexact success for row %d", w, rows[j])
+						return
+					}
+				}
+				successes.Add(1)
+			}
+		}(w)
+	}
+
+	c := NewChaos(eng, 7, ChaosConfig{MaxSlow: 100 * time.Microsecond})
+	for i := 0; i < 60; i++ {
+		c.Step()
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if successes.Load() == 0 {
+		t.Fatal("hammer made no successful queries")
+	}
+	t.Logf("hammer: %d successes, %d typed failures across 60 chaos steps",
+		successes.Load(), failures.Load())
+}

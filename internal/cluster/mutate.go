@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pimmine/internal/standing"
+	"pimmine/internal/vec"
+)
+
+// Writes apply to every writable replica of the owning shard under the
+// engine mutation lock, then bump the shard's version; a replica whose
+// node is paused or partitioned misses the write and goes stale (its
+// version stays behind), which excludes it from reads until Repair
+// ships it a fresh snapshot. A write with zero writable replicas is
+// refused with ErrNoQuorum before touching anything, so replicas can
+// never diverge: every store sees the same prefix of the same mutation
+// sequence.
+
+// shardOf maps a global id to its shard: initial ids by the contiguous
+// range split, inserted ids by the consistent-hash id ring (recorded in
+// routes at insert time).
+func (e *Engine) shardOf(id int) (int, error) {
+	if id < 0 {
+		return 0, fmt.Errorf("cluster: negative id %d", id)
+	}
+	if id < e.initialN {
+		return sort.SearchInts(e.bounds, id+1) - 1, nil
+	}
+	if sh, ok := e.routes[id]; ok {
+		return sh, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown id %d", id)
+}
+
+// writableReplicas returns the replicas a write can reach right now.
+func (e *Engine) writableReplicas(sh *cshard) []*replica {
+	var out []*replica
+	for _, r := range sh.replicas {
+		if e.nodeLive(r.node) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Insert adds a vector, assigning the next global id. The id is routed
+// to a shard by consistent hash and the insert lands on every writable
+// replica of that shard.
+func (e *Engine) Insert(v []float64) (int, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if len(v) != e.d {
+		return 0, fmt.Errorf("cluster: vector dims %d != data dims %d", len(v), e.d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	id := e.nextID
+	shID := e.idRing.owner(fmt.Sprintf("id-%d", id))
+	sh := e.shards[shID]
+	reps := e.writableReplicas(sh)
+	if len(reps) == 0 {
+		return 0, fmt.Errorf("cluster: insert shard %d: %w", shID, ErrNoQuorum)
+	}
+	var errs []error
+	for _, r := range reps {
+		if err := r.store.InsertAt(id, v); err != nil {
+			errs = append(errs, fmt.Errorf("node %d: %w", r.node.id, err))
+		}
+	}
+	if len(errs) > 0 {
+		return 0, errors.Join(errs...)
+	}
+	ver := sh.version.Load() + 1
+	for _, r := range reps {
+		r.version.Store(ver)
+	}
+	sh.version.Store(ver)
+	e.routes[id] = shID
+	e.nextID++
+	e.standing.OnInsert(id, v)
+	return id, nil
+}
+
+// Update replaces the vector stored under id on every writable replica.
+func (e *Engine) Update(id int, v []float64) error {
+	release, err := e.acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	if len(v) != e.d {
+		return fmt.Errorf("cluster: vector dims %d != data dims %d", len(v), e.d)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.applyLocked(id, func(r *replica) error { return r.store.Update(id, v) },
+		func() { e.standing.OnUpdate(id, v) })
+}
+
+// Delete tombstones id on every writable replica.
+func (e *Engine) Delete(id int) error {
+	release, err := e.acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.applyLocked(id, func(r *replica) error { return r.store.Delete(id) },
+		func() { e.standing.OnDelete(id) })
+}
+
+func (e *Engine) applyLocked(id int, op func(*replica) error, hook func()) error {
+	shID, err := e.shardOf(id)
+	if err != nil {
+		return err
+	}
+	sh := e.shards[shID]
+	reps := e.writableReplicas(sh)
+	if len(reps) == 0 {
+		return fmt.Errorf("cluster: shard %d: %w", shID, ErrNoQuorum)
+	}
+	var errs []error
+	for _, r := range reps {
+		if err := op(r); err != nil {
+			errs = append(errs, fmt.Errorf("node %d: %w", r.node.id, err))
+		}
+	}
+	if len(errs) > 0 {
+		return errors.Join(errs...)
+	}
+	ver := sh.version.Load() + 1
+	for _, r := range reps {
+		r.version.Store(ver)
+	}
+	sh.version.Store(ver)
+	hook()
+	return nil
+}
+
+// SubscribeKNN opens a standing k-nearest-neighbors subscription whose
+// events stay lockstep-equivalent to one-shot re-queries — including
+// across replica fail-over, because the requery hook serves from
+// whatever current replicas survive.
+func (e *Engine) SubscribeKNN(q []float64, k int) (*standing.Subscription, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(q) != e.d {
+		return nil, fmt.Errorf("cluster: query dims %d != data dims %d: %w", len(q), e.d, standing.ErrBadSubscription)
+	}
+	return e.standing.SubscribeKNN(q, k)
+}
+
+// SubscribeRadius opens a standing radius watch.
+func (e *Engine) SubscribeRadius(q []float64, radius float64) (*standing.Subscription, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer release()
+	if len(q) != e.d {
+		return nil, fmt.Errorf("cluster: query dims %d != data dims %d: %w", len(q), e.d, standing.ErrBadSubscription)
+	}
+	return e.standing.SubscribeRadius(q, radius)
+}
+
+// StandingView returns a copy of a kNN subscription's current result
+// view (nil for unknown or radius subscriptions).
+func (e *Engine) StandingView(id int) []vec.Neighbor {
+	release, err := e.acquire()
+	if err != nil {
+		return nil
+	}
+	defer release()
+	return e.standing.Current(id)
+}
+
+// Unsubscribe tears down a standing subscription.
+func (e *Engine) Unsubscribe(id int) error {
+	release, err := e.acquire()
+	if err != nil {
+		return err
+	}
+	defer release()
+	e.standing.Unsubscribe(id)
+	return nil
+}
+
+// Materialize flattens the live dataset (rows ascending by global id),
+// reading one current replica per shard.
+func (e *Engine) Materialize() (*vec.Matrix, []int, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer release()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	type part struct {
+		m   *vec.Matrix
+		ids []int
+	}
+	parts := make([]part, 0, len(e.shards))
+	total := 0
+	for _, sh := range e.shards {
+		r, err := e.currentReplicaLocked(sh)
+		if err != nil {
+			return nil, nil, err
+		}
+		m, ids := r.store.Materialize()
+		parts = append(parts, part{m, ids})
+		total += len(ids)
+	}
+	out := vec.NewMatrix(total, e.d)
+	ids := make([]int, 0, total)
+	// K-way merge by ascending id; per-shard id lists are ascending.
+	cursor := make([]int, len(parts))
+	for len(ids) < total {
+		best, bestID := -1, 0
+		for i, p := range parts {
+			if cursor[i] >= len(p.ids) {
+				continue
+			}
+			if best == -1 || p.ids[cursor[i]] < bestID {
+				best, bestID = i, p.ids[cursor[i]]
+			}
+		}
+		copy(out.Row(len(ids)), parts[best].m.Row(cursor[best]))
+		ids = append(ids, bestID)
+		cursor[best]++
+	}
+	return out, ids, nil
+}
+
+// currentReplicaLocked picks any live current replica of sh.
+func (e *Engine) currentReplicaLocked(sh *cshard) (*replica, error) {
+	cur := sh.version.Load()
+	live := false
+	for _, r := range sh.replicas {
+		if !e.nodeLive(r.node) {
+			continue
+		}
+		live = true
+		if r.version.Load() >= cur {
+			return r, nil
+		}
+	}
+	if live {
+		return nil, fmt.Errorf("cluster: shard %d: %w", sh.id, ErrRebalancing)
+	}
+	return nil, fmt.Errorf("cluster: shard %d: %w", sh.id, ErrNoQuorum)
+}

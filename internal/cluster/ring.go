@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring: members (nodes or shards) project
+// vnodes points each onto a 64-bit circle, and a key is owned by the
+// first point clockwise from its hash. Preference lists walk further
+// clockwise collecting distinct members, which is what gives R-way
+// replication its placement: replica r of a shard lands on the r-th
+// distinct node after the shard's point, so losing one node scatters
+// its shards' fail-over load across the survivors instead of doubling
+// one neighbor. The seed perturbs every point, so two engines built
+// with different seeds get independent layouts while the same seed is
+// bit-reproducible (the chaos determinism golden depends on that).
+type ring struct {
+	points  []ringPoint
+	members int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int
+}
+
+func newRing(members, vnodes int, seed int64) *ring {
+	r := &ring{
+		points:  make([]ringPoint, 0, members*vnodes),
+		members: members,
+	}
+	for m := 0; m < members; m++ {
+		for v := 0; v < vnodes; v++ {
+			h := ringHash(fmt.Sprintf("%d/member-%d/vnode-%d", seed, m, v))
+			r.points = append(r.points, ringPoint{hash: h, member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		return a.member < b.member
+	})
+	return r
+}
+
+func ringHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. Raw FNV of keys that differ only
+// in a trailing counter produces near-consecutive values, which turns
+// the circle into one giant arc per member and every preference list
+// into the same node pair; the avalanche scatters them.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// pref returns the first want distinct members clockwise from key's
+// hash. want is clamped to the member count.
+func (r *ring) pref(key string, want int) []int {
+	if want > r.members {
+		want = r.members
+	}
+	h := ringHash(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, want)
+	seen := make(map[int]bool, want)
+	for i := 0; i < len(r.points) && len(out) < want; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		out = append(out, p.member)
+	}
+	return out
+}
+
+// owner returns the single member owning key.
+func (r *ring) owner(key string) int {
+	return r.pref(key, 1)[0]
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	t.Parallel()
+	a := newRing(4, 16, 9)
+	b := newRing(4, 16, 9)
+	if !reflect.DeepEqual(a.points, b.points) {
+		t.Fatal("same seed produced different rings")
+	}
+	for i := 0; i < 32; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		p := a.pref(key, 3)
+		if len(p) != 3 {
+			t.Fatalf("pref(%q, 3) returned %d members", key, len(p))
+		}
+		seen := map[int]bool{}
+		for _, m := range p {
+			if seen[m] {
+				t.Fatalf("pref(%q, 3) repeated member %d: %v", key, m, p)
+			}
+			seen[m] = true
+		}
+		if got := b.pref(key, 3); !reflect.DeepEqual(got, p) {
+			t.Fatalf("pref(%q) differs between identically seeded rings", key)
+		}
+		if a.owner(key) != p[0] {
+			t.Fatalf("owner(%q) != pref[0]", key)
+		}
+	}
+	// want is clamped to the member count.
+	if got := a.pref("clamp", 99); len(got) != 4 {
+		t.Fatalf("pref clamp returned %d members, want 4", len(got))
+	}
+}
+
+// TestRingSpread guards the avalanche fix: FNV alone hashed the
+// structured vnode keys to near-consecutive values, collapsing the
+// circle into one arc per member so every preference list named the
+// same node pair. With the finalizer, ownership over many keys must
+// touch every member, and no member may own a giant majority.
+func TestRingSpread(t *testing.T) {
+	t.Parallel()
+	const members, keys = 4, 400
+	r := newRing(members, 16, 1)
+	counts := make([]int, members)
+	for i := 0; i < keys; i++ {
+		counts[r.owner(fmt.Sprintf("shard-%d", i))]++
+	}
+	for m, c := range counts {
+		if c == 0 {
+			t.Fatalf("member %d owns no keys: %v", m, counts)
+		}
+		if c > keys*6/10 {
+			t.Fatalf("member %d owns %d/%d keys, placement degenerate: %v", m, c, keys, counts)
+		}
+	}
+}
+
+func TestRingSeedChangesLayout(t *testing.T) {
+	t.Parallel()
+	a := newRing(4, 16, 1)
+	b := newRing(4, 16, 2)
+	diff := 0
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if a.owner(key) != b.owner(key) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("different seeds produced identical placement for 64 keys")
+	}
+}

@@ -43,6 +43,15 @@ type Suite struct {
 	// Recall is the ext-route approximate mode's target recall
 	// (pimbench -recall, default 0.95).
 	Recall float64
+	// Nodes caps the ext-cluster node sweep (1,2,4,… up to Nodes;
+	// pimbench -nodes, default 8).
+	Nodes int
+	// Replicas is the ext-cluster replication factor (pimbench
+	// -replicas, default 2; clamped to each cell's node count).
+	Replicas int
+	// ChaosSeed seeds the ext-cluster mid-sweep node kill (pimbench
+	// -chaos).
+	ChaosSeed int64
 	// Obs, when non-nil, wires the serving experiments into the
 	// observability subsystem (pimbench -metrics-addr).
 	Obs *obs.Observer
@@ -57,14 +66,17 @@ func NewSuite() *Suite {
 		panic(err) // DefaultAlpha is a valid constant
 	}
 	return &Suite{
-		Cfg:     arch.Default(),
-		Quant:   q,
-		ScaleN:  2000,
-		Queries: 5,
-		Seed:    1,
-		Shards:  8,
-		Recall:  0.95,
-		cache:   make(map[string]*dataset.Dataset),
+		Cfg:       arch.Default(),
+		Quant:     q,
+		ScaleN:    2000,
+		Queries:   5,
+		Seed:      1,
+		Shards:    8,
+		Recall:    0.95,
+		Nodes:     8,
+		Replicas:  2,
+		ChaosSeed: 42,
+		cache:     make(map[string]*dataset.Dataset),
 	}
 }
 

@@ -42,7 +42,7 @@ func TestAllExperimentsRun(t *testing.T) {
 
 func TestIDsComplete(t *testing.T) {
 	want := []string{
-		"ext-approx", "ext-churn", "ext-dbscan", "ext-durable", "ext-fault", "ext-join", "ext-kernels", "ext-motif", "ext-outlier", "ext-overload", "ext-route", "ext-scale", "ext-serve", "ext-serve-net",
+		"ext-approx", "ext-churn", "ext-cluster", "ext-dbscan", "ext-durable", "ext-fault", "ext-join", "ext-kernels", "ext-motif", "ext-outlier", "ext-overload", "ext-route", "ext-scale", "ext-serve", "ext-serve-net",
 		"fig13a", "fig13b", "fig13c", "fig13d", "fig14", "fig15", "fig16",
 		"fig17", "fig18", "fig5", "fig6", "fig7", "table1", "table5",
 		"table6", "table7",

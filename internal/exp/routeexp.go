@@ -50,8 +50,8 @@ func ExtRoute(s *Suite) (*Table, error) {
 		return nil, fmt.Errorf("ext-route: recall target %v outside (0, 1]", target)
 	}
 	t := &Table{
-		ID:    "ext-route",
-		Title: fmt.Sprintf("Sketch-based shard routing (clustered, k=10, recall target %.2f)", target),
+		ID:     "ext-route",
+		Title:  fmt.Sprintf("Sketch-based shard routing (clustered, k=10, recall target %.2f)", target),
 		Header: []string{"Shards", "Mode", "Visited/query", "Work ms/query", "p95 ms", "Recall"},
 	}
 	const k = 10

@@ -1,0 +1,146 @@
+package netserve_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pimmine/internal/cluster"
+	"pimmine/internal/netserve"
+	"pimmine/internal/vec"
+)
+
+func buildClusterEngine(t *testing.T, n, d int, opts cluster.Options) (*cluster.Engine, *vec.Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(77))
+	data := vec.NewMatrix(n, d)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	eng, err := cluster.New(data, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, data
+}
+
+// TestClusterWireFailoverInvisible serves a 4-node R=2 cluster over the
+// wire and kills a node mid-session: every post-kill response must stay
+// byte-identical to the pre-kill baseline, and /v1/info must report the
+// shrunken fleet.
+func TestClusterWireFailoverInvisible(t *testing.T) {
+	t.Parallel()
+	eng, data := buildClusterEngine(t, 240, 10, cluster.Options{Nodes: 4, Replicas: 2, Shards: 6, Seed: 5})
+	srv, err := netserve.New(netserve.Options{Cluster: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain()
+
+	const k, nq = 5, 8
+	wireSearch := func(i int) string {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", netserve.QueryRequest{
+			Query: data.Row(i * 29 % data.N), K: k,
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %d: status %d: %s", i, resp.StatusCode, body)
+		}
+		var qr netserve.QueryResponse
+		if err := json.Unmarshal(body, &qr); err != nil {
+			t.Fatal(err)
+		}
+		return renderWire(qr.Neighbors)
+	}
+	baseline := make([]string, nq)
+	for i := range baseline {
+		baseline[i] = wireSearch(i)
+	}
+
+	if err := eng.KillNode(1); err != nil {
+		t.Fatalf("KillNode: %v", err)
+	}
+	for i := range baseline {
+		if got := wireSearch(i); got != baseline[i] {
+			t.Fatalf("query %d differs after node kill\nbefore %s\nafter  %s", i, baseline[i], got)
+		}
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info struct {
+		Mutable bool `json:"mutable"`
+		Cluster struct {
+			Nodes    int `json:"nodes"`
+			Replicas int `json:"replicas"`
+			NodesUp  int `json:"nodes_up"`
+		} `json:"cluster"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Mutable {
+		t.Fatal("cluster deployment must advertise the subscription surface")
+	}
+	if info.Cluster.Nodes != 4 || info.Cluster.Replicas != 2 || info.Cluster.NodesUp != 3 {
+		t.Fatalf("info cluster block = %+v, want nodes 4 replicas 2 up 3", info.Cluster)
+	}
+}
+
+// TestClusterWireNoQuorum maps total replica loss to an honest 503:
+// code no_quorum with a Retry-After hint (anti-entropy repair can
+// restore service, so retrying is truthful advice).
+func TestClusterWireNoQuorum(t *testing.T) {
+	t.Parallel()
+	eng, data := buildClusterEngine(t, 80, 6, cluster.Options{Nodes: 2, Replicas: 1, Shards: 2, Seed: 5})
+	srv, err := netserve.New(netserve.Options{Cluster: eng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	defer srv.Drain()
+
+	for id := 0; id < 2; id++ {
+		if err := eng.KillNode(id); err != nil {
+			t.Fatalf("KillNode(%d): %v", id, err)
+		}
+	}
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/search", netserve.QueryRequest{
+		Query: data.Row(0), K: 3,
+	})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503: %s", resp.StatusCode, body)
+	}
+	var er netserve.ErrorBody
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Code != "no_quorum" {
+		t.Fatalf("code %q, want no_quorum", er.Code)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("no_quorum response missing Retry-After")
+	}
+}
+
+// TestClusterOptionExclusive pins the three-way exactly-one rule.
+func TestClusterOptionExclusive(t *testing.T) {
+	t.Parallel()
+	eng, _ := buildClusterEngine(t, 40, 4, cluster.Options{Nodes: 2, Replicas: 1, Shards: 2})
+	defer eng.Close()
+	if _, err := netserve.New(netserve.Options{}); err == nil {
+		t.Fatal("no engine accepted")
+	}
+	srv, err := netserve.New(netserve.Options{Cluster: eng})
+	if err != nil {
+		t.Fatalf("cluster-only: %v", err)
+	}
+	_ = srv
+}

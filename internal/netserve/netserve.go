@@ -22,15 +22,18 @@ import (
 	"sync"
 	"time"
 
+	"pimmine/internal/cluster"
 	"pimmine/internal/obs"
 	"pimmine/internal/resilience"
 	"pimmine/internal/route"
 	"pimmine/internal/serve"
+	"pimmine/internal/standing"
 )
 
 // queryEngine is the engine surface the wire layer consumes — satisfied
-// by both *serve.Engine and *serve.MutableEngine, so one server fronts
-// either the immutable or the durable mutable deployment shape.
+// by *serve.Engine, *serve.MutableEngine and *cluster.Engine, so one
+// server fronts the immutable, durable-mutable, or multi-node
+// deployment shape.
 type queryEngine interface {
 	SearchMode(ctx context.Context, q []float64, k int, mode route.Mode) (*serve.Result, error)
 	Dims() int
@@ -39,6 +42,15 @@ type queryEngine interface {
 	Router() *route.Router
 	Workers() int
 	Close() error
+}
+
+// subscribeEngine is the standing-query surface, satisfied by the
+// mutable and cluster engines (Unsubscribe differs in signature between
+// the two, so the server keeps it as a closure instead).
+type subscribeEngine interface {
+	Dims() int
+	SubscribeKNN(q []float64, k int) (*standing.Subscription, error)
+	SubscribeRadius(q []float64, radius float64) (*standing.Subscription, error)
 }
 
 // DefaultTenant is the accounting identity of requests that carry no
@@ -56,14 +68,19 @@ const (
 // Options configures New.
 type Options struct {
 	// Engine is the sharded query engine to serve. The server takes
-	// ownership of its shutdown: Drain closes it. Exactly one of Engine
-	// and Mutable must be set.
+	// ownership of its shutdown: Drain closes it. Exactly one of
+	// Engine, Mutable and Cluster must be set.
 	Engine *serve.Engine
 	// Mutable serves a mutable engine instead: the same query surface
 	// plus POST /v1/subscribe standing-query event streams (and, when
 	// the engine was built with Durability, its WAL semantics — Drain's
 	// close flushes the log).
 	Mutable *serve.MutableEngine
+	// Cluster serves a multi-node placement engine: the same query and
+	// subscription surface, with R-way replicated shards failing over
+	// behind the wire. Its typed degradation sentinels (no quorum,
+	// rebalancing, node down) map to honest 503 verdicts.
+	Cluster *cluster.Engine
 	// Tenants provisions quotas and fair-queue weights; tenants not
 	// listed are admitted with defaults (weight 1, no quota).
 	Tenants []TenantConfig
@@ -93,7 +110,9 @@ type Options struct {
 // NewHTTPServer wraps it for h2c. Safe for concurrent use.
 type Server struct {
 	eng   queryEngine
-	mut   *serve.MutableEngine // non-nil when serving Options.Mutable
+	sub   subscribeEngine // non-nil when the engine supports subscriptions
+	unsub func(id int)    // tears down one subscription on stream end
+	clu   *cluster.Engine // non-nil when serving Options.Cluster
 	opts  Options
 	ten   *tenants
 	nobs  *netObs
@@ -117,15 +136,28 @@ type Server struct {
 // New builds a server over the configured engine.
 func New(opts Options) (*Server, error) {
 	var eng queryEngine
+	var sub subscribeEngine
+	var unsub func(id int)
+	set := 0
+	for _, on := range []bool{opts.Engine != nil, opts.Mutable != nil, opts.Cluster != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("netserve: set exactly one of Options.Engine, Options.Mutable and Options.Cluster (%d set)", set)
+	}
 	switch {
-	case opts.Engine != nil && opts.Mutable != nil:
-		return nil, fmt.Errorf("netserve: set exactly one of Options.Engine and Options.Mutable")
 	case opts.Engine != nil:
 		eng = opts.Engine
 	case opts.Mutable != nil:
 		eng = opts.Mutable
-	default:
-		return nil, fmt.Errorf("netserve: Options.Engine or Options.Mutable is required")
+		sub = opts.Mutable
+		unsub = func(id int) { opts.Mutable.Unsubscribe(id) }
+	case opts.Cluster != nil:
+		eng = opts.Cluster
+		sub = opts.Cluster
+		unsub = func(id int) { opts.Cluster.Unsubscribe(id) }
 	}
 	if opts.Slots <= 0 {
 		opts.Slots = eng.Workers()
@@ -152,7 +184,9 @@ func New(opts Options) (*Server, error) {
 	}
 	s := &Server{
 		eng:     eng,
-		mut:     opts.Mutable,
+		sub:     sub,
+		unsub:   unsub,
+		clu:     opts.Cluster,
 		opts:    opts,
 		ten:     ten,
 		retry:   resilience.NewRetryBudget(retryCfg),
@@ -166,7 +200,7 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("POST /v1/search/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/info", s.handleInfo)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
-	if s.mut != nil {
+	if s.sub != nil {
 		mux.HandleFunc("POST /v1/subscribe", s.handleSubscribe)
 	}
 	s.mux = mux
@@ -421,7 +455,14 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 		"max_k":     s.opts.MaxK,
 		"max_batch": s.opts.MaxBatch,
 		"proto":     r.Proto,
-		"mutable":   s.mut != nil,
+		"mutable":   s.sub != nil,
+	}
+	if s.clu != nil {
+		info["cluster"] = map[string]any{
+			"nodes":    s.clu.NumNodes(),
+			"replicas": s.clu.Replicas(),
+			"nodes_up": s.clu.NodesUp(),
+		}
 	}
 	if rt := s.eng.Router(); rt != nil {
 		info["routing"] = map[string]any{

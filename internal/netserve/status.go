@@ -9,6 +9,7 @@ import (
 	"errors"
 	"net/http"
 
+	"pimmine/internal/cluster"
 	"pimmine/internal/quant"
 	"pimmine/internal/resilience"
 	"pimmine/internal/serve"
@@ -65,6 +66,13 @@ func orderedMappings() []mapping {
 		{resilience.ErrOverloaded, Verdict{http.StatusTooManyRequests, "overloaded", true}},
 		{resilience.ErrShedDeadline, Verdict{http.StatusTooManyRequests, "shed_deadline", true}},
 		{resilience.ErrCircuitOpen, Verdict{http.StatusServiceUnavailable, "circuit_open", true}},
+		// Cluster degradation: no-quorum and rebalancing heal via
+		// anti-entropy repair, so retrying is honest advice; a node the
+		// operator addressed directly being down is not something a
+		// client retry fixes, so no Retry-After there.
+		{cluster.ErrNoQuorum, Verdict{http.StatusServiceUnavailable, "no_quorum", true}},
+		{cluster.ErrRebalancing, Verdict{http.StatusServiceUnavailable, "rebalancing", true}},
+		{cluster.ErrNodeDown, Verdict{http.StatusServiceUnavailable, "node_down", false}},
 		{ErrDraining, Verdict{http.StatusServiceUnavailable, "draining", false}},
 		{serve.ErrClosed, Verdict{http.StatusServiceUnavailable, "engine_closed", false}},
 		{standing.ErrClosed, Verdict{http.StatusServiceUnavailable, "standing_closed", false}},

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"testing"
 
+	"pimmine/internal/cluster"
 	"pimmine/internal/netserve"
 	"pimmine/internal/quant"
 	"pimmine/internal/resilience"
@@ -39,6 +40,9 @@ func TestStatusMapping(t *testing.T) {
 		{"admission reject", wrap(resilience.ErrOverloaded), http.StatusTooManyRequests, "overloaded", true},
 		{"deadline shed", wrap(resilience.ErrShedDeadline), http.StatusTooManyRequests, "shed_deadline", true},
 		{"circuit open", wrap(resilience.ErrCircuitOpen), http.StatusServiceUnavailable, "circuit_open", true},
+		{"cluster no quorum", wrap(cluster.ErrNoQuorum), http.StatusServiceUnavailable, "no_quorum", true},
+		{"cluster rebalancing", wrap(cluster.ErrRebalancing), http.StatusServiceUnavailable, "rebalancing", true},
+		{"cluster node down", wrap(cluster.ErrNodeDown), http.StatusServiceUnavailable, "node_down", false},
 		{"draining", wrap(netserve.ErrDraining), http.StatusServiceUnavailable, "draining", false},
 		{"engine closed", wrap(serve.ErrClosed), http.StatusServiceUnavailable, "engine_closed", false},
 		// serve.ErrQueryTimeout unwraps to context.DeadlineExceeded; the
@@ -85,6 +89,9 @@ func TestMappedSentinelsComplete(t *testing.T) {
 		resilience.ErrOverloaded,
 		resilience.ErrShedDeadline,
 		resilience.ErrCircuitOpen,
+		cluster.ErrNoQuorum,
+		cluster.ErrRebalancing,
+		cluster.ErrNodeDown,
 		netserve.ErrDraining,
 		serve.ErrClosed,
 		standing.ErrClosed,

@@ -110,7 +110,7 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err, 0)
 		return
 	}
-	req, err := DecodeSubscribeRequest(body, s.mut.Dims(), s.opts.MaxK)
+	req, err := DecodeSubscribeRequest(body, s.sub.Dims(), s.opts.MaxK)
 	if err != nil {
 		s.writeError(w, err, 0)
 		return
@@ -119,16 +119,16 @@ func (s *Server) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 	s.nobs.noteRequest(tenant)
 	var sub *standing.Subscription
 	if req.K > 0 {
-		sub, err = s.mut.SubscribeKNN(req.Query, req.K)
+		sub, err = s.sub.SubscribeKNN(req.Query, req.K)
 	} else {
-		sub, err = s.mut.SubscribeRadius(req.Query, req.Radius)
+		sub, err = s.sub.SubscribeRadius(req.Query, req.Radius)
 	}
 	if err != nil {
 		s.nobs.noteRejected(tenant, VerdictFor(err).Code)
 		s.writeError(w, err, 0)
 		return
 	}
-	defer s.mut.Unsubscribe(sub.ID())
+	defer s.unsub(sub.ID())
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)

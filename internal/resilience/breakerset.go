@@ -1,0 +1,57 @@
+package resilience
+
+// BreakerSet is a fixed-size indexed family of circuit breakers built
+// from one shared config — one breaker per backend (PIM node, shard
+// host, upstream). It adds the aggregate views a placement layer wants
+// when deciding how degraded a fleet is, without each caller
+// hand-rolling the same loops.
+type BreakerSet struct {
+	breakers []*Breaker
+}
+
+// NewBreakerSet builds n breakers from cfg. n < 0 is treated as 0.
+func NewBreakerSet(n int, cfg BreakerConfig) *BreakerSet {
+	if n < 0 {
+		n = 0
+	}
+	s := &BreakerSet{breakers: make([]*Breaker, n)}
+	for i := range s.breakers {
+		s.breakers[i] = NewBreaker(cfg)
+	}
+	return s
+}
+
+// Len returns the number of breakers in the set.
+func (s *BreakerSet) Len() int { return len(s.breakers) }
+
+// Get returns breaker i; callers index by backend id.
+func (s *BreakerSet) Get(i int) *Breaker { return s.breakers[i] }
+
+// States returns every breaker's current state, indexed by backend.
+func (s *BreakerSet) States() []State {
+	out := make([]State, len(s.breakers))
+	for i, b := range s.breakers {
+		out[i] = b.State()
+	}
+	return out
+}
+
+// OpenCount returns how many breakers are currently open.
+func (s *BreakerSet) OpenCount() int {
+	n := 0
+	for _, b := range s.breakers {
+		if b.State() == StateOpen {
+			n++
+		}
+	}
+	return n
+}
+
+// Trips returns the total trip count across the set.
+func (s *BreakerSet) Trips() int64 {
+	var n int64
+	for _, b := range s.breakers {
+		n += b.Trips()
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerSet(t *testing.T) {
+	t.Parallel()
+	clk := newFakeClock()
+	s := NewBreakerSet(3, BreakerConfig{FailureThreshold: 2, CoolDown: time.Hour, Clock: clk.Now})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	// Breakers are independent: tripping #1 leaves the others closed.
+	for i := 0; i < 2; i++ {
+		done, err := s.Get(1).Allow()
+		if err != nil {
+			t.Fatalf("closed breaker refused: %v", err)
+		}
+		done(false)
+	}
+	want := []State{StateClosed, StateOpen, StateClosed}
+	got := s.States()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("States() = %v, want %v", got, want)
+		}
+	}
+	if s.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d, want 1", s.OpenCount())
+	}
+	if s.Trips() != 1 {
+		t.Fatalf("Trips = %d, want 1", s.Trips())
+	}
+	if s.Get(0) == s.Get(2) {
+		t.Fatal("distinct indices share a breaker")
+	}
+}
+
+func TestBreakerSetEmpty(t *testing.T) {
+	t.Parallel()
+	for _, n := range []int{0, -5} {
+		s := NewBreakerSet(n, BreakerConfig{})
+		if s.Len() != 0 || len(s.States()) != 0 || s.OpenCount() != 0 || s.Trips() != 0 {
+			t.Fatalf("empty set (n=%d) not inert", n)
+		}
+	}
+}

@@ -306,6 +306,31 @@ func (r *Router) ExactOrder(q []float64) (order []int, lbs []float64) {
 	return order, lbs
 }
 
+// ExactOrderAvail is the node-aware variant of ExactOrder: it rotates
+// the lowest-bound shard for which avail returns true to the front of
+// the visit order, leaving the rest in ascending (lower bound, id)
+// order. The multi-node placement layer seeds its τ wave from the
+// first element, so an unavailable best shard (all replicas down)
+// cannot stall wave 1 — and a dead shard is only fatal if its
+// admissible bound survives the seeded kth distance; otherwise routing
+// proves it out of the answer and the query succeeds without it. With a
+// nil avail (or no available shard) this is exactly ExactOrder.
+func (r *Router) ExactOrderAvail(q []float64, avail func(shard int) bool) (order []int, lbs []float64) {
+	order, lbs = r.ExactOrder(q)
+	if avail == nil {
+		return order, lbs
+	}
+	for i, id := range order {
+		if avail(id) {
+			seed := order[i]
+			copy(order[1:i+1], order[:i])
+			order[0] = seed
+			break
+		}
+	}
+	return order, lbs
+}
+
 // ApproxPlan scores every shard by sketch-similarity mass blended with
 // the shard-size prior and returns the visit set of approximate mode:
 // the smallest prefix (in descending score) whose cumulative weight

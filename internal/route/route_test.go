@@ -3,6 +3,7 @@ package route
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"pimmine/internal/dataset"
@@ -274,4 +275,61 @@ func TestRouterConcurrentChurn(t *testing.T) {
 		}
 	}
 	<-done
+}
+
+// TestExactOrderAvail checks the availability-aware ordering used by
+// the placement layer: the seed shard (order[0], which anchors the
+// kNN bound tau) must be the best *available* shard, unavailable
+// shards keep their positions later in the walk so the bound can still
+// prove them out, and a nil filter degrades to plain ExactOrder.
+func TestExactOrderAvail(t *testing.T) {
+	t.Parallel()
+	data := clustered(300, 16, 6, 11)
+	r, err := NewEven(Config{}, data, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 12; qi++ {
+		q := data.Row(qi * 25)
+		base, baseLBs := r.ExactOrder(q)
+
+		order, lbs := r.ExactOrderAvail(q, nil)
+		if !reflect.DeepEqual(order, base) || !reflect.DeepEqual(lbs, baseLBs) {
+			t.Fatalf("nil avail diverged from ExactOrder: %v vs %v", order, base)
+		}
+
+		// Knock out the two best shards: the third-best must be
+		// promoted to seed, everything else keeps relative order.
+		down := map[int]bool{base[0]: true, base[1]: true}
+		order, lbs = r.ExactOrderAvail(q, func(id int) bool { return !down[id] })
+		if order[0] != base[2] {
+			t.Fatalf("seed %d, want best available %d (base %v)", order[0], base[2], base)
+		}
+		if order[1] != base[0] || order[2] != base[1] {
+			t.Fatalf("displaced prefix reordered: got %v, base %v", order, base)
+		}
+		if !reflect.DeepEqual(order[3:], base[3:]) {
+			t.Fatalf("tail reordered: got %v, base %v", order, base)
+		}
+		seen := map[int]bool{}
+		for _, id := range order {
+			if seen[id] {
+				t.Fatalf("shard %d appears twice in %v", id, order)
+			}
+			seen[id] = true
+		}
+		if len(order) != 6 {
+			t.Fatalf("order has %d shards, want all 6", len(order))
+		}
+		if !reflect.DeepEqual(lbs, baseLBs) {
+			t.Fatal("availability filter changed lower bounds")
+		}
+
+		// Nothing available: order is untouched (caller will fail with
+		// its own quorum error).
+		order, _ = r.ExactOrderAvail(q, func(int) bool { return false })
+		if !reflect.DeepEqual(order, base) {
+			t.Fatalf("all-unavailable order %v, want base %v", order, base)
+		}
+	}
 }

@@ -11,6 +11,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -480,16 +481,33 @@ func (e *MutableEngine) fanOutStores(ctx context.Context, q []float64, k int, id
 		}(i, e.stores[i])
 	}
 	outs := make([]shardOut, 0, len(ids))
+	type shardErr struct {
+		id  int
+		err error
+	}
+	var fails []shardErr
 	for range ids {
 		select {
 		case o := <-ch:
 			if o.err != nil {
-				return nil, fmt.Errorf("serve: shard %d: %w", o.id, o.err)
+				// Keep collecting: the caller sees every failed shard
+				// joined (matching the pool's errors.Join discipline),
+				// not just whichever one lost the race.
+				fails = append(fails, shardErr{id: o.id, err: o.err})
+				continue
 			}
 			outs = append(outs, o.shardOut)
 		case <-ctx.Done():
 			return nil, context.Cause(ctx)
 		}
+	}
+	if len(fails) > 0 {
+		sort.Slice(fails, func(i, j int) bool { return fails[i].id < fails[j].id })
+		errs := make([]error, len(fails))
+		for i, f := range fails {
+			errs[i] = fmt.Errorf("serve: shard %d: %w", f.id, f.err)
+		}
+		return nil, errors.Join(errs...)
 	}
 	return outs, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -278,5 +279,43 @@ func TestMutableHammerChurnVsSearch(t *testing.T) {
 	}
 	if len(res.Neighbors) != 1 || res.Neighbors[0].Dist != 0 || res.Neighbors[0].Index != ids[0] {
 		t.Fatalf("self-query after quiesce: %+v, want id %d at dist 0", res.Neighbors, ids[0])
+	}
+}
+
+// TestFanOutJoinsAllShardErrors pins the join discipline: when several
+// shards fail in one fan-out, the caller sees every failed shard in a
+// joined error, not just whichever goroutine lost the race — the
+// placement layer's quorum accounting depends on seeing them all.
+func TestFanOutJoinsAllShardErrors(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(23))
+	data := vec.NewMatrix(90, 6)
+	for i := range data.Data {
+		data.Data[i] = rng.Float64()
+	}
+	me, err := NewMutable(data, MutableOptions{Options: Options{Shards: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer me.Close()
+
+	// Sabotage shards 0 and 2 directly; shard 1 stays healthy.
+	me.stores[0].Close()
+	me.stores[2].Close()
+
+	_, err = me.Search(context.Background(), data.Row(0), 3)
+	if err == nil {
+		t.Fatal("search over two closed shards succeeded")
+	}
+	if !errors.Is(err, delta.ErrClosed) {
+		t.Fatalf("error not rooted in delta.ErrClosed: %v", err)
+	}
+	for _, want := range []string{"shard 0", "shard 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error omits %q: %v", want, err)
+		}
+	}
+	if strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("healthy shard blamed in %v", err)
 	}
 }

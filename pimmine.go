@@ -21,6 +21,7 @@ package pimmine
 
 import (
 	"pimmine/internal/arch"
+	"pimmine/internal/cluster"
 	"pimmine/internal/core"
 	"pimmine/internal/dataset"
 	"pimmine/internal/dbscan"
@@ -548,6 +549,61 @@ var (
 	// ErrStandingClosed: subscribing against a closed engine.
 	ErrStandingClosed = standing.ErrClosed
 )
+
+// Multi-node placement (internal/cluster): the serving engine's shards
+// distributed over simulated PIM nodes by consistent hashing, each
+// shard R-way replicated (default R=2) on distinct nodes. Because
+// replicas apply identical mutation sequences, any current replica
+// serves bit-identical answers — so a node kill, pause, partition or
+// breaker-open fails over invisibly: the differential suite pins all
+// six mining tasks byte-identical with any single node down. Repair
+// (anti-entropy) re-ships PIMSNAP1 images to the least-worn nodes until
+// replication is restored; ClusterChaos drives deterministic seeded
+// failure schedules for testing.
+type (
+	// ClusterEngine is the multi-node placement engine. It serves the
+	// same query, mutation and subscription surface as MutableEngine
+	// and can front NetServerOptions.Cluster.
+	ClusterEngine = cluster.Engine
+	// ClusterOptions configures NewClusterEngine (nodes, replicas,
+	// shards, placement seed, per-node breakers, link bandwidth).
+	ClusterOptions = cluster.Options
+	// ClusterNodeState describes one node for introspection.
+	ClusterNodeState = cluster.NodeState
+	// ClusterShipStats accounts snapshot shipping (count, bytes, and
+	// modeled transfer time at ClusterOptions.LinkGBs).
+	ClusterShipStats = cluster.ShipStats
+	// ClusterChaos is the deterministic chaos harness: node kill,
+	// restore+repair, pause, partition, slow — from a seeded schedule.
+	ClusterChaos = cluster.Chaos
+	// ClusterChaosConfig tunes the harness.
+	ClusterChaosConfig = cluster.ChaosConfig
+)
+
+// The typed cluster degradation errors. Match with errors.Is.
+var (
+	// ErrNoQuorum: some shard has no live, reachable, current replica.
+	ErrNoQuorum = cluster.ErrNoQuorum
+	// ErrNodeDown: an admin operation addressed a dead node.
+	ErrNodeDown = cluster.ErrNodeDown
+	// ErrRebalancing: a shard's surviving replicas are stale (writes
+	// landed while their nodes were unavailable); Repair restores them.
+	ErrRebalancing = cluster.ErrRebalancing
+)
+
+// NewClusterEngine places data's shards onto opts.Nodes simulated PIM
+// nodes with opts.Replicas-way replication and serves exact queries
+// with transparent failover.
+func NewClusterEngine(data *Matrix, opts ClusterOptions) (*ClusterEngine, error) {
+	return cluster.New(data, opts)
+}
+
+// NewClusterChaos builds a seeded failure injector over a cluster
+// engine; identical seeds over identical engines replay identical
+// schedules.
+func NewClusterChaos(eng *ClusterEngine, seed int64, cfg ClusterChaosConfig) *ClusterChaos {
+	return cluster.NewChaos(eng, seed, cfg)
+}
 
 // Observability (internal/obs): a concurrency-safe metrics registry
 // (atomic counters, gauges, fixed-bucket latency histograms with

@@ -35,6 +35,12 @@ func (e *Engine) KillNode(id int) error {
 	if n.state.Load() == nodeDown {
 		return nil
 	}
+	e.killLocked(n)
+	return nil
+}
+
+// killLocked destroys n's replicas and marks it down. Caller holds e.mu.
+func (e *Engine) killLocked(n *node) {
 	n.state.Store(nodeDown)
 	for _, sh := range e.shards {
 		sh.mu.Lock()
@@ -51,7 +57,6 @@ func (e *Engine) KillNode(id int) error {
 	}
 	e.met.inc(e.met.kills)
 	e.met.nodesUp(e.NodesUp())
-	return nil
 }
 
 // RestoreNode brings a killed or paused node back up, empty. Replicas
@@ -225,10 +230,99 @@ func (e *Engine) Nodes() []NodeState {
 	return out
 }
 
+// disableResult reports what a check-and-disable helper did.
+type disableResult int
+
+const (
+	disableApplied   disableResult = iota
+	disableRedundant               // node already in the requested state
+	disableUnsafe                  // would leave a shard with no live current replica
+)
+
+// The *IfSafe helpers decide quorum safety and apply the state change
+// under one e.mu critical section: checking canDisable and then calling
+// KillNode/PauseNode/SetLink separately would let a concurrent admin op
+// or write invalidate the check in between. The chaos harness routes
+// every disabling step through these so its safety bound ("a query
+// issued at any point between steps can always be answered") holds even
+// against concurrent mutation.
+
+// killNodeIfSafe kills node id iff it is not already down and (force or
+// quorum-safe).
+func (e *Engine) killNodeIfSafe(id int, force bool) (disableResult, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	n, err := e.nodeByID(id)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n.state.Load() == nodeDown {
+		return disableRedundant, nil
+	}
+	if !force && !e.canDisable(id) {
+		return disableUnsafe, nil
+	}
+	e.killLocked(n)
+	return disableApplied, nil
+}
+
+// pauseNodeIfSafe pauses node id iff it is up and (force or quorum-safe).
+func (e *Engine) pauseNodeIfSafe(id int, force bool) (disableResult, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	n, err := e.nodeByID(id)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if n.state.Load() != nodeUp {
+		return disableRedundant, nil
+	}
+	if !force && !e.canDisable(id) {
+		return disableUnsafe, nil
+	}
+	n.state.Store(nodePaused)
+	e.met.nodesUp(e.NodesUp())
+	return disableApplied, nil
+}
+
+// severCoordLinkIfSafe severs the coordinator->id link iff it is intact,
+// the node is up, and (force or quorum-safe).
+func (e *Engine) severCoordLinkIfSafe(id int, force bool) (disableResult, error) {
+	release, err := e.acquire()
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	n, err := e.nodeByID(id)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.reachable(-1, id) {
+		return disableRedundant, nil
+	}
+	if n.state.Load() != nodeUp || (!force && !e.canDisable(id)) {
+		return disableUnsafe, nil
+	}
+	e.links[0][id+1].Store(false)
+	return disableApplied, nil
+}
+
 // canDisable reports whether taking node id out of service (kill,
 // pause, or partition from the coordinator) leaves every shard at least
-// one live, reachable, current replica. The chaos harness refuses
-// unsafe steps so the differential suites always have a quorum.
+// one live, reachable, current replica. Callers that act on the answer
+// must hold e.mu across check and action (see the *IfSafe helpers).
 func (e *Engine) canDisable(id int) bool {
 	for _, sh := range e.shards {
 		cur := sh.version.Load()

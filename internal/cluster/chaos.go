@@ -15,10 +15,13 @@ import (
 // only through the steps themselves.
 //
 // Chaos is safety-bounded by default: it refuses any step that would
-// leave some shard without a live, current replica (MinLiveQuorum), so
-// a query issued at any point between steps can always be answered —
-// which is what lets the race hammer exactness-verify every success.
-// Restores run anti-entropy Repair, so R recovers after each kill.
+// leave some shard without a live, current replica, so a query issued
+// at any point between steps can always be answered — which is what
+// lets the race hammer exactness-verify every success. The quorum check
+// and the state change happen in one engine critical section (the
+// *IfSafe helpers in admin.go), so a concurrent admin op or write
+// cannot invalidate the check before it is acted on. Restores run
+// anti-entropy Repair, so R recovers after each kill.
 type Chaos struct {
 	eng *Engine
 	rng *rand.Rand
@@ -78,22 +81,18 @@ func (c *Chaos) Log() []string {
 	return append([]string(nil), c.log...)
 }
 
-func (c *Chaos) safeToDisable(node int) bool {
-	return c.cfg.AllowTotalLoss || c.eng.canDisable(node)
-}
-
 func (c *Chaos) apply(op, target int) string {
 	e := c.eng
 	switch op {
 	case 0: // kill
-		if e.nodes[target].state.Load() == nodeDown {
-			return fmt.Sprintf("kill node%d refused: already down", target)
-		}
-		if !c.safeToDisable(target) {
-			return fmt.Sprintf("kill node%d refused: would lose quorum", target)
-		}
-		if err := e.KillNode(target); err != nil {
+		res, err := e.killNodeIfSafe(target, c.cfg.AllowTotalLoss)
+		switch {
+		case err != nil:
 			return fmt.Sprintf("kill node%d failed: %v", target, err)
+		case res == disableRedundant:
+			return fmt.Sprintf("kill node%d refused: already down", target)
+		case res == disableUnsafe:
+			return fmt.Sprintf("kill node%d refused: would lose quorum", target)
 		}
 		return fmt.Sprintf("kill node%d", target)
 	case 1: // restore + anti-entropy
@@ -109,14 +108,14 @@ func (c *Chaos) apply(op, target int) string {
 		}
 		return fmt.Sprintf("restore node%d, repair shipped %d", target, ships)
 	case 2: // pause
-		if e.nodes[target].state.Load() != nodeUp {
-			return fmt.Sprintf("pause node%d refused: not up", target)
-		}
-		if !c.safeToDisable(target) {
-			return fmt.Sprintf("pause node%d refused: would lose quorum", target)
-		}
-		if err := e.PauseNode(target); err != nil {
+		res, err := e.pauseNodeIfSafe(target, c.cfg.AllowTotalLoss)
+		switch {
+		case err != nil:
 			return fmt.Sprintf("pause node%d failed: %v", target, err)
+		case res == disableRedundant:
+			return fmt.Sprintf("pause node%d refused: not up", target)
+		case res == disableUnsafe:
+			return fmt.Sprintf("pause node%d refused: would lose quorum", target)
 		}
 		return fmt.Sprintf("pause node%d", target)
 	case 3: // unpause
@@ -128,14 +127,14 @@ func (c *Chaos) apply(op, target int) string {
 		}
 		return fmt.Sprintf("unpause node%d", target)
 	case 4: // asymmetric partition: sever coordinator -> target
-		if !e.reachable(-1, target) {
-			return fmt.Sprintf("partition node%d refused: already severed", target)
-		}
-		if e.nodes[target].state.Load() != nodeUp || !c.safeToDisable(target) {
-			return fmt.Sprintf("partition node%d refused: would lose quorum", target)
-		}
-		if err := e.SetLink(-1, target, false); err != nil {
+		res, err := e.severCoordLinkIfSafe(target, c.cfg.AllowTotalLoss)
+		switch {
+		case err != nil:
 			return fmt.Sprintf("partition node%d failed: %v", target, err)
+		case res == disableRedundant:
+			return fmt.Sprintf("partition node%d refused: already severed", target)
+		case res == disableUnsafe:
+			return fmt.Sprintf("partition node%d refused: would lose quorum", target)
 		}
 		return fmt.Sprintf("partition coordinator->node%d", target)
 	case 5: // heal all links

@@ -13,10 +13,11 @@
 // Reads pick, per shard, the least-loaded current replica on a live,
 // reachable node (breaker-approved first; breakers are ignored on the
 // second pass because serving an exact answer beats protecting a node).
-// Writes apply to every writable replica under the engine mutation lock;
-// replicas on paused or partitioned nodes go stale (their version falls
-// behind the shard's) and are excluded from reads until anti-entropy
-// (Repair) ships them a fresh PIMSNAP1 snapshot — the same image format
+// Writes apply to every writable (live and current) replica under the
+// engine mutation lock; replicas on paused or partitioned nodes go stale
+// (their version falls behind the shard's) and are excluded from reads
+// and later writes until anti-entropy (Repair) ships them a fresh
+// PIMSNAP1 snapshot — the same image format
 // the durability layer uses on disk, priced against the inter-node link
 // bandwidth like any other data movement. Typed errors tell callers what
 // retrying buys: ErrNoQuorum (no live replica at all), ErrRebalancing
@@ -77,8 +78,8 @@ type Factory = delta.Factory
 type Options struct {
 	// Nodes is the simulated PIM node count (default 4).
 	Nodes int
-	// Replicas is R, the copies kept per shard (default 2, clamped to
-	// Nodes). New rejects Replicas > Nodes.
+	// Replicas is R, the copies kept per shard (default min(2, Nodes)).
+	// New rejects explicitly-set Replicas > Nodes.
 	Replicas int
 	// Shards partitions the id space (default Nodes, clamped to the row
 	// count like serve.Engine).
@@ -224,7 +225,7 @@ func New(data *vec.Matrix, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("cluster: node count %d must be positive", opts.Nodes)
 	}
 	if opts.Replicas == 0 {
-		opts.Replicas = 2
+		opts.Replicas = min(2, opts.Nodes)
 	}
 	if opts.Replicas < 0 {
 		return nil, fmt.Errorf("cluster: replica count %d must be positive", opts.Replicas)

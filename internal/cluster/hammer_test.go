@@ -12,13 +12,16 @@ import (
 	"pimmine/internal/vec"
 )
 
-// TestNodeKillRaceHammer is the satellite race test: concurrent Search
-// and SearchBatch callers hammer the engine while a safety-bounded
-// chaos schedule kills, restores, pauses, and partitions nodes. Every
-// success must be bit-exact against the static truth; every failure
-// must carry one of the typed cluster sentinels (a transient window
-// between a kill and a retry is allowed, an untyped or wrong answer is
-// not). Run under -race in CI.
+// TestNodeKillRaceHammer is the satellite race test: concurrent Search,
+// SearchBatch, and identity-Update callers hammer the engine while a
+// safety-bounded chaos schedule kills, restores, pauses, and partitions
+// nodes. Every success must be bit-exact against the static truth;
+// every failure must carry one of the typed cluster sentinels (a
+// transient window between a kill and a retry is allowed, an untyped or
+// wrong answer is not). The writer replaces rows with their own values,
+// so the logical dataset never changes while the write path (version
+// gating, commit rule, quorum refusal) races the chaos steps. Run under
+// -race in CI.
 func TestNodeKillRaceHammer(t *testing.T) {
 	t.Parallel()
 	data := randMatrix(240, 12, 21)
@@ -96,6 +99,25 @@ func TestNodeKillRaceHammer(t *testing.T) {
 			}
 		}(w)
 	}
+
+	// Identity updates: bit-identical vectors under unchanged ids keep
+	// the truth tables valid while exercising the replicated write path
+	// against concurrent kills, pauses, and partitions.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			row := (i * 29) % data.N
+			if err := eng.Update(row, data.Row(row)); err != nil {
+				checkErr(err)
+			}
+		}
+	}()
 
 	c := NewChaos(eng, 7, ChaosConfig{MaxSlow: 100 * time.Microsecond})
 	for i := 0; i < 60; i++ {

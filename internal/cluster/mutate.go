@@ -10,13 +10,25 @@ import (
 )
 
 // Writes apply to every writable replica of the owning shard under the
-// engine mutation lock, then bump the shard's version; a replica whose
-// node is paused or partitioned misses the write and goes stale (its
-// version stays behind), which excludes it from reads until Repair
-// ships it a fresh snapshot. A write with zero writable replicas is
-// refused with ErrNoQuorum before touching anything, so replicas can
-// never diverge: every store sees the same prefix of the same mutation
-// sequence.
+// engine mutation lock. Writable means live AND current: a replica that
+// went stale while paused or partitioned stays excluded from writes
+// after its node rejoins — otherwise the first post-rejoin write would
+// stamp it current while it still misses the intermediate mutations.
+// Stale replicas return to service only through Repair's snapshot ship,
+// so every current replica has seen the same prefix of the same
+// mutation sequence.
+//
+// Commit rule: a mutation commits iff at least one writable replica
+// applies it. The shard version then bumps and the replicas that
+// applied are stamped with it; a replica whose apply failed keeps its
+// old version and is treated exactly like one that was paused for the
+// write — stale, excluded from reads, re-shipped by the next Repair —
+// so a divergent copy can never serve. Only when every writable replica
+// fails is the mutation refused with the joined errors and no version
+// change. A write that finds no writable replica at all is refused
+// before touching anything: ErrRebalancing when live-but-stale replicas
+// exist (anti-entropy will make a retry succeed), ErrNoQuorum when no
+// replica is live.
 
 // shardOf maps a global id to its shard: initial ids by the contiguous
 // range split, inserted ids by the consistent-hash id ring (recorded in
@@ -34,15 +46,62 @@ func (e *Engine) shardOf(id int) (int, error) {
 	return 0, fmt.Errorf("cluster: unknown id %d", id)
 }
 
-// writableReplicas returns the replicas a write can reach right now.
+// writableReplicas returns the replicas a write may land on: live,
+// reachable, and current. Stale replicas are excluded even when their
+// node is back up; see the commit rule above.
 func (e *Engine) writableReplicas(sh *cshard) []*replica {
+	cur := sh.version.Load()
 	var out []*replica
 	for _, r := range sh.replicas {
-		if e.nodeLive(r.node) {
+		if e.nodeLive(r.node) && r.version.Load() >= cur {
 			out = append(out, r)
 		}
 	}
 	return out
+}
+
+// writeRefusedLocked picks the typed error for a shard with no writable
+// replica: a live-but-stale copy means anti-entropy can fix it (retry
+// after Repair), no live copy at all means quorum is gone.
+func (e *Engine) writeRefusedLocked(sh *cshard) error {
+	for _, r := range sh.replicas {
+		if e.nodeLive(r.node) {
+			return ErrRebalancing
+		}
+	}
+	return ErrNoQuorum
+}
+
+// commitLocked runs op on every writable replica of sh and applies the
+// commit rule. Caller holds e.mu.
+func (e *Engine) commitLocked(sh *cshard, op func(*replica) error) error {
+	reps := e.writableReplicas(sh)
+	if len(reps) == 0 {
+		return e.writeRefusedLocked(sh)
+	}
+	var applied []*replica
+	var errs []error
+	for _, r := range reps {
+		if err := op(r); err != nil {
+			errs = append(errs, fmt.Errorf("node %d: %w", r.node.id, err))
+			continue
+		}
+		applied = append(applied, r)
+	}
+	if len(applied) == 0 {
+		return errors.Join(errs...)
+	}
+	ver := sh.version.Load() + 1
+	for _, r := range applied {
+		r.version.Store(ver)
+	}
+	sh.version.Store(ver)
+	if len(errs) > 0 {
+		// Failed replicas stay at the old version: stale, excluded
+		// from reads and writes, re-shipped by the next Repair.
+		e.met.inc(e.met.degradedWrites)
+	}
+	return nil
 }
 
 // Insert adds a vector, assigning the next global id. The id is routed
@@ -61,25 +120,10 @@ func (e *Engine) Insert(v []float64) (int, error) {
 	defer e.mu.Unlock()
 	id := e.nextID
 	shID := e.idRing.owner(fmt.Sprintf("id-%d", id))
-	sh := e.shards[shID]
-	reps := e.writableReplicas(sh)
-	if len(reps) == 0 {
-		return 0, fmt.Errorf("cluster: insert shard %d: %w", shID, ErrNoQuorum)
+	err = e.commitLocked(e.shards[shID], func(r *replica) error { return r.store.InsertAt(id, v) })
+	if err != nil {
+		return 0, fmt.Errorf("cluster: insert shard %d: %w", shID, err)
 	}
-	var errs []error
-	for _, r := range reps {
-		if err := r.store.InsertAt(id, v); err != nil {
-			errs = append(errs, fmt.Errorf("node %d: %w", r.node.id, err))
-		}
-	}
-	if len(errs) > 0 {
-		return 0, errors.Join(errs...)
-	}
-	ver := sh.version.Load() + 1
-	for _, r := range reps {
-		r.version.Store(ver)
-	}
-	sh.version.Store(ver)
 	e.routes[id] = shID
 	e.nextID++
 	e.standing.OnInsert(id, v)
@@ -120,25 +164,9 @@ func (e *Engine) applyLocked(id int, op func(*replica) error, hook func()) error
 	if err != nil {
 		return err
 	}
-	sh := e.shards[shID]
-	reps := e.writableReplicas(sh)
-	if len(reps) == 0 {
-		return fmt.Errorf("cluster: shard %d: %w", shID, ErrNoQuorum)
+	if err := e.commitLocked(e.shards[shID], op); err != nil {
+		return fmt.Errorf("cluster: shard %d: %w", shID, err)
 	}
-	var errs []error
-	for _, r := range reps {
-		if err := op(r); err != nil {
-			errs = append(errs, fmt.Errorf("node %d: %w", r.node.id, err))
-		}
-	}
-	if len(errs) > 0 {
-		return errors.Join(errs...)
-	}
-	ver := sh.version.Load() + 1
-	for _, r := range reps {
-		r.version.Store(ver)
-	}
-	sh.version.Store(ver)
 	hook()
 	return nil
 }

@@ -11,10 +11,11 @@ import (
 // (no Observer configured); obs instruments are nil-safe, so call sites
 // never guard.
 type metrics struct {
-	queries     *obs.Counter
-	failovers   *obs.Counter
-	noQuorum    *obs.Counter
-	rebalancing *obs.Counter
+	queries        *obs.Counter
+	failovers      *obs.Counter
+	noQuorum       *obs.Counter
+	rebalancing    *obs.Counter
+	degradedWrites *obs.Counter
 	kills       *obs.Counter
 	repairs     *obs.Counter
 	rebalances  *obs.Counter
@@ -35,6 +36,7 @@ func newMetrics(o *obs.Observer, nodes int) *metrics {
 	m.failovers = reg.Counter("pim_cluster_failovers_total", "Shard reads served by a non-preferred replica (breaker-open, fault, or dead node).")
 	m.noQuorum = reg.Counter("pim_cluster_noquorum_total", "Shard reads refused because no live replica existed.")
 	m.rebalancing = reg.Counter("pim_cluster_rebalancing_total", "Shard reads refused because every surviving replica was stale.")
+	m.degradedWrites = reg.Counter("pim_cluster_degraded_writes_total", "Mutations that committed on a strict subset of writable replicas; failed replicas went stale for Repair.")
 	m.kills = reg.Counter("pim_cluster_node_kills_total", "Nodes taken down hard (chaos or admin).")
 	m.repairs = reg.Counter("pim_cluster_repairs_total", "Replica installs performed by anti-entropy Repair.")
 	m.rebalances = reg.Counter("pim_cluster_rebalances_total", "Endurance-leveling replica moves.")
